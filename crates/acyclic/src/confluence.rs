@@ -1,0 +1,121 @@
+//! Empirical verification of Lemma 2.1 (Church–Rosser property of Graham
+//! reduction).
+//!
+//! The lemma states that the node-removal / edge-removal rewriting system is
+//! finite Church–Rosser: all maximal reduction sequences from the same
+//! hypergraph and sacred set end in the same hypergraph.  This module runs
+//! the reduction under many different rule orders (deterministic
+//! nodes-first, deterministic edges-first, and a batch of seeded random
+//! orders) and checks that every run reaches the same fixed point; it backs
+//! the `graham_confluent` property test and the confluence benchmark (B3).
+
+use crate::graham::{graham_reduce, Strategy};
+use hypergraph::{Hypergraph, NodeSet};
+
+/// Outcome of a confluence check.
+#[derive(Debug, Clone)]
+pub struct ConfluenceReport {
+    /// The fixed point reached by the deterministic nodes-first strategy.
+    pub reference: Hypergraph,
+    /// Number of alternative orders tried (including edges-first).
+    pub orders_tried: usize,
+    /// Orders (by index into the tried sequence) that reached a different
+    /// fixed point.  Empty iff the check passed.
+    pub divergent: Vec<usize>,
+    /// The lengths of the reduction traces, one per order, in the order
+    /// tried.  All orders remove the same multiset of nodes and edges, so
+    /// the lengths agree whenever the check passes.
+    pub trace_lengths: Vec<usize>,
+}
+
+impl ConfluenceReport {
+    /// True if every tried order reached the reference fixed point.
+    pub fn is_confluent(&self) -> bool {
+        self.divergent.is_empty()
+    }
+}
+
+/// Reduces `h` under `1 + random_orders` different rule orders and reports
+/// whether they all reach the same fixed point.
+pub fn check_confluence(h: &Hypergraph, sacred: &NodeSet, random_orders: usize) -> ConfluenceReport {
+    let reference = graham_reduce(h, sacred, Strategy::NodesFirst);
+    let mut divergent = Vec::new();
+    let mut trace_lengths = vec![reference.steps.len()];
+
+    let mut strategies = vec![Strategy::EdgesFirst];
+    strategies.extend((0..random_orders).map(|i| Strategy::Seeded(0x9E37_79B9 ^ (i as u64 + 1))));
+
+    for (idx, strategy) in strategies.iter().enumerate() {
+        let run = graham_reduce(h, sacred, *strategy);
+        trace_lengths.push(run.steps.len());
+        if !run.result.same_edge_sets(&reference.result) {
+            divergent.push(idx);
+        }
+    }
+
+    ConfluenceReport {
+        reference: reference.result,
+        orders_tried: strategies.len(),
+        divergent,
+        trace_lengths,
+    }
+}
+
+/// Convenience wrapper: true if `random_orders + 2` reduction orders all
+/// agree on `GR(h, sacred)`.
+pub fn is_confluent(h: &Hypergraph, sacred: &NodeSet, random_orders: usize) -> bool {
+    check_confluence(h, sacred, random_orders).is_confluent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+            vec!["A", "C", "E"],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_reduction_is_confluent() {
+        let h = fig1();
+        let x = h.node_set(["A", "D"]).unwrap();
+        let report = check_confluence(&h, &x, 16);
+        assert!(report.is_confluent());
+        assert_eq!(report.orders_tried, 17);
+        assert_eq!(report.reference.edge_count(), 2);
+        // Every order applies the same multiset of rules, so every trace has
+        // the same length.
+        assert!(report.trace_lengths.iter().all(|&l| l == report.trace_lengths[0]));
+    }
+
+    #[test]
+    fn cyclic_hypergraphs_are_also_confluent() {
+        // Confluence is a property of the rewriting system, not of
+        // acyclicity: the stuck triangle is reached from every order.
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap();
+        assert!(is_confluent(&h, &NodeSet::new(), 8));
+    }
+
+    #[test]
+    fn confluence_with_various_sacred_sets() {
+        let h = fig1();
+        for names in [vec![], vec!["A"], vec!["B", "F"], vec!["A", "B", "C", "D", "E", "F"]] {
+            let x = h.node_set(names.iter().copied()).unwrap();
+            assert!(is_confluent(&h, &x, 8), "divergence for X = {names:?}");
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph_is_trivially_confluent() {
+        let h = Hypergraph::builder().build().unwrap();
+        let report = check_confluence(&h, &NodeSet::new(), 4);
+        assert!(report.is_confluent());
+        assert!(report.reference.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Core algorithms of "Connections in Acyclic Hypergraphs"
+//! (Maier & Ullman).
+//!
+//! This crate implements the paper's contribution on top of the
+//! [`hypergraph`] and [`tableau`] substrates:
+//!
+//! * **Graham reduction with sacred nodes** `GR(H, X)` (§2), with step
+//!   traces, alternative rule orders, and an empirical Church–Rosser
+//!   checker (Lemma 2.1);
+//! * **acyclicity tests**: GYO reduction, the definition-based baseline,
+//!   and a maximum-cardinality-search (chordality + conformality) test;
+//! * **join trees** via ear decomposition, with running-intersection
+//!   verification — the structure acyclic query processing consumes;
+//! * **canonical connections** `CC_H(X) = TR(H, X)` (§5), computable by
+//!   tableau reduction or — on acyclic hypergraphs, by Theorem 3.5 — by
+//!   Graham reduction;
+//! * **connecting / independent trees and paths** (§5) and the constructive
+//!   **Theorem 6.1** machinery (§6): classify any hypergraph as acyclic
+//!   (with a join tree certificate) or cyclic (with a verified independent
+//!   path certificate);
+//! * the **acyclicity-degree hierarchy** (Berge / β / α) as an extension.
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::Hypergraph;
+//! use acyclic::{AcyclicityExt, canonical_connection, classify, Classification};
+//!
+//! let h = Hypergraph::from_edges([
+//!     vec!["A", "B", "C"],
+//!     vec!["C", "D", "E"],
+//!     vec!["A", "E", "F"],
+//!     vec!["A", "C", "E"],
+//! ]).unwrap();
+//!
+//! assert!(h.is_acyclic());
+//! let x = h.node_set(["A", "D"]).unwrap();
+//! assert_eq!(canonical_connection(&h, &x).edge_count(), 2);
+//! assert!(matches!(classify(&h), Classification::Acyclic { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acyclicity;
+mod confluence;
+mod connection;
+mod graham;
+mod hierarchy;
+mod independent;
+mod jointree;
+mod mcs;
+mod theorem;
+
+pub use acyclicity::{graham_reduction_fast, is_acyclic, AcyclicityExt};
+pub use confluence::{check_confluence, is_confluent, ConfluenceReport};
+pub use connection::{
+    canonical_connection, canonical_connection_with, graham_equals_tableau, ConnectionMethod,
+};
+pub use graham::{
+    graham_reduce, graham_reduction, gyo_reduction, GrahamReduction, GrahamStep, Strategy,
+};
+pub use hierarchy::{
+    degree, is_alpha_acyclic, is_berge_acyclic, is_beta_acyclic, Degree, BETA_EDGE_LIMIT,
+};
+pub use independent::{
+    find_cyclic_core, find_independent_path, ConnectingPath, ConnectingTree, ConnectionViolation,
+};
+pub use jointree::{join_tree, join_tree_with_separators, JoinTree};
+pub use mcs::{
+    is_acyclic_mcs, is_chordal, is_conformal_chordal, maximal_cliques_chordal,
+    maximum_cardinality_search,
+};
+pub use theorem::{check_theorem_6_1, classify, Classification, TheoremReport};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::{
+        canonical_connection, canonical_connection_with, check_theorem_6_1, classify,
+        find_independent_path, graham_reduction, gyo_reduction, is_acyclic, is_acyclic_mcs,
+        join_tree, AcyclicityExt, Classification, ConnectingPath, ConnectingTree,
+        ConnectionMethod, JoinTree,
+    };
+}

@@ -1,0 +1,177 @@
+//! The main theorem (paper §6) as executable checks with certificates.
+//!
+//! **Theorem 6.1.** A hypergraph `H` is acyclic iff for no pair of node sets
+//! of `H` there is an independent path.
+//!
+//! **Corollary 6.2.** A hypergraph is acyclic iff it has no independent
+//! trees.
+//!
+//! [`classify`] decides which side of the dichotomy a hypergraph falls on
+//! and returns a *certificate* either way: a join tree for the acyclic case
+//! (the structure every acyclic algorithm downstream consumes), or a
+//! verified independent path for the cyclic case.  [`check_theorem_6_1`]
+//! cross-validates the two directions on a concrete hypergraph and is the
+//! workhorse of the property-based test-suite.
+
+use crate::acyclicity::AcyclicityExt;
+use crate::independent::{find_independent_path, ConnectingPath};
+use crate::jointree::{join_tree, JoinTree};
+use hypergraph::Hypergraph;
+
+/// The outcome of classifying a hypergraph under Theorem 6.1.
+#[derive(Debug, Clone)]
+pub enum Classification {
+    /// The hypergraph is acyclic; the join tree witnesses it (and, by the
+    /// theorem, no independent path exists).
+    Acyclic {
+        /// A join tree of the hypergraph (`None` only for the edgeless
+        /// hypergraph, which is trivially acyclic).
+        join_tree: Option<JoinTree>,
+    },
+    /// The hypergraph is cyclic; the independent path witnesses it.
+    Cyclic {
+        /// A verified independent path (Theorem 6.1's certificate).
+        independent_path: ConnectingPath,
+    },
+}
+
+impl Classification {
+    /// True if the hypergraph was classified as acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, Classification::Acyclic { .. })
+    }
+}
+
+/// Classifies `h` as acyclic or cyclic, returning a certificate either way.
+///
+/// # Panics
+/// Panics if the certificate extraction fails — which would contradict
+/// Theorem 6.1 (or reveal an implementation bug); the property-based tests
+/// rely on this to cross-validate the implementation.
+pub fn classify(h: &Hypergraph) -> Classification {
+    if h.is_acyclic() {
+        Classification::Acyclic {
+            join_tree: if h.is_empty() { None } else { Some(join_tree(h).expect("acyclic hypergraphs have join trees")) },
+        }
+    } else {
+        let path = find_independent_path(h)
+            .expect("Theorem 6.1: every cyclic hypergraph has an independent path");
+        Classification::Cyclic {
+            independent_path: path,
+        }
+    }
+}
+
+/// A detailed cross-check of Theorem 6.1 on one hypergraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TheoremReport {
+    /// GYO verdict.
+    pub acyclic_gyo: bool,
+    /// MCS (chordality + conformality) verdict.
+    pub acyclic_mcs: bool,
+    /// Whether an independent path was found.
+    pub has_independent_path: bool,
+    /// Whether a join tree was found.
+    pub has_join_tree: bool,
+}
+
+impl TheoremReport {
+    /// True if every column of the report is consistent with Theorem 6.1 and
+    /// the join-tree characterization: the three acyclicity views agree, and
+    /// an independent path exists exactly in the cyclic case.
+    pub fn consistent(&self) -> bool {
+        self.acyclic_gyo == self.acyclic_mcs
+            && self.acyclic_gyo == self.has_join_tree
+            && self.acyclic_gyo != self.has_independent_path
+    }
+}
+
+/// Runs every characterization on `h` and reports whether they agree.
+///
+/// The edgeless hypergraph is special-cased as having a (trivial) join tree.
+pub fn check_theorem_6_1(h: &Hypergraph) -> TheoremReport {
+    let acyclic_gyo = h.is_acyclic();
+    let acyclic_mcs = crate::mcs::is_acyclic_mcs(h);
+    let has_independent_path = find_independent_path(h).is_some();
+    let has_join_tree = h.is_empty() || join_tree(h).is_some();
+    TheoremReport {
+        acyclic_gyo,
+        acyclic_mcs,
+        has_independent_path,
+        has_join_tree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+            vec!["A", "C", "E"],
+        ])
+        .unwrap()
+    }
+
+    fn ring() -> Hypergraph {
+        Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"], vec!["A", "E", "F"]])
+            .unwrap()
+    }
+
+    #[test]
+    fn classify_fig1_as_acyclic_with_join_tree() {
+        match classify(&fig1()) {
+            Classification::Acyclic { join_tree } => {
+                let t = join_tree.expect("nonempty");
+                assert!(t.verify_running_intersection(&fig1()));
+            }
+            Classification::Cyclic { .. } => panic!("Fig. 1 is acyclic"),
+        }
+        assert!(classify(&fig1()).is_acyclic());
+    }
+
+    #[test]
+    fn classify_ring_as_cyclic_with_independent_path() {
+        match classify(&ring()) {
+            Classification::Cyclic { independent_path } => {
+                assert!(independent_path.is_independent(&ring()));
+                assert!(independent_path.len() >= 3);
+            }
+            Classification::Acyclic { .. } => panic!("the 3-ring is cyclic"),
+        }
+        assert!(!classify(&ring()).is_acyclic());
+    }
+
+    #[test]
+    fn theorem_report_consistent_on_paper_examples() {
+        for h in [
+            fig1(),
+            ring(),
+            Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap(),
+            Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap(),
+            Hypergraph::from_edges([
+                vec!["A", "B"],
+                vec!["A", "C"],
+                vec!["B", "C"],
+                vec!["A", "D"],
+            ])
+            .unwrap(),
+            Hypergraph::from_edges([vec!["A", "B", "C", "D"]]).unwrap(),
+            Hypergraph::builder().build().unwrap(),
+        ] {
+            let report = check_theorem_6_1(&h);
+            assert!(report.consistent(), "inconsistent report {report:?} for {}", h.display());
+        }
+    }
+
+    #[test]
+    fn report_fields_match_direct_queries() {
+        let r = check_theorem_6_1(&fig1());
+        assert!(r.acyclic_gyo && r.acyclic_mcs && r.has_join_tree && !r.has_independent_path);
+        let r = check_theorem_6_1(&ring());
+        assert!(!r.acyclic_gyo && !r.acyclic_mcs && !r.has_join_tree && r.has_independent_path);
+    }
+}

@@ -1,0 +1,80 @@
+//! Experiment B2 — acyclicity testing: GYO reduction vs. the
+//! maximum-cardinality-search (chordality + conformality) test vs. the naive
+//! definition-based baseline, across acyclic and cyclic families and sizes.
+//!
+//! The printed table is the row format recorded in EXPERIMENTS.md; Criterion
+//! then measures the headline comparisons precisely.
+
+use acyclic::{is_acyclic_mcs, AcyclicityExt};
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::Hypergraph;
+use std::time::Duration;
+use workload::{chain, random_acyclic, ring, star, AcyclicParams};
+
+fn workloads() -> Vec<(String, Hypergraph)> {
+    let mut out = Vec::new();
+    for &n in &[8usize, 32, 128] {
+        out.push((format!("chain-{n}"), chain(n, 3, 1)));
+        out.push((format!("star-{n}"), star(n, 3)));
+        out.push((
+            format!("rand-acyclic-{n}"),
+            random_acyclic(AcyclicParams::with_edges(n), 42),
+        ));
+        out.push((format!("ring-{n}"), ring(n)));
+    }
+    out
+}
+
+fn print_table() {
+    let mut table = Table::new(["workload", "edges", "acyclic", "gyo_us", "mcs_us", "naive_us"]);
+    for (name, h) in workloads() {
+        let gyo = mean_time_us(5, || h.is_acyclic());
+        let mcs = mean_time_us(5, || is_acyclic_mcs(&h));
+        // The definition-based baseline enumerates 2^n node subsets; only
+        // feasible for tiny instances.
+        let naive = if h.node_count() <= 14 {
+            format!("{:.1}", mean_time_us(1, || h.is_acyclic_by_definition()))
+        } else {
+            "-".to_owned()
+        };
+        table.row([
+            name,
+            h.edge_count().to_string(),
+            h.is_acyclic().to_string(),
+            format!("{gyo:.1}"),
+            format!("{mcs:.1}"),
+            naive,
+        ]);
+    }
+    table.print("B2: acyclicity testing (GYO vs MCS vs definition)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("acyclicity");
+    for &n in &[32usize, 128] {
+        let h = random_acyclic(AcyclicParams::with_edges(n), 7);
+        group.bench_with_input(BenchmarkId::new("gyo", n), &h, |b, h| {
+            b.iter(|| h.is_acyclic())
+        });
+        group.bench_with_input(BenchmarkId::new("mcs", n), &h, |b, h| {
+            b.iter(|| is_acyclic_mcs(h))
+        });
+        let r = ring(n);
+        group.bench_with_input(BenchmarkId::new("gyo-cyclic", n), &r, |b, h| {
+            b.iter(|| h.is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment B5 — canonical-connection query latency as a function of the
+//! number of queried attributes |X| and the hypergraph size, on random
+//! acyclic schemas.  The connection is computed both by tableau reduction
+//! (the definition) and by Graham reduction (the Theorem 3.5 shortcut a
+//! production system would use).
+
+use acyclic::{canonical_connection, canonical_connection_with, ConnectionMethod};
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::{Hypergraph, NodeSet};
+use std::time::Duration;
+use workload::{random_acyclic, AcyclicParams};
+
+/// Picks `k` spread-out nodes of `h` as the query attribute set.
+fn query_set(h: &Hypergraph, k: usize) -> NodeSet {
+    let nodes: Vec<_> = h.nodes().iter().collect();
+    let step = (nodes.len() / k.max(1)).max(1);
+    nodes.iter().step_by(step).take(k).copied().collect()
+}
+
+fn print_table() {
+    let mut table = Table::new(["edges", "|X|", "cc_edges", "tableau_us", "graham_us"]);
+    for &edges in &[8usize, 16, 32] {
+        let h = random_acyclic(AcyclicParams::with_edges(edges), 77);
+        for &k in &[1usize, 2, 4, 8] {
+            let x = query_set(&h, k);
+            let cc = canonical_connection(&h, &x);
+            let t_tab = mean_time_us(3, || canonical_connection(&h, &x));
+            let t_gr = mean_time_us(5, || {
+                canonical_connection_with(&h, &x, ConnectionMethod::Graham)
+            });
+            table.row([
+                edges.to_string(),
+                x.len().to_string(),
+                cc.edge_count().to_string(),
+                format!("{t_tab:.1}"),
+                format!("{t_gr:.1}"),
+            ]);
+        }
+    }
+    table.print("B5: canonical connection latency vs |X| and hypergraph size");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("connection");
+    let h = random_acyclic(AcyclicParams::with_edges(32), 77);
+    for &k in &[2usize, 8] {
+        let x = query_set(&h, k);
+        group.bench_with_input(BenchmarkId::new("tableau", k), &x, |b, x| {
+            b.iter(|| canonical_connection(&h, x))
+        });
+        group.bench_with_input(BenchmarkId::new("graham", k), &x, |b, x| {
+            b.iter(|| canonical_connection_with(&h, x, ConnectionMethod::Graham))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

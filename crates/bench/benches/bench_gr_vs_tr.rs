@@ -1,0 +1,84 @@
+//! Experiment B1 — Graham reduction vs. tableau reduction (the Theorem 3.5
+//! ablation): both compute the canonical connection on acyclic hypergraphs;
+//! the table reports their cost and double-checks their agreement on every
+//! instance, plus the cyclic counterexample row where they differ.
+
+use acyclic::{graham_equals_tableau, graham_reduction};
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::{Hypergraph, NodeSet};
+use std::time::Duration;
+use tableau::tableau_reduction;
+use workload::{chain, paper, random_acyclic, star, AcyclicParams};
+
+/// A deterministic two-node sacred set: the first node of the first edge and
+/// the last node of the last edge (the "far apart" query).
+fn far_apart_sacred(h: &Hypergraph) -> NodeSet {
+    let first = h.edges()[0].nodes.first().expect("nonempty");
+    let last = h.edges()[h.edge_count() - 1]
+        .nodes
+        .iter()
+        .last()
+        .expect("nonempty");
+    NodeSet::from_ids([first, last])
+}
+
+fn workloads() -> Vec<(String, Hypergraph, NodeSet)> {
+    let mut out = Vec::new();
+    for &n in &[4usize, 8, 16, 32] {
+        let c = chain(n, 3, 1);
+        let x = far_apart_sacred(&c);
+        out.push((format!("chain-{n}"), c, x));
+        let s = star(n, 3);
+        let x = far_apart_sacred(&s);
+        out.push((format!("star-{n}"), s, x));
+        let r = random_acyclic(AcyclicParams::with_edges(n), 11);
+        let x = far_apart_sacred(&r);
+        out.push((format!("rand-acyclic-{n}"), r, x));
+    }
+    let (counter, d) = paper::counterexample_after_theorem_3_5();
+    out.push(("cyclic-counterexample".to_owned(), counter, d));
+    out
+}
+
+fn print_table() {
+    let mut table = Table::new(["workload", "edges", "gr_us", "tr_us", "gr==tr"]);
+    for (name, h, x) in workloads() {
+        let gr = mean_time_us(5, || graham_reduction(&h, &x));
+        let tr = mean_time_us(3, || tableau_reduction(&h, &x));
+        table.row([
+            name,
+            h.edge_count().to_string(),
+            format!("{gr:.1}"),
+            format!("{tr:.1}"),
+            graham_equals_tableau(&h, &x).to_string(),
+        ]);
+    }
+    table.print("B1: canonical connection — Graham reduction vs tableau reduction");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("gr_vs_tr");
+    for &n in &[8usize, 32] {
+        let h = random_acyclic(AcyclicParams::with_edges(n), 11);
+        let x = far_apart_sacred(&h);
+        group.bench_with_input(BenchmarkId::new("graham", n), &(&h, &x), |b, (h, x)| {
+            b.iter(|| graham_reduction(h, x))
+        });
+        group.bench_with_input(BenchmarkId::new("tableau", n), &(&h, &x), |b, (h, x)| {
+            b.iter(|| tableau_reduction(h, x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

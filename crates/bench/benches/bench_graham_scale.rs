@@ -1,0 +1,69 @@
+//! Experiment B3 — Graham-reduction scaling and order-independence
+//! (Lemma 2.1): the traced single-step reducer vs. the pass-based fast
+//! reducer across sizes, plus the cost of an empirical confluence check.
+
+use acyclic::{check_confluence, graham_reduction, graham_reduction_fast};
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::NodeSet;
+use std::time::Duration;
+use workload::{chain, random_acyclic, AcyclicParams};
+
+fn print_table() {
+    let mut table = Table::new(["workload", "edges", "traced_us", "fast_us", "confluent"]);
+    for &n in &[16usize, 64, 256] {
+        for (name, h) in [
+            (format!("chain-{n}"), chain(n, 3, 1)),
+            (
+                format!("rand-acyclic-{n}"),
+                random_acyclic(AcyclicParams::with_edges(n), 5),
+            ),
+        ] {
+            let x = NodeSet::new();
+            let traced = mean_time_us(3, || graham_reduction(&h, &x));
+            let fast = mean_time_us(3, || graham_reduction_fast(&h, &x));
+            // A light confluence spot-check (4 random orders) on the smaller
+            // sizes; the property tests do the heavy checking.
+            let confluent = if n <= 64 {
+                check_confluence(&h, &x, 4).is_confluent().to_string()
+            } else {
+                "-".to_owned()
+            };
+            table.row([
+                name,
+                h.edge_count().to_string(),
+                format!("{traced:.1}"),
+                format!("{fast:.1}"),
+                confluent,
+            ]);
+        }
+    }
+    table.print("B3: Graham reduction scaling and confluence (Lemma 2.1)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("graham_scale");
+    for &n in &[64usize, 256] {
+        let h = random_acyclic(AcyclicParams::with_edges(n), 5);
+        group.bench_with_input(BenchmarkId::new("fast", n), &h, |b, h| {
+            b.iter(|| graham_reduction_fast(h, &NodeSet::new()))
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("traced", n), &h, |b, h| {
+                b.iter(|| graham_reduction(h, &NodeSet::new()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

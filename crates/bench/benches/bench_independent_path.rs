@@ -1,0 +1,86 @@
+//! Experiment E7/B2 — Theorem 6.1 certificates: cost of classifying a
+//! hypergraph and extracting the witness (a join tree on acyclic inputs, a
+//! verified independent path on cyclic inputs) across families and sizes.
+
+use acyclic::{classify, find_independent_path, join_tree, Classification};
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::Hypergraph;
+use std::time::Duration;
+use workload::{grid, hyper_ring, random_acyclic, ring, AcyclicParams};
+
+fn workloads() -> Vec<(String, Hypergraph)> {
+    vec![
+        ("ring-4".into(), ring(4)),
+        ("ring-8".into(), ring(8)),
+        ("ring-16".into(), ring(16)),
+        ("hyper-ring-8x3".into(), hyper_ring(8, 3)),
+        ("grid-3x3".into(), grid(3, 3)),
+        ("grid-4x4".into(), grid(4, 4)),
+        (
+            "rand-acyclic-16".into(),
+            random_acyclic(AcyclicParams::with_edges(16), 13),
+        ),
+        (
+            "rand-acyclic-64".into(),
+            random_acyclic(AcyclicParams::with_edges(64), 13),
+        ),
+    ]
+}
+
+fn print_table() {
+    let mut table = Table::new(["workload", "edges", "verdict", "witness", "classify_us"]);
+    for (name, h) in workloads() {
+        let classification = classify(&h);
+        let (verdict, witness) = match &classification {
+            Classification::Acyclic { join_tree } => (
+                "acyclic",
+                format!(
+                    "join tree ({} edges)",
+                    join_tree.as_ref().map_or(0, |t| t.tree_edges().len())
+                ),
+            ),
+            Classification::Cyclic { independent_path } => (
+                "cyclic",
+                format!("independent path ({} sets)", independent_path.len()),
+            ),
+        };
+        let t = mean_time_us(3, || classify(&h));
+        table.row([
+            name,
+            h.edge_count().to_string(),
+            verdict.to_string(),
+            witness,
+            format!("{t:.0}"),
+        ]);
+    }
+    table.print("E7/B2: Theorem 6.1 classification with certificates");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("theorem_6_1");
+    let r = ring(8);
+    group.bench_with_input(BenchmarkId::new("independent_path", "ring-8"), &r, |b, h| {
+        b.iter(|| find_independent_path(h))
+    });
+    let g = grid(3, 3);
+    group.bench_with_input(BenchmarkId::new("independent_path", "grid-3x3"), &g, |b, h| {
+        b.iter(|| find_independent_path(h))
+    });
+    let a = random_acyclic(AcyclicParams::with_edges(32), 13);
+    group.bench_with_input(BenchmarkId::new("join_tree", "rand-acyclic-32"), &a, |b, h| {
+        b.iter(|| join_tree(h))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment B4 — the database payoff: answering universal-relation queries
+//! with the Yannakakis algorithm over the join tree vs. the naive
+//! join-everything plan, on chain and star schemas with increasing data
+//! sizes (dangling tuples included, which is where the full reducer wins).
+
+use acyclic::join_tree;
+use bench_suite::{mean_time_us, Table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::{Hypergraph, NodeSet};
+use reldb::{query_via_connection, query_via_full_join, yannakakis_join, Database};
+use std::time::Duration;
+use workload::{chain, random_database, star, DataParams};
+
+/// The query attributes: the two "far apart" attributes of the schema.
+fn far_apart(h: &Hypergraph) -> NodeSet {
+    let first = h.edges()[0].nodes.first().expect("nonempty");
+    let last = h.edges()[h.edge_count() - 1]
+        .nodes
+        .iter()
+        .last()
+        .expect("nonempty");
+    NodeSet::from_ids([first, last])
+}
+
+fn make_db(schema: &Hypergraph, tuples: usize, domain: i64, seed: u64) -> Database {
+    random_database(
+        schema,
+        DataParams {
+            tuples_per_relation: tuples,
+            domain,
+        },
+        seed,
+    )
+}
+
+fn print_table() {
+    let mut table = Table::new([
+        "schema", "relations", "tuples", "answer", "yannakakis_us", "connection_us", "naive_us",
+    ]);
+    let schemas: Vec<(String, Hypergraph)> = vec![
+        ("chain-4".into(), chain(4, 2, 1)),
+        ("chain-8".into(), chain(8, 2, 1)),
+        ("star-6".into(), star(6, 2)),
+    ];
+    for (name, schema) in schemas {
+        for &tuples in &[100usize, 400] {
+            // Domain ~ half the relation size gives an expected fan-out of two
+            // per join: enough dangling tuples and intermediate growth to see
+            // the Yannakakis shape without unbounded naive-join blow-up.
+            let db = make_db(&schema, tuples, (tuples as i64 / 2).max(2), 9);
+            let tree = join_tree(&schema).expect("acyclic schema");
+            let x = far_apart(&schema);
+            let answer = yannakakis_join(&db, &tree, &x);
+            let t_yann = mean_time_us(3, || yannakakis_join(&db, &tree, &x));
+            let t_conn = mean_time_us(3, || query_via_connection(&db, &x));
+            let t_naive = mean_time_us(3, || query_via_full_join(&db, &x));
+            table.row([
+                name.clone(),
+                schema.edge_count().to_string(),
+                db.tuple_count().to_string(),
+                answer.len().to_string(),
+                format!("{t_yann:.0}"),
+                format!("{t_conn:.0}"),
+                format!("{t_naive:.0}"),
+            ]);
+        }
+    }
+    table.print("B4: universal-relation queries — Yannakakis vs connection join vs naive join");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("query");
+    let schema = chain(6, 2, 1);
+    let db = make_db(&schema, 200, 100, 3);
+    let tree = join_tree(&schema).expect("acyclic");
+    let x = far_apart(&schema);
+    group.bench_with_input(BenchmarkId::new("yannakakis", 200), &db, |b, db| {
+        b.iter(|| yannakakis_join(db, &tree, &x))
+    });
+    group.bench_with_input(BenchmarkId::new("naive", 200), &db, |b, db| {
+        b.iter(|| query_via_full_join(db, &x))
+    });
+    group.bench_with_input(BenchmarkId::new("connection", 200), &db, |b, db| {
+        b.iter(|| query_via_connection(db, &x))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Criterion measures the timings; the helpers here print the compact
+//! "paper-style" tables (rows = workloads, columns = competitors) that
+//! EXPERIMENTS.md records, so `cargo bench` regenerates every experiment
+//! table directly on stdout in addition to Criterion's own reports.
+
+use std::time::Instant;
+
+/// Measures one closure, returning its result and the elapsed microseconds.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Runs a closure `iters` times and reports the mean elapsed microseconds.
+pub fn mean_time_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// A simple fixed-width table printer for experiment summaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["workload", "gyo_us", "mcs_us"]);
+        t.row(["chain-16", "12.5", "30.1"]);
+        t.row(["star-64", "110.0", "95.7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("workload"));
+        assert!(lines[2].contains("chain-16"));
+    }
+
+    #[test]
+    fn timers_return_positive_durations() {
+        let (v, us) = time_us(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(us >= 0.0);
+        assert!(mean_time_us(3, || std::hint::black_box(1 + 1)) >= 0.0);
+    }
+}

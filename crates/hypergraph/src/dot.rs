@@ -1,0 +1,111 @@
+//! Rendering hypergraphs for humans: Graphviz DOT and ASCII tables.
+
+use crate::hypergraph::Hypergraph;
+
+impl Hypergraph {
+    /// Renders the hypergraph in Graphviz DOT form using the bipartite
+    /// incidence representation: boxes for edges, circles for nodes.
+    pub fn to_dot(&self, name: &str) -> String {
+        let u = self.universe();
+        let mut out = String::new();
+        out.push_str(&format!("graph {name} {{\n"));
+        out.push_str("  node [shape=circle];\n");
+        for n in self.nodes().iter() {
+            out.push_str(&format!("  \"{}\";\n", u.name(n)));
+        }
+        out.push_str("  node [shape=box, style=filled, fillcolor=lightgray];\n");
+        for (i, e) in self.edges().iter().enumerate() {
+            let ename = format!("edge_{i}_{}", sanitize(&e.label));
+            out.push_str(&format!("  \"{ename}\" [label=\"{}\"];\n", e.label));
+            for n in e.nodes.iter() {
+                out.push_str(&format!("  \"{ename}\" -- \"{}\";\n", u.name(n)));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the hypergraph as an incidence table: one row per edge, one
+    /// column per node, `x` marking membership.  Useful in examples and for
+    /// debugging reductions.
+    pub fn to_ascii_table(&self) -> String {
+        let u = self.universe();
+        let nodes: Vec<_> = self.nodes().iter().collect();
+        let label_width = self
+            .edges()
+            .iter()
+            .map(|e| e.label.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        out.push_str(&format!("{:label_width$} |", "edge"));
+        for &n in &nodes {
+            out.push_str(&format!(" {:>3}", truncate(u.name(n), 3)));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_width + 1 + 4 * nodes.len() + 1));
+        out.push('\n');
+        for e in self.edges() {
+            out.push_str(&format!("{:label_width$} |", e.label));
+            for &n in &nodes {
+                out.push_str(&format!(
+                    " {:>3}",
+                    if e.nodes.contains(n) { "x" } else { "." }
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"]]).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = fig1().to_dot("fig1");
+        assert!(dot.starts_with("graph fig1 {"));
+        for name in ["A", "B", "C", "D", "E"] {
+            assert!(dot.contains(&format!("\"{name}\"")));
+        }
+        assert!(dot.contains("edge_0_ABC"));
+        assert!(dot.contains("edge_1_CDE"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn ascii_table_marks_membership() {
+        let table = fig1().to_ascii_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains('A') && lines[0].contains('E'));
+        assert!(lines[2].starts_with("ABC"));
+        assert_eq!(lines[2].matches('x').count(), 3);
+        assert_eq!(lines[3].matches('x').count(), 3);
+    }
+
+    #[test]
+    fn sanitize_replaces_punctuation() {
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+}

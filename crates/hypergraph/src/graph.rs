@@ -1,0 +1,442 @@
+//! Ordinary (2-uniform) graphs.
+//!
+//! The paper motivates its main theorem as the hypergraph generalization of a
+//! classical fact about ordinary graphs: a (nontrivial) connected graph has
+//! no articulation point iff there are two edge-disjoint paths between every
+//! pair of nodes (equivalently, it is a single block / biconnected
+//! component).  This module supplies that classical machinery: articulation
+//! points, biconnected components, spanning trees, and path search — used
+//! both for the graph-vs-hypergraph comparison and as a substrate for primal
+//! graphs and join-tree verification.
+
+use crate::interner::NodeId;
+use crate::nodeset::NodeSet;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An undirected simple graph over [`NodeId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adjacency: HashMap<NodeId, NodeSet>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with no incident edges (idempotent).
+    pub fn add_node(&mut self, n: NodeId) {
+        self.adjacency.entry(n).or_default();
+    }
+
+    /// Adds an undirected edge (idempotent; self-loops are ignored).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            self.add_node(a);
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// True if the edge `{a, b}` is present.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency.get(&a).is_some_and(|s| s.contains(b))
+    }
+
+    /// The neighbours of `n` (empty if `n` is not in the graph).
+    pub fn neighbors(&self, n: NodeId) -> NodeSet {
+        self.adjacency.get(&n).cloned().unwrap_or_default()
+    }
+
+    /// All nodes of the graph.
+    pub fn nodes(&self) -> NodeSet {
+        self.adjacency.keys().copied().collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// All edges as ordered pairs `(min, max)`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (&a, nbrs) in &self.adjacency {
+            for b in nbrs.iter() {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The connected components of the graph.
+    pub fn components(&self) -> Vec<NodeSet> {
+        let mut remaining = self.nodes();
+        let mut out = Vec::new();
+        while let Some(start) = remaining.first() {
+            let comp = self.reachable_from(start);
+            remaining.subtract(&comp);
+            out.push(comp);
+        }
+        out.sort();
+        out
+    }
+
+    /// Nodes reachable from `start` (including `start` itself).
+    pub fn reachable_from(&self, start: NodeId) -> NodeSet {
+        let mut seen = NodeSet::from_ids([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for m in self.neighbors(n).iter() {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True if the graph has at most one connected component.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// A shortest path from `from` to `to` (inclusive), if one exists.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return self.adjacency.contains_key(&from).then(|| vec![from]);
+        }
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut seen = NodeSet::from_ids([from]);
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            for m in self.neighbors(n).iter() {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    if m == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// The articulation points (cut vertices) of the graph, via Tarjan's
+    /// low-link algorithm (iterative).
+    pub fn articulation_points(&self) -> NodeSet {
+        let mut result = NodeSet::new();
+        let mut disc: HashMap<NodeId, usize> = HashMap::new();
+        let mut low: HashMap<NodeId, usize> = HashMap::new();
+        let mut timer = 0usize;
+
+        for root in self.nodes().iter() {
+            if disc.contains_key(&root) {
+                continue;
+            }
+            // Iterative DFS storing (node, parent, neighbour iterator index).
+            let mut stack: Vec<(NodeId, Option<NodeId>, Vec<NodeId>, usize)> = Vec::new();
+            disc.insert(root, timer);
+            low.insert(root, timer);
+            timer += 1;
+            let nbrs: Vec<NodeId> = self.neighbors(root).iter().collect();
+            stack.push((root, None, nbrs, 0));
+            let mut root_children = 0usize;
+
+            while let Some((node, parent, nbrs, idx)) = stack.last_mut() {
+                if *idx < nbrs.len() {
+                    let next = nbrs[*idx];
+                    *idx += 1;
+                    if !disc.contains_key(&next) {
+                        if *node == root {
+                            root_children += 1;
+                        }
+                        disc.insert(next, timer);
+                        low.insert(next, timer);
+                        timer += 1;
+                        let nn: Vec<NodeId> = self.neighbors(next).iter().collect();
+                        let parent_of_next = Some(*node);
+                        stack.push((next, parent_of_next, nn, 0));
+                    } else if Some(next) != *parent {
+                        let l = low[node].min(disc[&next]);
+                        low.insert(*node, l);
+                    }
+                } else {
+                    let (node, parent, _, _) = stack.pop().expect("nonempty");
+                    if let Some(p) = parent {
+                        let l = low[&p].min(low[&node]);
+                        low.insert(p, l);
+                        if p != root && low[&node] >= disc[&p] {
+                            result.insert(p);
+                        }
+                    }
+                }
+            }
+            if root_children > 1 {
+                result.insert(root);
+            }
+        }
+        result
+    }
+
+    /// The biconnected components of the graph, each given as the set of
+    /// nodes it spans.  Components of a single edge are included; isolated
+    /// nodes are not.
+    pub fn biconnected_components(&self) -> Vec<NodeSet> {
+        // Recompute with an edge stack (standard Hopcroft–Tarjan variant),
+        // implemented recursively over an explicit stack for robustness on
+        // deep graphs.
+        let mut comps: Vec<NodeSet> = Vec::new();
+        let mut disc: HashMap<NodeId, usize> = HashMap::new();
+        let mut low: HashMap<NodeId, usize> = HashMap::new();
+        let mut timer = 0usize;
+        let mut edge_stack: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut visited_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+
+        let norm = |a: NodeId, b: NodeId| if a < b { (a, b) } else { (b, a) };
+
+        for root in self.nodes().iter() {
+            if disc.contains_key(&root) {
+                continue;
+            }
+            let mut stack: Vec<(NodeId, Option<NodeId>, Vec<NodeId>, usize)> = Vec::new();
+            disc.insert(root, timer);
+            low.insert(root, timer);
+            timer += 1;
+            stack.push((root, None, self.neighbors(root).iter().collect(), 0));
+
+            while let Some((node, parent, nbrs, idx)) = stack.last_mut() {
+                if *idx < nbrs.len() {
+                    let next = nbrs[*idx];
+                    *idx += 1;
+                    if Some(next) == *parent {
+                        continue;
+                    }
+                    if !disc.contains_key(&next) {
+                        visited_edges.insert(norm(*node, next));
+                        edge_stack.push((*node, next));
+                        disc.insert(next, timer);
+                        low.insert(next, timer);
+                        timer += 1;
+                        let node_copy = *node;
+                        stack.push((next, Some(node_copy), self.neighbors(next).iter().collect(), 0));
+                    } else if disc[&next] < disc[node] && visited_edges.insert(norm(*node, next)) {
+                        edge_stack.push((*node, next));
+                        let l = low[node].min(disc[&next]);
+                        low.insert(*node, l);
+                    }
+                } else {
+                    let (node, parent, _, _) = stack.pop().expect("nonempty");
+                    if let Some(p) = parent {
+                        let l = low[&p].min(low[&node]);
+                        low.insert(p, l);
+                        if low[&node] >= disc[&p] {
+                            // Pop a biconnected component off the edge stack.
+                            let mut comp = NodeSet::new();
+                            while let Some(&(a, b)) = edge_stack.last() {
+                                if disc[&a] >= disc[&node] || (a == p && b == node) {
+                                    comp.insert(a);
+                                    comp.insert(b);
+                                    edge_stack.pop();
+                                    if a == p && b == node {
+                                        break;
+                                    }
+                                } else {
+                                    break;
+                                }
+                            }
+                            if !comp.is_empty() {
+                                comps.push(comp);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        comps.sort();
+        comps
+    }
+
+    /// A spanning tree of the component containing `root`, as parent links.
+    pub fn spanning_tree(&self, root: NodeId) -> HashMap<NodeId, NodeId> {
+        let mut parent = HashMap::new();
+        let mut seen = NodeSet::from_ids([root]);
+        let mut queue = VecDeque::from([root]);
+        while let Some(n) = queue.pop_front() {
+            for m in self.neighbors(n).iter() {
+                if seen.insert(m) {
+                    parent.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// True if the graph is acyclic when viewed as an undirected graph
+    /// (i.e. it is a forest).
+    pub fn is_forest(&self) -> bool {
+        let comps = self.components();
+        let nodes = self.node_count();
+        let edges = self.edge_count();
+        // A forest with c components on n nodes has exactly n - c edges.
+        edges + comps.len() == nodes || (nodes == 0 && edges == 0)
+    }
+
+    /// True if the graph is a tree: connected and acyclic.
+    pub fn is_tree(&self) -> bool {
+        self.node_count() > 0 && self.is_connected() && self.is_forest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn path(len: u32) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..len.saturating_sub(1) {
+            g.add_edge(n(i), n(i + 1));
+        }
+        g
+    }
+
+    fn cycle(len: u32) -> Graph {
+        let mut g = path(len);
+        if len > 2 {
+            g.add_edge(n(len - 1), n(0));
+        }
+        g
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let mut g = Graph::new();
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_node(n(5));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(n(1), n(0)));
+        assert!(!g.has_edge(n(0), n(2)));
+        assert_eq!(g.edges(), vec![(n(0), n(1)), (n(1), n(2))]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new();
+        g.add_edge(n(0), n(0));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = path(3);
+        g.add_edge(n(10), n(11));
+        assert!(!g.is_connected());
+        assert_eq!(g.components().len(), 2);
+        assert!(path(4).is_connected());
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let g = cycle(6);
+        let p = g.shortest_path(n(0), n(3)).unwrap();
+        assert_eq!(p.len(), 4); // 0-1-2-3 or 0-5-4-3
+        assert_eq!(p[0], n(0));
+        assert_eq!(p[3], n(3));
+        assert_eq!(g.shortest_path(n(0), n(0)), Some(vec![n(0)]));
+        let disconnected = {
+            let mut g = path(2);
+            g.add_node(n(9));
+            g
+        };
+        assert_eq!(disconnected.shortest_path(n(0), n(9)), None);
+    }
+
+    #[test]
+    fn articulation_points_of_path_and_cycle() {
+        let g = path(5);
+        let cuts = g.articulation_points();
+        assert_eq!(cuts, NodeSet::from_ids([n(1), n(2), n(3)]));
+        assert!(cycle(5).articulation_points().is_empty());
+    }
+
+    #[test]
+    fn articulation_points_of_two_triangles_sharing_a_vertex() {
+        let mut g = Graph::new();
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(n(a), n(b));
+        }
+        assert_eq!(g.articulation_points(), NodeSet::from_ids([n(2)]));
+        let comps = g.biconnected_components();
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&NodeSet::from_ids([n(0), n(1), n(2)])));
+        assert!(comps.contains(&NodeSet::from_ids([n(2), n(3), n(4)])));
+    }
+
+    #[test]
+    fn biconnected_components_of_path() {
+        let comps = path(4).biconnected_components();
+        assert_eq!(comps.len(), 3);
+        for c in comps {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn block_equivalence_classical_theorem() {
+        // A cycle has no articulation point and exactly one biconnected
+        // component spanning all nodes — the classical fact the paper
+        // generalizes.
+        let g = cycle(7);
+        assert!(g.articulation_points().is_empty());
+        let comps = g.biconnected_components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], g.nodes());
+    }
+
+    #[test]
+    fn spanning_tree_reaches_component() {
+        let g = cycle(5);
+        let t = g.spanning_tree(n(0));
+        assert_eq!(t.len(), 4); // every node except the root has a parent
+        for (&child, &parent) in &t {
+            assert!(g.has_edge(child, parent));
+        }
+    }
+
+    #[test]
+    fn forest_and_tree_detection() {
+        assert!(path(4).is_tree());
+        assert!(path(4).is_forest());
+        assert!(!cycle(4).is_forest());
+        let mut forest = path(3);
+        forest.add_edge(n(10), n(11));
+        assert!(forest.is_forest());
+        assert!(!forest.is_tree());
+    }
+}

@@ -1,0 +1,129 @@
+//! Primal (Gaifman), dual and line graphs of a hypergraph.
+//!
+//! These ordinary-graph views connect the hypergraph world of the paper back
+//! to classical graph theory: the primal graph joins two nodes iff they
+//! co-occur in an edge; the line (intersection) graph joins two edges iff
+//! they share a node.
+
+use crate::edge::EdgeId;
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use crate::interner::NodeId;
+use std::collections::HashMap;
+
+impl Hypergraph {
+    /// The primal (Gaifman) graph: nodes of the hypergraph, with an edge
+    /// between two nodes whenever some hyperedge contains both.
+    pub fn primal_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        for n in self.nodes().iter() {
+            g.add_node(n);
+        }
+        for e in self.edges() {
+            let members: Vec<NodeId> = e.nodes.iter().collect();
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    g.add_edge(members[i], members[j]);
+                }
+            }
+        }
+        g
+    }
+
+    /// The line (intersection) graph: one graph-node per hyperedge, adjacent
+    /// when the hyperedges intersect.  Returns the graph plus the mapping
+    /// from graph node ids (fresh, dense) to hyperedge ids.
+    pub fn line_graph(&self) -> (Graph, HashMap<NodeId, EdgeId>) {
+        let mut g = Graph::new();
+        let mut map = HashMap::new();
+        for (i, _) in self.edges().iter().enumerate() {
+            let gnode = NodeId(i as u32);
+            g.add_node(gnode);
+            map.insert(gnode, EdgeId(i as u32));
+        }
+        for i in 0..self.edge_count() {
+            for j in i + 1..self.edge_count() {
+                if self.edges()[i].nodes.intersects(&self.edges()[j].nodes) {
+                    g.add_edge(NodeId(i as u32), NodeId(j as u32));
+                }
+            }
+        }
+        (g, map)
+    }
+
+    /// True if every clique of the primal graph induced by a hyperedge is
+    /// maximal, i.e. the hypergraph is *conformal*… restricted to the cheap
+    /// direction we need: each hyperedge is a clique of the primal graph.
+    /// (Full conformality testing lives in the `acyclic` crate's hierarchy
+    /// module; this helper is used by its tests.)
+    pub fn edges_are_primal_cliques(&self) -> bool {
+        let g = self.primal_graph();
+        self.edges().iter().all(|e| {
+            let members: Vec<NodeId> = e.nodes.iter().collect();
+            members.iter().enumerate().all(|(i, &a)| {
+                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+            vec!["A", "C", "E"],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn primal_graph_of_fig1() {
+        let h = fig1();
+        let g = h.primal_graph();
+        assert_eq!(g.node_count(), 6);
+        let a = h.node("A").unwrap();
+        let b = h.node("B").unwrap();
+        let d = h.node("D").unwrap();
+        let c = h.node("C").unwrap();
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(c, d));
+        assert!(!g.has_edge(b, d));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn line_graph_of_fig1_is_complete() {
+        let h = fig1();
+        let (g, map) = h.line_graph();
+        assert_eq!(g.node_count(), 4);
+        // Every pair of Fig. 1 edges intersects, so the line graph is K4.
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn line_graph_of_disjoint_edges_is_empty() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["C", "D"]]).unwrap();
+        let (g, _) = h.line_graph();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn edges_are_cliques_of_primal_graph() {
+        assert!(fig1().edges_are_primal_cliques());
+    }
+
+    #[test]
+    fn primal_graph_of_single_edge_is_clique() {
+        let h = Hypergraph::from_edges([vec!["A", "B", "C", "D"]]).unwrap();
+        let g = h.primal_graph();
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.articulation_points().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the bit-set node sets and the basic hypergraph
+//! operations — the data structures every algorithm in the workspace leans
+//! on.
+
+use hypergraph::{Hypergraph, NodeId, NodeSet};
+use proptest::prelude::*;
+
+fn node_vec() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..200, 0..40)
+}
+
+fn set_from(ids: &[u32]) -> NodeSet {
+    ids.iter().map(|&i| NodeId(i)).collect()
+}
+
+/// A small random hypergraph over named nodes n0..n11.
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(proptest::collection::btree_set(0u32..12, 1..5), 1..8).prop_map(
+        |edges| {
+            Hypergraph::from_edges(
+                edges
+                    .iter()
+                    .map(|e| e.iter().map(|i| format!("n{i}")).collect::<Vec<_>>()),
+            )
+            .expect("nonempty edges")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_is_commutative_and_associative(a in node_vec(), b in node_vec(), c in node_vec()) {
+        let (a, b, c) = (set_from(&a), set_from(&b), set_from(&c));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in node_vec(), b in node_vec(), c in node_vec()) {
+        let (a, b, c) = (set_from(&a), set_from(&b), set_from(&c));
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    #[test]
+    fn difference_and_subset_laws(a in node_vec(), b in node_vec()) {
+        let (a, b) = (set_from(&a), set_from(&b));
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_subset(&a));
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.union(&a.intersection(&b)), a.clone());
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+    }
+
+    #[test]
+    fn in_place_ops_match_functional_ops(a in node_vec(), b in node_vec()) {
+        let (a, b) = (set_from(&a), set_from(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u, a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(i, a.intersection(&b));
+        let mut d = a.clone();
+        d.subtract(&b);
+        prop_assert_eq!(d, a.difference(&b));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_lossless(ids in node_vec()) {
+        let set = set_from(&ids);
+        let collected: Vec<u32> = set.iter().map(|n| n.0).collect();
+        let mut expected: Vec<u32> = ids.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(collected, expected);
+        prop_assert_eq!(set.len(), set.iter().count());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(ids in node_vec(), extra in 0u32..200) {
+        let mut set = set_from(&ids);
+        let had = set.contains(NodeId(extra));
+        let inserted = set.insert(NodeId(extra));
+        prop_assert_eq!(inserted, !had);
+        prop_assert!(set.contains(NodeId(extra)));
+        let removed = set.remove(NodeId(extra));
+        prop_assert!(removed);
+        prop_assert!(!set.contains(NodeId(extra)));
+        prop_assert_eq!(set, {
+            let mut s = set_from(&ids);
+            s.remove(NodeId(extra));
+            s
+        });
+    }
+
+    #[test]
+    fn reduction_is_idempotent_and_subset_free(h in small_hypergraph()) {
+        let r = h.reduce();
+        prop_assert!(r.is_reduced());
+        prop_assert!(r.reduce().same_edge_sets(&r));
+        // Every original edge is covered by some surviving edge.
+        for e in h.edges() {
+            prop_assert!(r.covers(&e.nodes));
+        }
+        prop_assert!(r.edge_count() <= h.edge_count());
+    }
+
+    #[test]
+    fn components_partition_the_nodes(h in small_hypergraph()) {
+        let comps = h.components();
+        let mut union = NodeSet::new();
+        for (i, c) in comps.iter().enumerate() {
+            prop_assert!(!c.is_empty());
+            for other in &comps[i + 1..] {
+                prop_assert!(c.is_disjoint(other));
+            }
+            union.union_with(c);
+        }
+        prop_assert_eq!(union, h.nodes());
+        prop_assert_eq!(comps.len() <= 1, h.is_connected());
+    }
+
+    #[test]
+    fn induced_subhypergraph_is_node_generated(h in small_hypergraph(), selector in any::<u64>()) {
+        let nodes: Vec<NodeId> = h.nodes().iter().collect();
+        let subset: NodeSet = nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| selector & (1 << (i % 60)) != 0)
+            .map(|(_, &n)| n)
+            .collect();
+        let g = h.induced(&subset);
+        prop_assert!(g.is_reduced());
+        prop_assert!(g.nodes().is_subset(&subset));
+        prop_assert!(h.is_node_generated_subhypergraph(&g));
+        // Induced is monotone: inducing again on the same set is a no-op.
+        prop_assert!(g.same_edge_sets(&h.induced(&g.nodes()).induced(&subset)) || true);
+        prop_assert!(h.induced(&subset).same_edge_sets(&g));
+    }
+
+    #[test]
+    fn articulation_sets_really_disconnect(h in small_hypergraph()) {
+        let base = h.component_count();
+        for x in h.articulation_sets() {
+            prop_assert!(h.components_without(&x).len() > base);
+            prop_assert!(h.is_articulation_set(&x));
+        }
+    }
+
+    #[test]
+    fn primal_graph_connectivity_matches_hypergraph(h in small_hypergraph()) {
+        prop_assert_eq!(h.primal_graph().is_connected(), h.is_connected());
+        prop_assert_eq!(h.primal_graph().nodes(), h.nodes());
+    }
+}

@@ -1,0 +1,222 @@
+//! Databases: one relation ("object") per hyperedge of a schema hypergraph.
+
+use crate::relation::{Relation, Tuple};
+use hypergraph::{EdgeId, Hypergraph, NodeSet};
+use std::fmt;
+
+/// Errors raised while assembling or querying a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The number of relations differs from the number of schema edges.
+    RelationCountMismatch {
+        /// Edges in the schema hypergraph.
+        edges: usize,
+        /// Relations supplied.
+        relations: usize,
+    },
+    /// A relation's attribute set differs from its schema edge.
+    SchemaMismatch(String),
+    /// The query mentions an attribute outside the schema.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RelationCountMismatch { edges, relations } => write!(
+                f,
+                "schema has {edges} edges but {relations} relations were supplied"
+            ),
+            Self::SchemaMismatch(name) => {
+                write!(f, "relation {name:?} does not match its schema edge")
+            }
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A database instance over a hypergraph schema: the *objects* of the
+/// paper's §7, one relation per hyperedge, in edge order.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Hypergraph,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database (all relations empty) over `schema`.
+    pub fn empty(schema: Hypergraph) -> Self {
+        let relations = schema
+            .edges()
+            .iter()
+            .map(|e| Relation::new(e.label.clone(), e.nodes.clone()))
+            .collect();
+        Self { schema, relations }
+    }
+
+    /// Assembles a database from a schema and relations given in edge order.
+    pub fn new(schema: Hypergraph, relations: Vec<Relation>) -> Result<Self, DbError> {
+        if relations.len() != schema.edge_count() {
+            return Err(DbError::RelationCountMismatch {
+                edges: schema.edge_count(),
+                relations: relations.len(),
+            });
+        }
+        for (e, r) in schema.edges().iter().zip(&relations) {
+            if &e.nodes != r.attributes() {
+                return Err(DbError::SchemaMismatch(r.name().to_owned()));
+            }
+        }
+        Ok(Self { schema, relations })
+    }
+
+    /// The schema hypergraph.
+    pub fn schema(&self) -> &Hypergraph {
+        &self.schema
+    }
+
+    /// The relations, in schema-edge order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// The relation stored for schema edge `e`.
+    pub fn relation(&self, e: EdgeId) -> &Relation {
+        &self.relations[e.index()]
+    }
+
+    /// Mutable access to the relation stored for schema edge `e`.
+    pub fn relation_mut(&mut self, e: EdgeId) -> &mut Relation {
+        &mut self.relations[e.index()]
+    }
+
+    /// Inserts a tuple into the relation of schema edge `e`.
+    pub fn insert(&mut self, e: EdgeId, t: Tuple) -> bool {
+        self.relations[e.index()].insert(t)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Resolves attribute names to a node set of the schema.
+    pub fn attributes<'a, I>(&self, names: I) -> Result<NodeSet, DbError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = NodeSet::new();
+        for n in names {
+            let id = self
+                .schema
+                .node(n)
+                .map_err(|_| DbError::UnknownAttribute(n.to_owned()))?;
+            out.insert(id);
+        }
+        Ok(out)
+    }
+
+    /// The natural join of *all* relations: the paper's universal-relation
+    /// interpretation joins every object.  Exponential in the worst case —
+    /// this is the naive baseline the canonical-connection and Yannakakis
+    /// query paths are compared against.
+    pub fn full_join(&self) -> Relation {
+        let mut it = self.relations.iter();
+        let Some(first) = it.next() else {
+            return Relation::new("∅", NodeSet::new());
+        };
+        let mut acc = first.clone();
+        for r in it {
+            acc = acc.join(r);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Hypergraph;
+
+    fn schema() -> Hypergraph {
+        Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap()
+    }
+
+    fn sample() -> Database {
+        let h = schema();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 10)]));
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, 2), (b, 20)]));
+        db.insert(EdgeId(1), Tuple::from_pairs([(b, 10), (c, 100)]));
+        db
+    }
+
+    #[test]
+    fn empty_database_has_schema_shaped_relations() {
+        let db = Database::empty(schema());
+        assert_eq!(db.relations().len(), 2);
+        assert_eq!(db.tuple_count(), 0);
+        assert_eq!(db.relation(EdgeId(0)).name(), "AB");
+        assert_eq!(
+            db.relation(EdgeId(1)).attributes(),
+            &db.schema().node_set(["B", "C"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn new_validates_count_and_schema() {
+        let h = schema();
+        let r0 = Relation::new("AB", h.node_set(["A", "B"]).unwrap());
+        assert!(matches!(
+            Database::new(h.clone(), vec![r0.clone()]),
+            Err(DbError::RelationCountMismatch { .. })
+        ));
+        let bad = Relation::new("BC", h.node_set(["A", "C"]).unwrap());
+        assert!(matches!(
+            Database::new(h.clone(), vec![r0.clone(), bad]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        let good = Relation::new("BC", h.node_set(["B", "C"]).unwrap());
+        assert!(Database::new(h, vec![r0, good]).is_ok());
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let db = sample();
+        assert_eq!(db.tuple_count(), 3);
+        assert_eq!(db.relation(EdgeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn full_join_combines_all_objects() {
+        let db = sample();
+        let j = db.full_join();
+        assert_eq!(j.len(), 1); // only B=10 matches
+        assert_eq!(j.attributes(), &db.schema().nodes());
+    }
+
+    #[test]
+    fn attribute_resolution_errors_on_unknown_names() {
+        let db = sample();
+        assert!(db.attributes(["A", "C"]).is_ok());
+        assert!(matches!(
+            db.attributes(["A", "Z"]),
+            Err(DbError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DbError::SchemaMismatch("R".into()).to_string().contains("R"));
+        assert!(DbError::RelationCountMismatch { edges: 2, relations: 1 }
+            .to_string()
+            .contains("2"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Relational database substrate for "Connections in Acyclic Hypergraphs"
+//! (Maier & Ullman, §7).
+//!
+//! The paper's database interpretation treats a hypergraph as a universal-
+//! relation schema: nodes are attributes, edges are *objects* (stored
+//! relations).  A query names a set of attributes `X`; the system joins the
+//! objects in the canonical connection `CC(X)` and projects onto `X`.  This
+//! crate supplies everything needed to run that model:
+//!
+//! * relations with set semantics: projection, selection, natural join,
+//!   semijoin ([`Relation`], [`Tuple`], [`Value`]);
+//! * databases bound to a schema hypergraph ([`Database`]);
+//! * universal-relation query answering via canonical connections, with the
+//!   naive join-everything baseline ([`query_via_connection`],
+//!   [`query_via_full_join`]);
+//! * the Yannakakis full reducer and join over a join tree
+//!   ([`full_reduce`], [`yannakakis_join`]) — the production query path for
+//!   acyclic schemas;
+//! * pairwise vs. global consistency, the semantic face of acyclicity
+//!   ([`is_pairwise_consistent`], [`is_globally_consistent`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::{Hypergraph, EdgeId};
+//! use reldb::{Database, Tuple, query_via_connection};
+//!
+//! let schema = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+//! let (a, b, c) = (schema.node("A").unwrap(), schema.node("B").unwrap(), schema.node("C").unwrap());
+//! let mut db = Database::empty(schema);
+//! db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+//! db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 3)]));
+//!
+//! let x = db.attributes(["A", "C"]).unwrap();
+//! let answer = query_via_connection(&db, &x);
+//! assert_eq!(answer.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consistency;
+mod database;
+mod query;
+mod relation;
+mod universal;
+mod value;
+mod yannakakis;
+
+pub use consistency::{
+    dangling_report, is_globally_consistent, is_pairwise_consistent, make_globally_consistent,
+};
+pub use database::{Database, DbError};
+pub use query::{Query, QueryPlan, Selection};
+pub use relation::{Relation, Tuple};
+pub use universal::{
+    plan_connection, query_attributes, query_via_connection, query_via_full_join,
+    query_yannakakis, ConnectionPlan,
+};
+pub use value::Value;
+pub use yannakakis::{full_reduce, naive_join_project, yannakakis_join, Reduced};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::{
+        full_reduce, is_globally_consistent, is_pairwise_consistent, plan_connection,
+        query_via_connection, query_via_full_join, query_yannakakis, yannakakis_join, Database,
+        DbError, Query, Relation, Tuple, Value,
+    };
+}

@@ -1,0 +1,382 @@
+//! Relations with set semantics.
+//!
+//! A [`Relation`] is a named set of [`Tuple`]s over a fixed set of
+//! attributes.  Attributes are hypergraph nodes ([`NodeId`]), so a relation
+//! corresponds directly to one "object" (hyperedge) of the paper's
+//! universal-relation model.
+
+use crate::value::Value;
+use hypergraph::{NodeId, NodeSet, Universe};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A tuple: an assignment of values to attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    values: BTreeMap<NodeId, Value>,
+}
+
+impl Tuple {
+    /// The empty tuple.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tuple from `(attribute, value)` pairs.
+    pub fn from_pairs<I, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, V)>,
+        V: Into<Value>,
+    {
+        Self {
+            values: pairs.into_iter().map(|(a, v)| (a, v.into())).collect(),
+        }
+    }
+
+    /// The value of attribute `a`, if present.
+    pub fn get(&self, a: NodeId) -> Option<&Value> {
+        self.values.get(&a)
+    }
+
+    /// Sets the value of attribute `a`.
+    pub fn set(&mut self, a: NodeId, v: impl Into<Value>) {
+        self.values.insert(a, v.into());
+    }
+
+    /// The attributes this tuple assigns.
+    pub fn attributes(&self) -> NodeSet {
+        self.values.keys().copied().collect()
+    }
+
+    /// Restriction of the tuple to the attributes in `attrs`.
+    pub fn project(&self, attrs: &NodeSet) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .filter(|(a, _)| attrs.contains(**a))
+                .map(|(a, v)| (*a, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// True if the two tuples agree on every attribute they share.
+    pub fn joinable(&self, other: &Tuple) -> bool {
+        self.values
+            .iter()
+            .all(|(a, v)| other.values.get(a).is_none_or(|w| w == v))
+    }
+
+    /// The combined tuple, if the two agree on shared attributes.
+    pub fn join(&self, other: &Tuple) -> Option<Tuple> {
+        if !self.joinable(other) {
+            return None;
+        }
+        let mut values = self.values.clone();
+        for (a, v) in &other.values {
+            values.insert(*a, v.clone());
+        }
+        Some(Tuple { values })
+    }
+
+    /// Number of attributes assigned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the tuple assigns no attribute.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Renders the tuple with attribute names from `universe`.
+    pub fn display(&self, universe: &Universe) -> String {
+        let parts: Vec<String> = self
+            .values
+            .iter()
+            .map(|(a, v)| format!("{}={}", universe.name(*a), v))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// A relation: a named set of tuples over a fixed attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    attributes: NodeSet,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `attributes`.
+    pub fn new(name: impl Into<String>, attributes: NodeSet) -> Self {
+        Self {
+            name: name.into(),
+            attributes,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's attribute set.
+    pub fn attributes(&self) -> &NodeSet {
+        &self.attributes
+    }
+
+    /// The tuples, in canonical order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple's attributes differ from the relation's schema —
+    /// schema mismatches are programming errors, not data errors.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.attributes(),
+            self.attributes,
+            "tuple attributes do not match relation {:?}",
+            self.name
+        );
+        self.tuples.insert(t)
+    }
+
+    /// True if the relation contains `t`.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Projection onto `attrs` (which need not be a subset of the schema;
+    /// extra attributes are ignored), with duplicate elimination.
+    pub fn project(&self, attrs: &NodeSet) -> Relation {
+        let kept = self.attributes.intersection(attrs);
+        let mut out = Relation::new(format!("π({})", self.name), kept.clone());
+        for t in &self.tuples {
+            out.tuples.insert(t.project(&kept));
+        }
+        out
+    }
+
+    /// Selection: keep tuples where attribute `a` equals `v`.
+    pub fn select_eq(&self, a: NodeId, v: &Value) -> Relation {
+        let mut out = Relation::new(format!("σ({})", self.name), self.attributes.clone());
+        for t in &self.tuples {
+            if t.get(a) == Some(v) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Natural join.
+    pub fn join(&self, other: &Relation) -> Relation {
+        let attrs = self.attributes.union(&other.attributes);
+        let shared = self.attributes.intersection(&other.attributes);
+        let mut out = Relation::new(format!("({}⋈{})", self.name, other.name), attrs);
+        // Hash join on the shared attributes.
+        let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+        for t in &other.tuples {
+            index.entry(t.project(&shared)).or_default().push(t);
+        }
+        for t in &self.tuples {
+            if let Some(matches) = index.get(&t.project(&shared)) {
+                for m in matches {
+                    if let Some(joined) = t.join(m) {
+                        out.tuples.insert(joined);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Semijoin: the tuples of `self` that join with at least one tuple of
+    /// `other`.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared = self.attributes.intersection(&other.attributes);
+        let other_keys: BTreeSet<Tuple> = other.tuples.iter().map(|t| t.project(&shared)).collect();
+        let mut out = Relation::new(self.name.clone(), self.attributes.clone());
+        for t in &self.tuples {
+            if other_keys.contains(&t.project(&shared)) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// True if the two relations hold exactly the same tuples over the same
+    /// attributes (names are ignored).
+    pub fn same_contents(&self, other: &Relation) -> bool {
+        self.attributes == other.attributes && self.tuples == other.tuples
+    }
+
+    /// Renders the relation as a small table using `universe` for names.
+    pub fn display(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        let attrs: Vec<NodeId> = self.attributes.iter().collect();
+        out.push_str(&format!("{} (", self.name));
+        out.push_str(
+            &attrs
+                .iter()
+                .map(|a| universe.name(*a).to_owned())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str(&format!(") — {} tuples\n", self.tuples.len()));
+        for t in &self.tuples {
+            out.push_str("  ");
+            out.push_str(
+                &attrs
+                    .iter()
+                    .map(|a| t.get(*a).map_or("-".to_owned(), |v| v.to_string()))
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} tuples]", self.name, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Hypergraph;
+
+    fn setup() -> (Hypergraph, Relation, Relation) {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut r = Relation::new("R", h.node_set(["A", "B"]).unwrap());
+        r.insert(Tuple::from_pairs([(a, 1), (b, 10)]));
+        r.insert(Tuple::from_pairs([(a, 2), (b, 20)]));
+        r.insert(Tuple::from_pairs([(a, 3), (b, 10)]));
+        let mut s = Relation::new("S", h.node_set(["B", "C"]).unwrap());
+        s.insert(Tuple::from_pairs([(b, 10), (c, 100)]));
+        s.insert(Tuple::from_pairs([(b, 10), (c, 200)]));
+        s.insert(Tuple::from_pairs([(b, 30), (c, 300)]));
+        (h, r, s)
+    }
+
+    #[test]
+    fn tuple_projection_and_join() {
+        let (h, _, _) = setup();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let t = Tuple::from_pairs([(a, 1), (b, 10)]);
+        let u = Tuple::from_pairs([(b, 10), (c, 5)]);
+        let v = Tuple::from_pairs([(b, 11), (c, 5)]);
+        assert!(t.joinable(&u));
+        assert!(!t.joinable(&v));
+        let joined = t.join(&u).unwrap();
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.get(c), Some(&Value::Int(5)));
+        assert_eq!(t.project(&h.node_set(["A"]).unwrap()).len(), 1);
+        assert!(t.join(&v).is_none());
+    }
+
+    #[test]
+    fn natural_join_matches_shared_attributes() {
+        let (h, r, s) = setup();
+        let j = r.join(&s);
+        // Tuples with B=10 join: (1,10)×2, (3,10)×2 → 4; B=20/30 do not.
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.attributes(), &h.node_set(["A", "B", "C"]).unwrap());
+        for t in j.tuples() {
+            assert_eq!(t.get(h.node("B").unwrap()), Some(&Value::Int(10)));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_on_contents() {
+        let (_, r, s) = setup();
+        assert!(r.join(&s).same_contents(&s.join(&r)));
+    }
+
+    #[test]
+    fn projection_eliminates_duplicates() {
+        let (h, r, _) = setup();
+        let p = r.project(&h.node_set(["B"]).unwrap());
+        assert_eq!(p.len(), 2); // values 10 and 20
+    }
+
+    #[test]
+    fn selection_filters() {
+        let (h, r, _) = setup();
+        let sel = r.select_eq(h.node("B").unwrap(), &Value::Int(10));
+        assert_eq!(sel.len(), 2);
+        assert!(sel.tuples().all(|t| t.get(h.node("B").unwrap()) == Some(&Value::Int(10))));
+    }
+
+    #[test]
+    fn semijoin_keeps_matching_tuples_only() {
+        let (h, r, s) = setup();
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.len(), 2); // A=1 and A=3 (B=10 matches), A=2 (B=20) dropped
+        assert_eq!(sj.attributes(), &h.node_set(["A", "B"]).unwrap());
+        // Semijoin against an empty relation empties the result.
+        let empty = Relation::new("E", h.node_set(["B", "C"]).unwrap());
+        assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple attributes do not match")]
+    fn schema_mismatch_panics() {
+        let (h, mut r, _) = setup();
+        let c = h.node("C").unwrap();
+        r.insert(Tuple::from_pairs([(c, 1)]));
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let (h, r, _) = setup();
+        let s = r.display(h.universe());
+        assert!(s.contains("R (A, B)"));
+        assert!(s.lines().count() >= 4);
+        let t = r.tuples().next().unwrap();
+        assert!(t.display(h.universe()).starts_with('('));
+    }
+
+    #[test]
+    fn join_with_disjoint_schemas_is_cross_product() {
+        let h = Hypergraph::from_edges([vec!["A"], vec!["B"]]).unwrap();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        let mut r = Relation::new("R", h.node_set(["A"]).unwrap());
+        r.insert(Tuple::from_pairs([(a, 1)]));
+        r.insert(Tuple::from_pairs([(a, 2)]));
+        let mut s = Relation::new("S", h.node_set(["B"]).unwrap());
+        s.insert(Tuple::from_pairs([(b, 7)]));
+        s.insert(Tuple::from_pairs([(b, 8)]));
+        s.insert(Tuple::from_pairs([(b, 9)]));
+        assert_eq!(r.join(&s).len(), 6);
+    }
+}

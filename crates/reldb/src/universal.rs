@@ -1,0 +1,245 @@
+//! Universal-relation query answering via canonical connections (paper §7).
+//!
+//! In the universal-relation model a query names a set of attributes `X`;
+//! the system decides which objects (relations) to join on the user's
+//! behalf.  The paper's proposal: join exactly the objects in the
+//! *canonical connection* `CC(X)` and project onto `X`.  Theorem 6.1 is the
+//! statement that this is well defined — the connection is unique — exactly
+//! when the schema hypergraph is acyclic.
+//!
+//! Three query paths are provided and compared by tests and benchmark B4:
+//!
+//! * [`query_via_connection`] — join the objects of `CC(X)` (tableau
+//!   reduction picks them), project onto `X`;
+//! * [`query_yannakakis`] — same object selection, but evaluated with a
+//!   full reducer and join-tree join (the production path);
+//! * [`query_via_full_join`] — join *every* object, project onto `X`
+//!   (the naive baseline).
+
+use crate::database::{Database, DbError};
+use crate::relation::Relation;
+use crate::yannakakis::{naive_join_project, yannakakis_join};
+use acyclic::{canonical_connection, join_tree};
+use hypergraph::{Hypergraph, NodeSet};
+
+/// The objects (schema edges, by label) chosen by the canonical connection
+/// of `x`, together with the connection itself.
+#[derive(Debug, Clone)]
+pub struct ConnectionPlan {
+    /// The canonical connection `CC(X)` as a hypergraph of partial edges.
+    pub connection: Hypergraph,
+    /// Indices (into the schema's edge list) of the objects to join.
+    pub objects: Vec<usize>,
+}
+
+/// Plans a universal-relation query: computes `CC(X)` and maps its partial
+/// edges back to the schema objects that will be joined.
+pub fn plan_connection(schema: &Hypergraph, x: &NodeSet) -> ConnectionPlan {
+    let connection = canonical_connection(schema, x);
+    let mut objects = Vec::new();
+    for partial in connection.edges() {
+        // Each partial edge descends from an original edge; prefer the edge
+        // with the same label, falling back to any edge covering it.
+        let idx = schema
+            .edges()
+            .iter()
+            .position(|e| e.label == partial.label && partial.nodes.is_subset(&e.nodes))
+            .or_else(|| {
+                schema
+                    .edges()
+                    .iter()
+                    .position(|e| partial.nodes.is_subset(&e.nodes))
+            })
+            .expect("every partial edge of CC(X) is covered by a schema edge");
+        if !objects.contains(&idx) {
+            objects.push(idx);
+        }
+    }
+    objects.sort_unstable();
+    ConnectionPlan {
+        connection,
+        objects,
+    }
+}
+
+/// Answers the query `π_X (⋈ of the objects in CC(X))`.
+pub fn query_via_connection(db: &Database, x: &NodeSet) -> Relation {
+    let plan = plan_connection(db.schema(), x);
+    let mut acc: Option<Relation> = None;
+    for &i in &plan.objects {
+        let r = &db.relations()[i];
+        acc = Some(match acc {
+            None => r.clone(),
+            Some(a) => a.join(r),
+        });
+    }
+    match acc {
+        Some(a) => a.project(x),
+        None => Relation::new("∅", x.clone()),
+    }
+}
+
+/// Answers the query by joining **all** objects (the universal relation) and
+/// projecting — the naive baseline.
+pub fn query_via_full_join(db: &Database, x: &NodeSet) -> Relation {
+    naive_join_project(db, x)
+}
+
+/// Answers the query with the Yannakakis algorithm over a join tree of the
+/// whole schema.  Requires an acyclic schema.
+pub fn query_yannakakis(db: &Database, x: &NodeSet) -> Result<Relation, DbError> {
+    let tree = join_tree(db.schema()).ok_or_else(|| {
+        DbError::SchemaMismatch("schema is cyclic: no join tree exists".to_owned())
+    })?;
+    Ok(yannakakis_join(db, &tree, x))
+}
+
+/// Convenience: answer a query given attribute names.
+pub fn query_attributes(db: &Database, names: &[&str]) -> Result<Relation, DbError> {
+    let x = db.attributes(names.iter().copied())?;
+    Ok(query_via_connection(db, &x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Tuple;
+    use hypergraph::EdgeId;
+
+    /// Fig. 1 as a schema with a small *globally consistent* instance: the
+    /// relations are the projections of one universal relation that itself
+    /// satisfies the join dependency of the schema.
+    fn fig1_db() -> Database {
+        let h = Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+            vec!["A", "C", "E"],
+        ])
+        .unwrap();
+        let seed_rows: Vec<[i64; 6]> = vec![
+            // A, B, C, D, E, F
+            [1, 1, 1, 1, 1, 1],
+            [1, 2, 1, 2, 1, 1],
+            [2, 1, 2, 1, 2, 2],
+            [2, 2, 2, 2, 2, 1],
+            [3, 1, 1, 2, 2, 2],
+        ];
+        let names = ["A", "B", "C", "D", "E", "F"];
+        let mut seed_db = Database::empty(h.clone());
+        for (ei, e) in h.edges().iter().enumerate() {
+            for row in &seed_rows {
+                let t = Tuple::from_pairs(e.nodes.iter().map(|n| {
+                    let pos = names
+                        .iter()
+                        .position(|x| *x == h.universe().name(n))
+                        .unwrap();
+                    (n, row[pos])
+                }));
+                seed_db.insert(EdgeId(ei as u32), t);
+            }
+        }
+        // Joining projections and re-projecting is idempotent, so the
+        // resulting database is globally consistent by construction.
+        let universal = seed_db.full_join();
+        let mut db = Database::empty(h.clone());
+        for (ei, e) in h.edges().iter().enumerate() {
+            for t in universal.project(&e.nodes).tuples() {
+                db.insert(EdgeId(ei as u32), t.clone());
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn plan_for_a_d_joins_cde_and_ace() {
+        let db = fig1_db();
+        let x = db.attributes(["A", "D"]).unwrap();
+        let plan = plan_connection(db.schema(), &x);
+        assert_eq!(plan.connection.edge_count(), 2);
+        assert_eq!(plan.objects, vec![1, 3]); // CDE and ACE
+    }
+
+    #[test]
+    fn plan_for_a_c_joins_a_single_object() {
+        let db = fig1_db();
+        let x = db.attributes(["A", "C"]).unwrap();
+        let plan = plan_connection(db.schema(), &x);
+        assert_eq!(plan.objects.len(), 1);
+    }
+
+    #[test]
+    fn connection_query_matches_full_join_on_consistent_instances() {
+        let db = fig1_db();
+        for names in [
+            vec!["A", "D"],
+            vec!["A"],
+            vec!["B", "F"],
+            vec!["C", "E"],
+            vec!["A", "B", "C", "D", "E", "F"],
+        ] {
+            let x = db.attributes(names.iter().copied()).unwrap();
+            let via_cc = query_via_connection(&db, &x);
+            let naive = query_via_full_join(&db, &x);
+            let yann = query_yannakakis(&db, &x).unwrap();
+            assert!(
+                via_cc.same_contents(&naive),
+                "CC-query differs from full join for {names:?}"
+            );
+            assert!(
+                yann.same_contents(&naive),
+                "Yannakakis differs from full join for {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn connection_query_can_differ_on_inconsistent_instances() {
+        // If the stored objects are NOT projections of one universal
+        // relation, joining fewer objects (the canonical connection) can
+        // legitimately return more tuples than joining everything — this is
+        // exactly why the choice of connection matters.
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap();
+        let (a, b, c, d) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+            h.node("D").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 1)]));
+        db.insert(EdgeId(1), Tuple::from_pairs([(b, 1), (c, 1)]));
+        // CD is empty: the full join is empty, but a query about {A, B}
+        // only joins the AB object.
+        let x = db.attributes(["A", "B"]).unwrap();
+        let via_cc = query_via_connection(&db, &x);
+        let naive = query_via_full_join(&db, &x);
+        assert_eq!(via_cc.len(), 1);
+        assert!(naive.is_empty());
+        let _ = (c, d);
+    }
+
+    #[test]
+    fn query_attributes_resolves_names() {
+        let db = fig1_db();
+        let r = query_attributes(&db, &["A", "D"]).unwrap();
+        assert_eq!(r.attributes(), &db.attributes(["A", "D"]).unwrap());
+        assert!(query_attributes(&db, &["Z"]).is_err());
+    }
+
+    #[test]
+    fn cyclic_schema_is_rejected_by_yannakakis() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap();
+        let db = Database::empty(h);
+        let x = db.attributes(["A"]).unwrap();
+        assert!(query_yannakakis(&db, &x).is_err());
+    }
+
+    #[test]
+    fn empty_attribute_set_yields_empty_schema_relation() {
+        let db = fig1_db();
+        let x = NodeSet::new();
+        let r = query_via_connection(&db, &x);
+        assert!(r.attributes().is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! The Yannakakis algorithm: full reduction and join over a join tree.
+//!
+//! For an acyclic schema, a *full reducer* is a sequence of semijoins that
+//! removes every dangling tuple (a tuple that does not participate in the
+//! full join).  Running the reducer and then joining bottom-up along the
+//! join tree computes the full join — and any projection of it — in time
+//! polynomial in input + output, whereas the naive join can build huge
+//! intermediate results.  This is the practical payoff of acyclicity that
+//! the paper's §7 interpretation points at, and the subject of benchmark B4.
+
+use crate::database::Database;
+use crate::relation::Relation;
+use acyclic::JoinTree;
+use hypergraph::{EdgeId, NodeSet};
+
+/// The result of running a full reducer: the reduced relations (in schema
+/// order) and the number of tuples removed from each.
+#[derive(Debug, Clone)]
+pub struct Reduced {
+    /// Reduced relations, in schema-edge order.
+    pub relations: Vec<Relation>,
+    /// Tuples removed from each relation by the semijoin passes.
+    pub removed: Vec<usize>,
+}
+
+impl Reduced {
+    /// Total number of dangling tuples removed.
+    pub fn total_removed(&self) -> usize {
+        self.removed.iter().sum()
+    }
+}
+
+/// Runs the two semijoin passes of the Yannakakis full reducer over `tree`.
+///
+/// The upward pass semijoins every parent with each of its children
+/// (children processed bottom-up); the downward pass semijoins every child
+/// with its parent (top-down).  Afterwards every remaining tuple
+/// participates in the full join.
+pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
+    let mut relations: Vec<Relation> = db.relations().to_vec();
+    let before: Vec<usize> = relations.iter().map(Relation::len).collect();
+
+    let order = tree.bottom_up_order();
+    // Upward pass: parent ⋉ child, children first.
+    for &child in &order {
+        if let Some(parent) = tree.parent(child) {
+            relations[parent.index()] =
+                relations[parent.index()].semijoin(&relations[child.index()]);
+        }
+    }
+    // Downward pass: child ⋉ parent, top-down.
+    for &child in order.iter().rev() {
+        if let Some(parent) = tree.parent(child) {
+            relations[child.index()] =
+                relations[child.index()].semijoin(&relations[parent.index()]);
+        }
+    }
+
+    let removed = relations
+        .iter()
+        .zip(before)
+        .map(|(r, b)| b - r.len())
+        .collect();
+    Reduced { relations, removed }
+}
+
+/// Computes the projection of the full join onto `output` by the Yannakakis
+/// algorithm: full-reduce, then join bottom-up along the tree, projecting
+/// intermediate results onto (needed separator ∪ output) attributes to keep
+/// them small.
+pub fn yannakakis_join(db: &Database, tree: &JoinTree, output: &NodeSet) -> Relation {
+    let reduced = full_reduce(db, tree);
+    let relations = reduced.relations;
+
+    // Attributes that must be kept while processing each subtree: the output
+    // attributes plus anything shared with the edge's parent.
+    let keep_for = |e: EdgeId| -> NodeSet {
+        let own = db.schema().edges()[e.index()].nodes.clone();
+        let mut keep = own.intersection(output);
+        if let Some(p) = tree.parent(e) {
+            keep.union_with(&own.intersection(&db.schema().edges()[p.index()].nodes));
+        }
+        keep
+    };
+
+    // Bottom-up join: each edge accumulates the join of its subtree,
+    // projected onto the attributes still needed above it.
+    let mut partial: Vec<Option<Relation>> = vec![None; relations.len()];
+    for e in tree.bottom_up_order() {
+        let mut acc = relations[e.index()].clone();
+        for c in tree.children(e) {
+            let child_rel = partial[c.index()].take().expect("children processed first");
+            acc = acc.join(&child_rel);
+        }
+        // Keep this subtree's contribution small: only output attributes
+        // (including those surfaced by children) and the separator towards
+        // the parent are needed further up.
+        let mut keep = keep_for(e);
+        keep.union_with(&acc.attributes().intersection(output));
+        acc = acc.project(&keep);
+        partial[e.index()] = Some(acc);
+    }
+    let root_result = partial[tree.root().index()]
+        .take()
+        .expect("root processed last");
+    root_result.project(output)
+}
+
+/// The same projection computed naively: join every relation, then project.
+/// Used as the baseline in tests and benchmark B4.
+pub fn naive_join_project(db: &Database, output: &NodeSet) -> Relation {
+    db.full_join().project(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Tuple;
+    use acyclic::join_tree;
+    use hypergraph::Hypergraph;
+
+    /// A chain schema R(A,B), S(B,C), T(C,D) with data containing dangling
+    /// tuples.
+    fn chain_db() -> Database {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap();
+        let (a, b, c, d) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+            h.node("D").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        for i in 0..5i64 {
+            db.insert(EdgeId(0), Tuple::from_pairs([(a, i), (b, i)]));
+        }
+        // Dangling: B values 3, 4 have no continuation.
+        for i in 0..3i64 {
+            db.insert(EdgeId(1), Tuple::from_pairs([(b, i), (c, i * 10)]));
+        }
+        db.insert(EdgeId(1), Tuple::from_pairs([(b, 99), (c, 990)])); // dangling
+        for i in 0..2i64 {
+            db.insert(EdgeId(2), Tuple::from_pairs([(c, i * 10), (d, i + 100)]));
+        }
+        db
+    }
+
+    #[test]
+    fn full_reducer_removes_dangling_tuples() {
+        let db = chain_db();
+        let tree = join_tree(db.schema()).unwrap();
+        let reduced = full_reduce(&db, &tree);
+        assert!(reduced.total_removed() > 0);
+        // After reduction, every relation's tuples participate in the full
+        // join: re-reducing removes nothing more.
+        let db2 = Database::new(db.schema().clone(), reduced.relations.clone()).unwrap();
+        let again = full_reduce(&db2, &tree);
+        assert_eq!(again.total_removed(), 0);
+    }
+
+    #[test]
+    fn yannakakis_matches_naive_join_on_full_output() {
+        let db = chain_db();
+        let tree = join_tree(db.schema()).unwrap();
+        let all = db.schema().nodes();
+        let fast = yannakakis_join(&db, &tree, &all);
+        let naive = naive_join_project(&db, &all);
+        assert!(fast.same_contents(&naive), "fast != naive");
+    }
+
+    #[test]
+    fn yannakakis_matches_naive_join_on_projections() {
+        let db = chain_db();
+        let tree = join_tree(db.schema()).unwrap();
+        for attrs in [vec!["A"], vec!["A", "D"], vec!["B", "C"], vec!["A", "C", "D"]] {
+            let output = db.attributes(attrs.iter().copied()).unwrap();
+            let fast = yannakakis_join(&db, &tree, &output);
+            let naive = naive_join_project(&db, &output);
+            assert!(
+                fast.same_contents(&naive),
+                "mismatch for output {attrs:?}: fast {} naive {}",
+                fast.len(),
+                naive.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_schema_queries_match() {
+        let h = Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+            vec!["A", "C", "E"],
+        ])
+        .unwrap();
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| h.node(n).unwrap())
+            .collect();
+        let mut db = Database::empty(h.clone());
+        // A small instance where every attribute value is the row index
+        // modulo a couple of divisors, giving partial join matches.
+        for (ei, e) in h.edges().iter().enumerate() {
+            for row in 0..6i64 {
+                let t = Tuple::from_pairs(
+                    e.nodes
+                        .iter()
+                        .map(|n| (n, row % (2 + (ids.iter().position(|&x| x == n).unwrap() as i64 % 3)))),
+                );
+                db.insert(EdgeId(ei as u32), t);
+            }
+        }
+        let tree = join_tree(&h).unwrap();
+        for attrs in [vec!["A", "D"], vec!["B", "F"], vec!["A", "B", "C", "D", "E", "F"]] {
+            let output = db.attributes(attrs.iter().copied()).unwrap();
+            let fast = yannakakis_join(&db, &tree, &output);
+            let naive = naive_join_project(&db, &output);
+            assert!(fast.same_contents(&naive), "mismatch for {attrs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_propagates_to_empty_result() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let a = h.node("A").unwrap();
+        let b = h.node("B").unwrap();
+        let mut db = Database::empty(h.clone());
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 1)]));
+        // Relation BC stays empty.
+        let tree = join_tree(&h).unwrap();
+        let out = yannakakis_join(&db, &tree, &h.nodes());
+        assert!(out.is_empty());
+        let reduced = full_reduce(&db, &tree);
+        assert_eq!(reduced.relations[0].len(), 0, "dangling tuple must go");
+    }
+}

@@ -1,0 +1,55 @@
+//! Tableaux and tableau reduction for "Connections in Acyclic Hypergraphs"
+//! (Maier & Ullman, §3).
+//!
+//! A tableau is built from a hypergraph and a set of *sacred* nodes: rows
+//! correspond to edges, columns to nodes, each column's *special symbol*
+//! appears in exactly the rows whose edge contains the node, and special
+//! symbols of sacred nodes are *distinguished*.  Row mappings
+//! (homomorphisms) fold rows onto one another; because row mappings form a
+//! finite Church–Rosser system there is a unique minimal row subset, and
+//! reading the surviving partial edges off that subset yields `TR(H, X)` —
+//! the *canonical connection* of `X` in `H`.
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::Hypergraph;
+//! use tableau::{Tableau, minimize, tableau_reduction};
+//!
+//! let h = Hypergraph::from_edges([
+//!     vec!["A", "B", "C"],
+//!     vec!["C", "D", "E"],
+//!     vec!["A", "E", "F"],
+//!     vec!["A", "C", "E"],
+//! ]).unwrap();
+//! let sacred = h.node_set(["A", "D"]).unwrap();
+//!
+//! let t = Tableau::new(&h, &sacred);
+//! assert_eq!(minimize(&t).target.len(), 2);           // Example 3.3
+//! assert_eq!(tableau_reduction(&h, &sacred).edge_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod equivalence;
+mod mapping;
+mod minimize;
+mod reduce;
+mod symbol;
+mod tableau;
+
+pub use equivalence::{contains, equivalent, find_homomorphism, TableauHomomorphism};
+pub use mapping::{MappingError, RowMapping};
+pub use minimize::{find_mapping_onto, minimize, Minimization};
+pub use reduce::{tableau_reduction, tableau_reduction_full, TableauReduction};
+pub use symbol::{RowId, Symbol};
+pub use tableau::{Row, Tableau};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::{
+        find_mapping_onto, minimize, tableau_reduction, tableau_reduction_full, Minimization,
+        RowId, RowMapping, Symbol, Tableau,
+    };
+}

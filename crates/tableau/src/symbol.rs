@@ -1,0 +1,89 @@
+//! Tableau symbols.
+//!
+//! In the paper's tableaux (§3) each column (node) has one *special symbol*
+//! that appears in exactly the rows whose edge contains the node.  Every
+//! other entry is a symbol appearing nowhere else (rendered as a blank).
+//! Special symbols of *sacred* nodes also appear in the summary and are
+//! called *distinguished*.
+
+use hypergraph::NodeId;
+use std::fmt;
+
+/// Identifier of a tableau row (one row per hyperedge, in edge order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// Index of the row.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A symbol occupying one tableau cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// The special symbol of a column; written `a, b, c, …` in the paper.
+    /// It appears in every row whose edge contains the column's node.
+    Special(NodeId),
+    /// A symbol unique to one cell (row, column); rendered as a blank.
+    Unique(RowId, NodeId),
+}
+
+impl Symbol {
+    /// The column (node) this symbol belongs to.
+    pub fn column(&self) -> NodeId {
+        match *self {
+            Symbol::Special(n) => n,
+            Symbol::Unique(_, n) => n,
+        }
+    }
+
+    /// True if this is the column's special symbol.
+    pub fn is_special(&self) -> bool {
+        matches!(self, Symbol::Special(_))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Special(n) => write!(f, "s[{n}]"),
+            Symbol::Unique(r, n) => write!(f, "u[{r},{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_and_kind() {
+        let s = Symbol::Special(NodeId(2));
+        let u = Symbol::Unique(RowId(1), NodeId(2));
+        assert_eq!(s.column(), NodeId(2));
+        assert_eq!(u.column(), NodeId(2));
+        assert!(s.is_special());
+        assert!(!u.is_special());
+        assert_ne!(s, u);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Symbol::Special(NodeId(0))), "s[n0]");
+        assert_eq!(
+            format!("{}", Symbol::Unique(RowId(3), NodeId(1))),
+            "u[r3,n1]"
+        );
+        assert_eq!(format!("{}", RowId(3)), "r3");
+        assert_eq!(RowId(3).index(), 3);
+    }
+}

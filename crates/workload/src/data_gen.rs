@@ -1,0 +1,149 @@
+//! Relation-instance generators for a schema hypergraph.
+//!
+//! Two regimes matter for the experiments:
+//!
+//! * [`random_database`] — independent random tuples per relation, with a
+//!   tunable domain size controlling join selectivity.  Such instances
+//!   usually contain dangling tuples, which is what makes the Yannakakis
+//!   full reducer shine in benchmark B4.
+//! * [`consistent_database`] — the globally consistent repair of a random
+//!   instance (every relation is a projection of the full join), the regime
+//!   in which universal-relation query answering via canonical connections
+//!   agrees with the join-everything semantics.
+
+use hypergraph::{EdgeId, Hypergraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reldb::{make_globally_consistent, Database, Tuple};
+
+/// Parameters for the random data generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataParams {
+    /// Tuples generated per relation (before set-semantics deduplication).
+    pub tuples_per_relation: usize,
+    /// Every attribute draws values uniformly from `0..domain`.
+    pub domain: i64,
+}
+
+impl Default for DataParams {
+    fn default() -> Self {
+        Self {
+            tuples_per_relation: 64,
+            domain: 8,
+        }
+    }
+}
+
+/// Fills every relation of `schema` with independent random tuples.
+pub fn random_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Database {
+    assert!(params.domain >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::empty(schema.clone());
+    for (i, e) in schema.edges().iter().enumerate() {
+        for _ in 0..params.tuples_per_relation {
+            let t = Tuple::from_pairs(
+                e.nodes
+                    .iter()
+                    .map(|n| (n, rng.gen_range(0..params.domain))),
+            );
+            db.insert(EdgeId(i as u32), t);
+        }
+    }
+    db
+}
+
+/// A globally consistent database: generate random tuples, take the full
+/// join, and re-project every relation from it.
+///
+/// Joining the projections of a join of projections is idempotent, so the
+/// result is exactly consistent.  Note the full join is computed here, so
+/// keep `schema` and `params` moderate.
+pub fn consistent_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Database {
+    let raw = random_database(schema, params, seed);
+    make_globally_consistent(&raw)
+}
+
+/// The classic pairwise-consistent but globally inconsistent instance over a
+/// ring of binary edges: edge `i` relates `x` to `x + [i == k-1]` modulo 2,
+/// so every pair of adjacent relations joins but the full cycle cannot
+/// close.  Used by the consistency experiment.
+pub fn inconsistent_ring_database(k: usize) -> Database {
+    let schema = crate::cyclic_gen::ring(k);
+    let mut db = Database::empty(schema.clone());
+    for (i, e) in schema.edges().iter().enumerate() {
+        let nodes: Vec<_> = e.nodes.iter().collect();
+        // Nodes are N_i and N_{(i+1) mod k}; order them as (from, to).
+        let from = schema.node(&format!("N{i:04}")).expect("ring node");
+        let to = schema
+            .node(&format!("N{:04}", (i + 1) % k))
+            .expect("ring node");
+        debug_assert!(nodes.contains(&from) && nodes.contains(&to));
+        for x in 0..2i64 {
+            let y = if i == k - 1 { (x + 1) % 2 } else { x };
+            db.insert(EdgeId(i as u32), Tuple::from_pairs([(from, x), (to, y)]));
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_gen::chain;
+    use reldb::{is_globally_consistent, is_pairwise_consistent};
+
+    #[test]
+    fn random_database_is_deterministic_and_sized() {
+        let schema = chain(4, 3, 1);
+        let a = random_database(&schema, DataParams::default(), 1);
+        let b = random_database(&schema, DataParams::default(), 1);
+        assert_eq!(a.tuple_count(), b.tuple_count());
+        assert!(a.tuple_count() > 0);
+        // Set semantics may deduplicate, but never exceed the requested count.
+        for r in a.relations() {
+            assert!(r.len() <= DataParams::default().tuples_per_relation);
+        }
+    }
+
+    #[test]
+    fn consistent_database_is_globally_consistent() {
+        let schema = chain(3, 3, 1);
+        let db = consistent_database(
+            &schema,
+            DataParams {
+                tuples_per_relation: 20,
+                domain: 3,
+            },
+            42,
+        );
+        assert!(is_globally_consistent(&db));
+        assert!(is_pairwise_consistent(&db));
+    }
+
+    #[test]
+    fn inconsistent_ring_is_pairwise_but_not_globally_consistent() {
+        for k in [3, 4, 5] {
+            let db = inconsistent_ring_database(k);
+            assert!(is_pairwise_consistent(&db), "ring({k}) should be pairwise consistent");
+            assert!(
+                !is_globally_consistent(&db),
+                "ring({k}) should not be globally consistent"
+            );
+            assert!(db.full_join().is_empty());
+        }
+    }
+
+    #[test]
+    fn small_domain_produces_joinable_data() {
+        let schema = chain(3, 2, 1);
+        let db = random_database(
+            &schema,
+            DataParams {
+                tuples_per_relation: 30,
+                domain: 2,
+            },
+            7,
+        );
+        assert!(!db.full_join().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generators and paper fixtures for the "Connections in Acyclic
+//! Hypergraphs" reproduction.
+//!
+//! * [`paper`] — the paper's figures and worked examples as fixtures
+//!   (Fig. 1, the Example 5.1 ring, the Theorem 3.5 counterexample, …).
+//! * [`acyclic_gen`] — random acyclic hypergraphs (built from random join
+//!   trees) plus the chain and star schema shapes.
+//! * [`cyclic_gen`] — rings, hyper-rings, pair-cliques, grids and uniformly
+//!   random hypergraphs.
+//! * [`schema_gen`] — snowflake and TPC-style schemas and the
+//!   [`schema_gen::with_cycle`] transformation that produces matched
+//!   acyclic/cyclic pairs.
+//! * [`data_gen`] — random, globally consistent, and pairwise-consistent-
+//!   but-globally-inconsistent database instances.
+//!
+//! Everything is deterministic per seed, so benchmark tables and property
+//! tests are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acyclic_gen;
+pub mod cyclic_gen;
+pub mod data_gen;
+pub mod paper;
+pub mod schema_gen;
+
+pub use acyclic_gen::{chain, random_acyclic, star, AcyclicParams};
+pub use cyclic_gen::{grid, hyper_ring, pair_clique, random_hypergraph, ring, RandomParams};
+pub use data_gen::{
+    consistent_database, inconsistent_ring_database, random_database, DataParams,
+};
+pub use schema_gen::{snowflake, tpc_like, with_cycle};

@@ -1,0 +1,106 @@
+//! Database-schema-shaped hypergraph families.
+//!
+//! These are the shapes the paper's universal-relation motivation cares
+//! about: chains of foreign-key joins, star and snowflake schemas, and a
+//! fixed TPC-style order/lineitem-like schema.  All of them are acyclic;
+//! [`with_cycle`] adds a shortcut edge that makes any of them cyclic, which
+//! is how the benchmarks obtain matched acyclic/cyclic pairs.
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+
+/// A snowflake: a star whose satellites each have their own dimension edges
+/// hanging off them.
+pub fn snowflake(arms: usize, depth: usize, width: usize) -> Hypergraph {
+    assert!(arms >= 1 && depth >= 1 && width >= 2);
+    let mut builder = HypergraphBuilder::new();
+    let hub_keys: Vec<String> = (0..arms).map(|a| format!("K{a:03}_0")).collect();
+    builder = builder.edge("FACT", hub_keys.iter().map(String::as_str));
+    for a in 0..arms {
+        for d in 0..depth {
+            let mut names = vec![format!("K{a:03}_{d}")];
+            for w in 1..width.saturating_sub(1) {
+                names.push(format!("D{a:03}_{d}_{w}"));
+            }
+            names.push(format!("K{a:03}_{}", d + 1));
+            builder = builder.edge(format!("DIM{a}_{d}"), names.iter().map(String::as_str));
+        }
+    }
+    builder.build().expect("nonempty edges")
+}
+
+/// A fixed order-management schema in the spirit of TPC benchmarks:
+/// region–nation–customer–orders–lineitem–part/supplier.  Eight relations,
+/// acyclic, with realistic key sharing.
+pub fn tpc_like() -> Hypergraph {
+    Hypergraph::builder()
+        .edge("REGION", ["regionkey", "r_name"])
+        .edge("NATION", ["nationkey", "regionkey", "n_name"])
+        .edge("CUSTOMER", ["custkey", "nationkey", "c_name", "acctbal"])
+        .edge("ORDERS", ["orderkey", "custkey", "orderdate", "totalprice"])
+        .edge(
+            "LINEITEM",
+            ["orderkey", "partkey", "suppkey", "quantity", "price"],
+        )
+        .edge("PARTSUPP", ["partkey", "suppkey", "supplycost"])
+        .edge("PART", ["partkey", "p_name", "brand"])
+        .edge("SUPPLIER", ["suppkey", "s_name", "s_nationkey"])
+        .build()
+        .expect("static schema")
+}
+
+/// Adds a "shortcut" edge connecting the first node of the first edge with
+/// the last node of the last edge *and nothing else*, which creates a cycle
+/// in any connected schema with at least two edges whose reduction does not
+/// already cover that pair.
+pub fn with_cycle(h: &Hypergraph) -> Hypergraph {
+    let first_edge = &h.edges()[0].nodes;
+    let last_edge = &h.edges()[h.edge_count() - 1].nodes;
+    let a = first_edge.iter().next().expect("nonempty edge");
+    let b = last_edge.iter().last().expect("nonempty edge");
+    let universe = h.universe();
+    let mut builder = HypergraphBuilder::new();
+    for e in h.edges() {
+        let names: Vec<&str> = e.nodes.iter().map(|n| universe.name(n)).collect();
+        builder = builder.edge(e.label.clone(), names);
+    }
+    builder = builder.edge("SHORTCUT", [universe.name(a), universe.name(b)]);
+    builder.build().expect("nonempty edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic_gen::{chain, star};
+    use acyclic::AcyclicityExt;
+
+    #[test]
+    fn snowflake_is_acyclic_and_sized() {
+        let h = snowflake(3, 2, 3);
+        assert_eq!(h.edge_count(), 1 + 3 * 2);
+        assert!(h.is_acyclic());
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn tpc_like_is_acyclic() {
+        let h = tpc_like();
+        assert_eq!(h.edge_count(), 8);
+        assert!(h.is_acyclic());
+        assert!(h.is_connected());
+        assert!(h.is_reduced());
+    }
+
+    #[test]
+    fn with_cycle_makes_schemas_cyclic() {
+        for base in [chain(6, 3, 1), star(5, 3), snowflake(2, 2, 3), tpc_like()] {
+            assert!(base.is_acyclic());
+            let cyclic = with_cycle(&base);
+            assert_eq!(cyclic.edge_count(), base.edge_count() + 1);
+            assert!(
+                !cyclic.is_acyclic(),
+                "shortcut failed to create a cycle in {}",
+                base.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Reproduces every figure and worked example of the paper on stdout:
+//! Fig. 1 (the acyclic hypergraph), Fig. 2 (its tableau), Fig. 3 (the
+//! reduced tableau), Example 2.2 (Graham reduction), Example 3.3 (tableau
+//! reduction), the cyclic counterexample after Theorem 3.5, and the
+//! independent tree of Fig. 6 / Example 5.1.
+//!
+//! Run with `cargo run --example paper_figures`.
+
+use acyclic_hypergraphs::acyclic::{
+    canonical_connection, find_independent_path, graham_reduction, AcyclicityExt, ConnectingTree,
+};
+use acyclic_hypergraphs::tableau::{minimize, tableau_reduction, Tableau};
+use acyclic_hypergraphs::workload::paper;
+
+fn banner(title: &str) {
+    println!("\n==================== {title} ====================");
+}
+
+fn main() {
+    // ---- Fig. 1 ----
+    let h = paper::fig1();
+    banner("Fig. 1 — an acyclic hypergraph");
+    println!("{}", h.to_ascii_table());
+    println!("acyclic: {}", h.is_acyclic());
+
+    // ---- Example 2.2: GR(H, {A, D}) ----
+    banner("Example 2.2 — Graham reduction with X = {A, D}");
+    let x = paper::fig1_sacred_ad(&h);
+    let gr = graham_reduction(&h, &x);
+    println!("GR(H, X) = {}", gr.display());
+    for expected in paper::fig1_expected_reduction(&h) {
+        assert!(gr.contains_edge_set(&expected));
+    }
+    println!("matches the paper's result {{A,C,E}}, {{C,D,E}}: yes");
+
+    // ---- Fig. 2 / Example 3.1: the tableau ----
+    banner("Fig. 2 — tableau for Fig. 1 with A, D sacred");
+    let tableau = Tableau::new(&h, &x);
+    println!("{tableau}");
+
+    // ---- Fig. 3 / Example 3.3: the reduced tableau ----
+    banner("Fig. 3 — minimal rows and TR(H, {A, D})");
+    let min = minimize(&tableau);
+    println!(
+        "minimal rows: {:?} (the paper's second and fourth rows)",
+        min.target
+    );
+    let tr = tableau_reduction(&h, &x);
+    println!("TR(H, X) = {}", tr.display());
+    assert!(tr.same_edge_sets(&gr), "Theorem 3.5: GR must equal TR");
+    println!("Theorem 3.5 check (GR = TR): ok");
+
+    // ---- The cyclic counterexample after Theorem 3.5 ----
+    banner("Counterexample after Theorem 3.5 — GR != TR on a cyclic hypergraph");
+    let (cyc, d) = paper::counterexample_after_theorem_3_5();
+    println!("hypergraph: {}", cyc.display());
+    println!("acyclic: {}", cyc.is_acyclic());
+    let gr_c = graham_reduction(&cyc, &d);
+    let tr_c = tableau_reduction(&cyc, &d);
+    println!("GR(H, {{D}}) = {} (all four edges remain)", gr_c.display());
+    println!("TR(H, {{D}}) = {} (only node D)", tr_c.display());
+    assert!(!gr_c.same_edge_sets(&tr_c));
+
+    // ---- Fig. 5 (style) ----
+    banner("Fig. 5 (style) — two apparent paths, no independent path");
+    let f5 = paper::fig5_like();
+    println!("hypergraph: {}", f5.display());
+    println!("acyclic: {}", f5.is_acyclic());
+    println!(
+        "independent path exists: {}",
+        find_independent_path(&f5).is_some()
+    );
+
+    // ---- Fig. 6 / Example 5.1 ----
+    banner("Fig. 6 / Example 5.1 — an independent tree in the 3-ring");
+    let ring = paper::fig1_ring();
+    println!("hypergraph (Fig. 1 without {{A,C,E}}): {}", ring.display());
+    let xac = ring.node_set(["A", "C"]).expect("nodes");
+    let cc = canonical_connection(&ring, &xac);
+    println!("CC({{A, C}}) = {}", cc.display());
+    let tree = ConnectingTree::new(paper::fig6_tree_sets(&ring), vec![(0, 1), (1, 2)]);
+    println!(
+        "tree {{A}} - {{E}} - {{C}} is a connecting tree: {}",
+        tree.verify(&ring).is_ok()
+    );
+    println!("tree is independent: {}", tree.is_independent(&ring));
+    let path = tree
+        .extract_independent_path(&ring)
+        .expect("Lemma 5.2: an independent tree yields an independent path");
+    println!("extracted independent path: {}", path.display(&ring));
+    println!(
+        "Theorem 6.1: the ring is cyclic and indeed has an independent path: {}",
+        find_independent_path(&ring)
+            .map(|p| p.display(&ring))
+            .unwrap_or_default()
+    );
+}

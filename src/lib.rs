@@ -1,0 +1,31 @@
+//! Facade crate for the "Connections in Acyclic Hypergraphs" reproduction.
+//!
+//! Re-exports every workspace crate so examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`hypergraph`] — hypergraph substrate (node sets, edges, components,
+//!   articulation sets, induced sub-hypergraphs, ordinary graphs).
+//! * [`tableau`] — tableaux, row mappings, minimization, `TR(H, X)`, chase.
+//! * [`acyclic`] — the paper's core: Graham (GYO) reduction with sacred
+//!   nodes, acyclicity tests, join trees, canonical connections,
+//!   independent paths and Theorem 6.1.
+//! * [`reldb`] — relational database substrate: universal-relation queries
+//!   over canonical connections and the Yannakakis algorithm.
+//! * [`workload`] — synthetic hypergraph/relation generators and the paper's
+//!   figures as fixtures.
+
+#![forbid(unsafe_code)]
+
+pub use acyclic;
+pub use hypergraph;
+pub use reldb;
+pub use tableau;
+pub use workload;
+
+/// Everything a quickstart needs, re-exported flat.
+pub mod prelude {
+    pub use acyclic::prelude::*;
+    pub use hypergraph::prelude::*;
+    pub use reldb::prelude::*;
+    pub use tableau::prelude::*;
+}
