@@ -122,9 +122,8 @@ impl AcyclicityExt for Hypergraph {
         // is itself enumerated as the node-generated set of its own node
         // set, so disconnected subsets can be skipped without losing any
         // witnesses.
-        self.all_node_generated().all(|(_, g)| {
-            g.edge_count() <= 1 || !g.is_connected() || g.has_articulation_set()
-        })
+        self.all_node_generated()
+            .all(|(_, g)| g.edge_count() <= 1 || !g.is_connected() || g.has_articulation_set())
     }
 }
 

@@ -37,7 +37,11 @@ impl ConfluenceReport {
 
 /// Reduces `h` under `1 + random_orders` different rule orders and reports
 /// whether they all reach the same fixed point.
-pub fn check_confluence(h: &Hypergraph, sacred: &NodeSet, random_orders: usize) -> ConfluenceReport {
+pub fn check_confluence(
+    h: &Hypergraph,
+    sacred: &NodeSet,
+    random_orders: usize,
+) -> ConfluenceReport {
     let reference = graham_reduce(h, sacred, Strategy::NodesFirst);
     let mut divergent = Vec::new();
     let mut trace_lengths = vec![reference.steps.len()];
@@ -91,7 +95,10 @@ mod tests {
         assert_eq!(report.reference.edge_count(), 2);
         // Every order applies the same multiset of rules, so every trace has
         // the same length.
-        assert!(report.trace_lengths.iter().all(|&l| l == report.trace_lengths[0]));
+        assert!(report
+            .trace_lengths
+            .iter()
+            .all(|&l| l == report.trace_lengths[0]));
     }
 
     #[test]
@@ -105,7 +112,12 @@ mod tests {
     #[test]
     fn confluence_with_various_sacred_sets() {
         let h = fig1();
-        for names in [vec![], vec!["A"], vec!["B", "F"], vec!["A", "B", "C", "D", "E", "F"]] {
+        for names in [
+            vec![],
+            vec!["A"],
+            vec!["B", "F"],
+            vec!["A", "B", "C", "D", "E", "F"],
+        ] {
             let x = h.node_set(names.iter().copied()).unwrap();
             assert!(is_confluent(&h, &x, 8), "divergence for X = {names:?}");
         }

@@ -81,8 +81,12 @@ mod tests {
     }
 
     fn ring() -> Hypergraph {
-        Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"], vec!["A", "E", "F"]])
-            .unwrap()
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -120,7 +124,10 @@ mod tests {
         assert!(!graham_equals_tableau(&h, &x));
         // Graham reduction keeps all four edges; tableau reduction keeps
         // only node D.
-        assert_eq!(canonical_connection_with(&h, &x, ConnectionMethod::Graham).edge_count(), 4);
+        assert_eq!(
+            canonical_connection_with(&h, &x, ConnectionMethod::Graham).edge_count(),
+            4
+        );
         assert_eq!(canonical_connection(&h, &x).nodes(), x);
     }
 
@@ -157,7 +164,12 @@ mod tests {
     #[test]
     fn connection_contains_its_query_nodes() {
         let h = fig1();
-        for names in [vec!["A"], vec!["B", "D"], vec!["F", "D"], vec!["B", "C", "F"]] {
+        for names in [
+            vec!["A"],
+            vec!["B", "D"],
+            vec!["F", "D"],
+            vec!["B", "C", "F"],
+        ] {
             let x = h.node_set(names.iter().copied()).unwrap();
             let cc = canonical_connection(&h, &x);
             assert!(cc.nodes().is_superset(&x), "CC must cover the sacred set");

@@ -340,8 +340,8 @@ mod tests {
 
     #[test]
     fn duplicate_edges_collapse() {
-        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["A", "B"], vec!["A", "B", "C"]])
-            .unwrap();
+        let h =
+            Hypergraph::from_edges([vec!["A", "B"], vec!["A", "B"], vec!["A", "B", "C"]]).unwrap();
         let x = h.node_set(["A", "B", "C"]).unwrap();
         let gr = graham_reduction(&h, &x);
         assert_eq!(gr.edge_count(), 1);

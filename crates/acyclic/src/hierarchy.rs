@@ -172,10 +172,18 @@ mod tests {
         ];
         for h in cases {
             if is_berge_acyclic(&h) {
-                assert!(is_beta_acyclic(&h), "Berge must imply beta: {}", h.display());
+                assert!(
+                    is_beta_acyclic(&h),
+                    "Berge must imply beta: {}",
+                    h.display()
+                );
             }
             if is_beta_acyclic(&h) {
-                assert!(is_alpha_acyclic(&h), "beta must imply alpha: {}", h.display());
+                assert!(
+                    is_alpha_acyclic(&h),
+                    "beta must imply alpha: {}",
+                    h.display()
+                );
             }
         }
     }

@@ -202,8 +202,7 @@ impl ConnectingTree {
             }
         }
         // Tree structure: k - 1 edges, connected, indices in range.
-        if self.edges.len() != k - 1
-            || self.edges.iter().any(|&(a, b)| a >= k || b >= k || a == b)
+        if self.edges.len() != k - 1 || self.edges.iter().any(|&(a, b)| a >= k || b >= k || a == b)
         {
             return Err(ConnectionViolation::NotATree);
         }
@@ -527,8 +526,12 @@ mod tests {
 
     /// The hypergraph of Example 5.1: Fig. 1 without edge {A, C, E}.
     fn ring() -> Hypergraph {
-        Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"], vec!["A", "E", "F"]])
-            .unwrap()
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+        ])
+        .unwrap()
     }
 
     fn fig1() -> Hypergraph {
@@ -551,10 +554,7 @@ mod tests {
     #[test]
     fn example_5_1_tree_is_independent_in_the_ring() {
         let h = ring();
-        let tree = ConnectingTree::new(
-            sets(&h, &[&["A"], &["E"], &["C"]]),
-            vec![(0, 1), (1, 2)],
-        );
+        let tree = ConnectingTree::new(sets(&h, &[&["A"], &["E"], &["C"]]), vec![(0, 1), (1, 2)]);
         assert!(tree.verify(&h).is_ok());
         assert!(tree.is_independent(&h));
         let path = tree.extract_independent_path(&h).unwrap();
@@ -567,10 +567,7 @@ mod tests {
         // With edge {A, C, E} present, the same tree has three of its node
         // sets inside one hyperedge, so it is not even a connecting tree.
         let h = fig1();
-        let tree = ConnectingTree::new(
-            sets(&h, &[&["A"], &["E"], &["C"]]),
-            vec![(0, 1), (1, 2)],
-        );
+        let tree = ConnectingTree::new(sets(&h, &[&["A"], &["E"], &["C"]]), vec![(0, 1), (1, 2)]);
         assert!(matches!(
             tree.verify(&h),
             Err(ConnectionViolation::TripleInOneEdge(..))
@@ -604,7 +601,9 @@ mod tests {
         // A subset of the canonical connection still connects A and F
         // (the paper's closing footnote): {A,B} and the big edge.
         let cc = canonical_connection(&h, &h.node_set(["A", "F"]).unwrap());
-        assert!(cc.nodes().is_superset(&h.node_set(["A", "B", "F"]).unwrap()));
+        assert!(cc
+            .nodes()
+            .is_superset(&h.node_set(["A", "B", "F"]).unwrap()));
     }
 
     #[test]
@@ -633,8 +632,7 @@ mod tests {
         let h = ring();
         let not_a_tree = ConnectingTree::new(sets(&h, &[&["A"], &["E"], &["C"]]), vec![(0, 1)]);
         assert_eq!(not_a_tree.verify(&h), Err(ConnectionViolation::NotATree));
-        let self_loop =
-            ConnectingTree::new(sets(&h, &[&["A"], &["E"]]), vec![(0, 0)]);
+        let self_loop = ConnectingTree::new(sets(&h, &[&["A"], &["E"]]), vec![(0, 0)]);
         assert_eq!(self_loop.verify(&h), Err(ConnectionViolation::NotATree));
     }
 
@@ -672,7 +670,11 @@ mod tests {
             let path = find_independent_path(&h)
                 .unwrap_or_else(|| panic!("no certificate for {}", h.display()));
             assert!(path.is_connecting_path(&h));
-            assert!(path.is_independent(&h), "path {} not independent", path.display(&h));
+            assert!(
+                path.is_independent(&h),
+                "path {} not independent",
+                path.display(&h)
+            );
         }
     }
 
@@ -690,10 +692,7 @@ mod tests {
     #[test]
     fn leaves_of_a_path_tree_are_its_endpoints() {
         let h = ring();
-        let tree = ConnectingTree::new(
-            sets(&h, &[&["A"], &["E"], &["C"]]),
-            vec![(0, 1), (1, 2)],
-        );
+        let tree = ConnectingTree::new(sets(&h, &[&["A"], &["E"], &["C"]]), vec![(0, 1), (1, 2)]);
         assert_eq!(tree.leaves(), vec![0, 2]);
     }
 

@@ -174,9 +174,8 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
                 }
             }
             // Find a living witness edge covering the shared part.
-            let witness = (0..m).find(|&j| {
-                j != i && alive[j] && shared.is_subset(&h.edges()[j].nodes)
-            });
+            let witness =
+                (0..m).find(|&j| j != i && alive[j] && shared.is_subset(&h.edges()[j].nodes));
             if let Some(j) = witness {
                 alive[i] = false;
                 parent[i] = Some(EdgeId(j as u32));
@@ -281,8 +280,7 @@ mod tests {
         let t = join_tree(&h).unwrap();
         let order = t.bottom_up_order();
         assert_eq!(order.len(), 4);
-        let pos: HashMap<EdgeId, usize> =
-            order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        let pos: HashMap<EdgeId, usize> = order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         for (c, p) in t.tree_edges() {
             assert!(pos[&c] < pos[&p], "child {c} must precede parent {p}");
         }

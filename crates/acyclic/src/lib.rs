@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::{
         canonical_connection, canonical_connection_with, check_theorem_6_1, classify,
         find_independent_path, graham_reduction, gyo_reduction, is_acyclic, is_acyclic_mcs,
-        join_tree, AcyclicityExt, Classification, ConnectingPath, ConnectingTree,
-        ConnectionMethod, JoinTree,
+        join_tree, AcyclicityExt, Classification, ConnectingPath, ConnectingTree, ConnectionMethod,
+        JoinTree,
     };
 }

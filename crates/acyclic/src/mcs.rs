@@ -50,11 +50,7 @@ fn is_perfect_elimination(g: &Graph, order: &[NodeId]) -> bool {
         order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     for (i, &v) in order.iter().enumerate() {
         // Earlier neighbours of v (visited before v).
-        let earlier: Vec<NodeId> = g
-            .neighbors(v)
-            .iter()
-            .filter(|n| position[n] < i)
-            .collect();
+        let earlier: Vec<NodeId> = g.neighbors(v).iter().filter(|n| position[n] < i).collect();
         let Some(&parent) = earlier.iter().max_by_key(|n| position[n]) else {
             continue;
         };
@@ -89,11 +85,7 @@ pub fn maximal_cliques_chordal(g: &Graph) -> Vec<NodeSet> {
         .iter()
         .enumerate()
         .map(|(i, &v)| {
-            let mut c: NodeSet = g
-                .neighbors(v)
-                .iter()
-                .filter(|n| position[n] < i)
-                .collect();
+            let mut c: NodeSet = g.neighbors(v).iter().filter(|n| position[n] < i).collect();
             c.insert(v);
             c
         })

@@ -51,7 +51,11 @@ impl Classification {
 pub fn classify(h: &Hypergraph) -> Classification {
     if h.is_acyclic() {
         Classification::Acyclic {
-            join_tree: if h.is_empty() { None } else { Some(join_tree(h).expect("acyclic hypergraphs have join trees")) },
+            join_tree: if h.is_empty() {
+                None
+            } else {
+                Some(join_tree(h).expect("acyclic hypergraphs have join trees"))
+            },
         }
     } else {
         let path = find_independent_path(h)
@@ -117,8 +121,12 @@ mod tests {
     }
 
     fn ring() -> Hypergraph {
-        Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"], vec!["A", "E", "F"]])
-            .unwrap()
+        Hypergraph::from_edges([
+            vec!["A", "B", "C"],
+            vec!["C", "D", "E"],
+            vec!["A", "E", "F"],
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -163,7 +171,11 @@ mod tests {
             Hypergraph::builder().build().unwrap(),
         ] {
             let report = check_theorem_6_1(&h);
-            assert!(report.consistent(), "inconsistent report {report:?} for {}", h.display());
+            assert!(
+                report.consistent(),
+                "inconsistent report {report:?} for {}",
+                h.display()
+            );
         }
     }
 

@@ -27,7 +27,9 @@ fn workloads() -> Vec<(String, Hypergraph)> {
 }
 
 fn print_table() {
-    let mut table = Table::new(["workload", "edges", "acyclic", "gyo_us", "mcs_us", "naive_us"]);
+    let mut table = Table::new([
+        "workload", "edges", "acyclic", "gyo_us", "mcs_us", "naive_us",
+    ]);
     for (name, h) in workloads() {
         let gyo = mean_time_us(5, || h.is_acyclic());
         let mcs = mean_time_us(5, || is_acyclic_mcs(&h));

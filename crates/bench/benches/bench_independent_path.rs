@@ -61,17 +61,23 @@ fn bench(c: &mut Criterion) {
     print_table();
     let mut group = c.benchmark_group("theorem_6_1");
     let r = ring(8);
-    group.bench_with_input(BenchmarkId::new("independent_path", "ring-8"), &r, |b, h| {
-        b.iter(|| find_independent_path(h))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("independent_path", "ring-8"),
+        &r,
+        |b, h| b.iter(|| find_independent_path(h)),
+    );
     let g = grid(3, 3);
-    group.bench_with_input(BenchmarkId::new("independent_path", "grid-3x3"), &g, |b, h| {
-        b.iter(|| find_independent_path(h))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("independent_path", "grid-3x3"),
+        &g,
+        |b, h| b.iter(|| find_independent_path(h)),
+    );
     let a = random_acyclic(AcyclicParams::with_edges(32), 13);
-    group.bench_with_input(BenchmarkId::new("join_tree", "rand-acyclic-32"), &a, |b, h| {
-        b.iter(|| join_tree(h))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("join_tree", "rand-acyclic-32"),
+        &a,
+        |b, h| b.iter(|| join_tree(h)),
+    );
     group.finish();
 }
 

@@ -35,7 +35,13 @@ fn make_db(schema: &Hypergraph, tuples: usize, domain: i64, seed: u64) -> Databa
 
 fn print_table() {
     let mut table = Table::new([
-        "schema", "relations", "tuples", "answer", "yannakakis_us", "connection_us", "naive_us",
+        "schema",
+        "relations",
+        "tuples",
+        "answer",
+        "yannakakis_us",
+        "connection_us",
+        "naive_us",
     ]);
     let schemas: Vec<(String, Hypergraph)> = vec![
         ("chain-4".into(), chain(4, 2, 1)),

@@ -54,10 +54,14 @@ mod tests {
             HypergraphError::UnknownNode("X".into()).to_string(),
             "unknown node name \"X\""
         );
-        assert!(HypergraphError::EmptyHypergraph.to_string().contains("no edges"));
+        assert!(HypergraphError::EmptyHypergraph
+            .to_string()
+            .contains("no edges"));
         assert!(HypergraphError::UnknownEdge(7).to_string().contains("e7"));
         assert!(HypergraphError::UnknownNodeId(7).to_string().contains("n7"));
-        assert!(HypergraphError::Disconnected.to_string().contains("not connected"));
+        assert!(HypergraphError::Disconnected
+            .to_string()
+            .contains("not connected"));
     }
 
     #[test]

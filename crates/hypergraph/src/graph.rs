@@ -11,6 +11,7 @@
 
 use crate::interner::NodeId;
 use crate::nodeset::NodeSet;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// An undirected simple graph over [`NodeId`]s.
@@ -165,19 +166,24 @@ impl Graph {
                 if *idx < nbrs.len() {
                     let next = nbrs[*idx];
                     *idx += 1;
-                    if !disc.contains_key(&next) {
-                        if *node == root {
-                            root_children += 1;
+                    match disc.entry(next) {
+                        Entry::Vacant(entry) => {
+                            if *node == root {
+                                root_children += 1;
+                            }
+                            entry.insert(timer);
+                            low.insert(next, timer);
+                            timer += 1;
+                            let nn: Vec<NodeId> = self.neighbors(next).iter().collect();
+                            let parent_of_next = Some(*node);
+                            stack.push((next, parent_of_next, nn, 0));
                         }
-                        disc.insert(next, timer);
-                        low.insert(next, timer);
-                        timer += 1;
-                        let nn: Vec<NodeId> = self.neighbors(next).iter().collect();
-                        let parent_of_next = Some(*node);
-                        stack.push((next, parent_of_next, nn, 0));
-                    } else if Some(next) != *parent {
-                        let l = low[node].min(disc[&next]);
-                        low.insert(*node, l);
+                        Entry::Occupied(next_disc) => {
+                            if Some(next) != *parent {
+                                let l = low[node].min(*next_disc.get());
+                                low.insert(*node, l);
+                            }
+                        }
                     }
                 } else {
                     let (node, parent, _, _) = stack.pop().expect("nonempty");
@@ -230,18 +236,30 @@ impl Graph {
                     if Some(next) == *parent {
                         continue;
                     }
-                    if !disc.contains_key(&next) {
-                        visited_edges.insert(norm(*node, next));
-                        edge_stack.push((*node, next));
-                        disc.insert(next, timer);
-                        low.insert(next, timer);
-                        timer += 1;
-                        let node_copy = *node;
-                        stack.push((next, Some(node_copy), self.neighbors(next).iter().collect(), 0));
-                    } else if disc[&next] < disc[node] && visited_edges.insert(norm(*node, next)) {
-                        edge_stack.push((*node, next));
-                        let l = low[node].min(disc[&next]);
-                        low.insert(*node, l);
+                    let node_disc = disc[node];
+                    match disc.entry(next) {
+                        Entry::Vacant(entry) => {
+                            visited_edges.insert(norm(*node, next));
+                            edge_stack.push((*node, next));
+                            entry.insert(timer);
+                            low.insert(next, timer);
+                            timer += 1;
+                            let node_copy = *node;
+                            stack.push((
+                                next,
+                                Some(node_copy),
+                                self.neighbors(next).iter().collect(),
+                                0,
+                            ));
+                        }
+                        Entry::Occupied(entry) => {
+                            let next_disc = *entry.get();
+                            if next_disc < node_disc && visited_edges.insert(norm(*node, next)) {
+                                edge_stack.push((*node, next));
+                                let l = low[node].min(next_disc);
+                                low.insert(*node, l);
+                            }
+                        }
                     }
                 } else {
                     let (node, parent, _, _) = stack.pop().expect("nonempty");

@@ -192,13 +192,13 @@ impl Hypergraph {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.edges.len() {
-                if i == j || !keep[j] {
+            for (j, keep_j) in keep.iter_mut().enumerate() {
+                if i == j || !*keep_j {
                     continue;
                 }
                 let (a, b) = (&self.edges[i].nodes, &self.edges[j].nodes);
                 if b.is_proper_subset(a) || (a == b && j > i) {
-                    keep[j] = false;
+                    *keep_j = false;
                 }
             }
         }

@@ -60,9 +60,10 @@ impl Hypergraph {
         let g = self.primal_graph();
         self.edges().iter().all(|e| {
             let members: Vec<NodeId> = e.nodes.iter().collect();
-            members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
-            })
+            members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| g.has_edge(a, b)))
         })
     }
 }

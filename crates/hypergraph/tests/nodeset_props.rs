@@ -138,9 +138,9 @@ proptest! {
         prop_assert!(g.is_reduced());
         prop_assert!(g.nodes().is_subset(&subset));
         prop_assert!(h.is_node_generated_subhypergraph(&g));
-        // Induced is monotone: inducing again on the same set is a no-op.
-        prop_assert!(g.same_edge_sets(&h.induced(&g.nodes()).induced(&subset)) || true);
-        prop_assert!(h.induced(&subset).same_edge_sets(&g));
+        // Induced is idempotent: re-inducing the result on its own node
+        // set is a no-op.
+        prop_assert!(g.induced(&g.nodes()).same_edge_sets(&g));
     }
 
     #[test]

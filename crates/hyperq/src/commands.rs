@@ -1,0 +1,239 @@
+//! The `hyperq` subcommands: classify, query, dot, stats.
+
+use acyclic::{
+    classify, degree, is_acyclic_mcs, join_tree_with_separators, Classification, Degree,
+};
+use hypergraph::{Hypergraph, NodeSet};
+use reldb::{
+    is_globally_consistent, is_pairwise_consistent, plan_connection, query_via_connection,
+    query_via_full_join, query_yannakakis, Database, Relation,
+};
+
+/// Which join engine `hyperq query` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Join only the objects in the canonical connection `CC(X)` (default).
+    Connection,
+    /// Yannakakis full reducer + join over the join tree (acyclic only).
+    Yannakakis,
+    /// Join every relation in the database, then project (baseline).
+    Naive,
+}
+
+impl Engine {
+    /// Parses an `--engine` argument value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "connection" => Ok(Engine::Connection),
+            "yannakakis" => Ok(Engine::Yannakakis),
+            "naive" => Ok(Engine::Naive),
+            other => Err(format!(
+                "unknown engine {other:?} (expected connection, yannakakis or naive)"
+            )),
+        }
+    }
+}
+
+/// `hyperq classify`: prints the Theorem 6.1 dichotomy with its certificate.
+pub fn run_classify(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "hypergraph: {} nodes, {} edges, {}connected, {}reduced\n",
+        h.node_count(),
+        h.edge_count(),
+        if h.is_connected() { "" } else { "not " },
+        if h.is_reduced() { "" } else { "not " },
+    ));
+    match classify(h) {
+        Classification::Acyclic { join_tree } => {
+            out.push_str("classification: ACYCLIC\n");
+            out.push_str(&format!("acyclicity degree: {:?}\n", degree_label(h)));
+            out.push_str("certificate: join tree (running-intersection verified: ");
+            match join_tree {
+                Some(tree) => {
+                    out.push_str(&format!("{})\n", tree.verify_running_intersection(h)));
+                    // Re-derive separators for a readable tree listing.
+                    if let Some((_, seps)) = join_tree_with_separators(h) {
+                        for (child, parent) in tree.tree_edges() {
+                            let sep = seps
+                                .get(&child)
+                                .map(|s| s.display(h.universe()).to_string())
+                                .unwrap_or_default();
+                            out.push_str(&format!(
+                                "  {} -- {}   separator {}\n",
+                                h.edges()[child.index()].label,
+                                h.edges()[parent.index()].label,
+                                sep,
+                            ));
+                        }
+                    }
+                    if tree.tree_edges().is_empty() {
+                        out.push_str(&format!(
+                            "  (single edge {})\n",
+                            h.edges()[tree.root().index()].label
+                        ));
+                    }
+                }
+                None => out.push_str("trivially true, no edges)\n"),
+            }
+        }
+        Classification::Cyclic { independent_path } => {
+            out.push_str("classification: CYCLIC\n");
+            out.push_str(&format!("acyclicity degree: {:?}\n", degree_label(h)));
+            out.push_str(&format!(
+                "certificate: independent path through {} node sets (verified: {})\n",
+                independent_path.len(),
+                independent_path.is_connecting_path(h) && independent_path.is_independent(h),
+            ));
+            out.push_str(&format!("  {}\n", independent_path.display(h)));
+        }
+    }
+    // The MCS test must agree with GYO; surfacing both catches regressions.
+    out.push_str(&format!(
+        "cross-check: GYO and MCS agree = {}\n",
+        is_acyclic_mcs(h) == classify(h).is_acyclic(),
+    ));
+    out
+}
+
+fn degree_label(h: &Hypergraph) -> Degree {
+    degree(h)
+}
+
+/// `hyperq query`: answers `π_X(⋈ CC(X))` over a loaded database.
+pub fn run_query(db: &Database, attrs: &[&str], engine: Engine) -> Result<String, String> {
+    let x: NodeSet = db
+        .attributes(attrs.iter().copied())
+        .map_err(|e| format!("bad --select: {e:?}"))?;
+    let schema = db.schema();
+    let plan = plan_connection(schema, &x);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query attributes: {}\n",
+        x.display(schema.universe())
+    ));
+    out.push_str(&format!(
+        "canonical connection CC(X): {}\n",
+        plan.connection.display()
+    ));
+    out.push_str(&format!(
+        "objects joined: {}\n",
+        plan.objects
+            .iter()
+            .map(|&i| schema.edges()[i].label.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "database: {} tuples, pairwise consistent: {}, globally consistent: {}\n",
+        db.tuple_count(),
+        is_pairwise_consistent(db),
+        is_globally_consistent(db),
+    ));
+    let answer: Relation = match engine {
+        Engine::Connection => query_via_connection(db, &x),
+        Engine::Naive => query_via_full_join(db, &x),
+        Engine::Yannakakis => {
+            query_yannakakis(db, &x).map_err(|e| format!("yannakakis failed: {e:?}"))?
+        }
+    };
+    out.push_str(&format!("engine: {engine:?}\n"));
+    out.push_str(&format!("answer ({} tuples):\n", answer.len()));
+    out.push_str(&answer.display(schema.universe()));
+    Ok(out)
+}
+
+/// `hyperq dot`: renders the schema as Graphviz DOT.
+pub fn run_dot(h: &Hypergraph, name: &str) -> String {
+    h.to_dot(name)
+}
+
+/// `hyperq stats`: structural summary of a schema.
+pub fn run_stats(h: &Hypergraph) -> String {
+    let u = h.universe();
+    let mut out = String::new();
+    out.push_str(&format!("nodes: {}\n", h.node_count()));
+    out.push_str(&format!("edges: {}\n", h.edge_count()));
+    out.push_str(&format!("connected: {}\n", h.is_connected()));
+    out.push_str(&format!("reduced: {}\n", h.is_reduced()));
+    out.push_str(&format!("components: {}\n", h.components().len()));
+    out.push_str(&format!("acyclicity degree: {:?}\n", degree(h)));
+    let arts = h.articulation_sets();
+    out.push_str(&format!("articulation sets: {}\n", arts.len()));
+    for a in arts.iter().take(8) {
+        out.push_str(&format!("  {}\n", a.display(u)));
+    }
+    out.push_str("incidence:\n");
+    out.push_str(&h.to_ascii_table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{parse_database, parse_schema};
+
+    fn fig1() -> Hypergraph {
+        parse_schema("R1: A B C\nR2: C D E\nR3: A E F\nR4: A C E\n").unwrap()
+    }
+
+    #[test]
+    fn classify_fig1_is_acyclic_with_join_tree() {
+        let report = run_classify(&fig1());
+        assert!(report.contains("classification: ACYCLIC"));
+        assert!(report.contains("running-intersection verified: true"));
+        assert!(report.contains("cross-check: GYO and MCS agree = true"));
+    }
+
+    #[test]
+    fn classify_ring_is_cyclic_with_verified_path() {
+        let ring = parse_schema("A B\nB C\nC D\nD A\n").unwrap();
+        let report = run_classify(&ring);
+        assert!(report.contains("classification: CYCLIC"));
+        assert!(report.contains("verified: true"));
+    }
+
+    #[test]
+    fn query_engines_agree_on_consistent_data() {
+        let h = fig1();
+        let db = parse_database(
+            &h,
+            "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
+        )
+        .unwrap();
+        let a = run_query(&db, &["A", "D"], Engine::Connection).unwrap();
+        let b = run_query(&db, &["A", "D"], Engine::Naive).unwrap();
+        let c = run_query(&db, &["A", "D"], Engine::Yannakakis).unwrap();
+        for report in [&a, &b, &c] {
+            assert!(report.contains("answer (1 tuples):"), "report: {report}");
+        }
+        assert!(a.contains("objects joined: R1, R2") || a.contains("objects joined: R2, R4"));
+    }
+
+    #[test]
+    fn query_rejects_unknown_attributes() {
+        let h = fig1();
+        let db = parse_database(&h, "").unwrap();
+        assert!(run_query(&db, &["Z"], Engine::Connection).is_err());
+    }
+
+    #[test]
+    fn dot_and_stats_render() {
+        let h = fig1();
+        let dot = run_dot(&h, "fig1");
+        assert!(dot.starts_with("graph fig1 {"));
+        assert!(dot.contains("\"R1\""));
+        let stats = run_stats(&h);
+        assert!(stats.contains("nodes: 6"));
+        assert!(stats.contains("edges: 4"));
+        assert!(stats.contains("connected: true"));
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!(Engine::parse("connection").unwrap(), Engine::Connection);
+        assert_eq!(Engine::parse("yannakakis").unwrap(), Engine::Yannakakis);
+        assert_eq!(Engine::parse("naive").unwrap(), Engine::Naive);
+        assert!(Engine::parse("turbo").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Parsers for the `hyperq` on-disk formats.
+//!
+//! **Schema files** are edge lists, one hyperedge per line:
+//!
+//! ```text
+//! # Fig. 1 of the paper
+//! R1: A B C
+//! R2: C D E
+//! A E F        # unlabeled edges get e<index> labels
+//! ```
+//!
+//! **Data files** hold one tuple per line, bound to a schema edge by label:
+//!
+//! ```text
+//! R1: A=1 B=2 C=paris
+//! ```
+//!
+//! Values that parse as `i64` become integers; everything else is a string.
+
+use hypergraph::{EdgeId, Hypergraph, HypergraphBuilder};
+use reldb::{Database, Tuple, Value};
+
+/// A parse failure, carrying the 1-based line number and a message.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number in the offending file.
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing `# comment` and surrounding whitespace.
+fn strip_comment(line: &str) -> &str {
+    line.split('#').next().unwrap_or("").trim()
+}
+
+/// Parses a schema file (see module docs) into a hypergraph.
+pub fn parse_schema(text: &str) -> Result<Hypergraph, ParseError> {
+    let mut builder = HypergraphBuilder::new();
+    let mut edge_index = 0usize;
+    let mut labels: Vec<String> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = match line.split_once(':') {
+            Some((l, r)) => (l.trim().to_owned(), r),
+            None => (format!("e{edge_index}"), line),
+        };
+        if label.is_empty() {
+            return Err(err(i + 1, "empty edge label before ':'"));
+        }
+        if labels.contains(&label) {
+            return Err(err(i + 1, format!("duplicate edge label {label:?}")));
+        }
+        let nodes: Vec<&str> = rest.split_whitespace().collect();
+        if nodes.is_empty() {
+            return Err(err(i + 1, format!("edge {label:?} has no nodes")));
+        }
+        builder = builder.edge(label.clone(), nodes);
+        labels.push(label);
+        edge_index += 1;
+    }
+    if edge_index == 0 {
+        return Err(err(0, "schema file defines no edges"));
+    }
+    builder
+        .build()
+        .map_err(|e| err(0, format!("invalid schema: {e}")))
+}
+
+/// Parses one `ATTR=value` pair.
+fn parse_assignment(s: &str, line: usize) -> Result<(&str, Value), ParseError> {
+    let (attr, value) = s
+        .split_once('=')
+        .ok_or_else(|| err(line, format!("expected ATTR=value, got {s:?}")))?;
+    if attr.is_empty() || value.is_empty() {
+        return Err(err(line, format!("empty attribute or value in {s:?}")));
+    }
+    let v = match value.parse::<i64>() {
+        Ok(n) => Value::Int(n),
+        Err(_) => Value::str(value),
+    };
+    Ok((attr, v))
+}
+
+/// Parses a data file against `schema`, producing a populated database.
+pub fn parse_database(schema: &Hypergraph, text: &str) -> Result<Database, ParseError> {
+    let mut db = Database::empty(schema.clone());
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err(i + 1, "expected 'EDGE_LABEL: A=1 B=2 ...'"))?;
+        let label = label.trim();
+        let edge_idx = schema
+            .edges()
+            .iter()
+            .position(|e| e.label == label)
+            .ok_or_else(|| err(i + 1, format!("unknown edge label {label:?}")))?;
+        let edge = &schema.edges()[edge_idx];
+        let mut tuple = Tuple::new();
+        for part in rest.split_whitespace() {
+            let (attr, value) = parse_assignment(part, i + 1)?;
+            let node = schema
+                .node(attr)
+                .map_err(|_| err(i + 1, format!("unknown attribute {attr:?}")))?;
+            if !edge.nodes.contains(node) {
+                return Err(err(
+                    i + 1,
+                    format!("attribute {attr:?} is not in edge {label:?}"),
+                ));
+            }
+            tuple.set(node, value);
+        }
+        if tuple.attributes() != edge.nodes {
+            return Err(err(
+                i + 1,
+                format!(
+                    "tuple for {label:?} must assign exactly the attributes {}",
+                    edge.nodes.display(schema.universe())
+                ),
+            ));
+        }
+        db.insert(EdgeId(edge_idx as u32), tuple);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+# Fig. 1
+R1: A B C
+R2: C D E
+R3: A E F
+R4: A C E
+";
+
+    #[test]
+    fn schema_roundtrip_with_labels_and_comments() {
+        let h = parse_schema(FIG1).unwrap();
+        assert_eq!(h.edge_count(), 4);
+        assert_eq!(h.node_count(), 6);
+        assert_eq!(h.edges()[0].label, "R1");
+        assert_eq!(h.edges()[3].label, "R4");
+    }
+
+    #[test]
+    fn unlabeled_edges_get_generated_labels() {
+        let h = parse_schema("A B\nB C\n").unwrap();
+        assert_eq!(h.edges()[0].label, "e0");
+        assert_eq!(h.edges()[1].label, "e1");
+    }
+
+    #[test]
+    fn schema_errors_are_reported_with_lines() {
+        assert!(parse_schema("").is_err());
+        let e = parse_schema("R1: A\nR1: B\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+        let e = parse_schema("R1:\n").unwrap_err();
+        assert!(e.message.contains("no nodes"));
+    }
+
+    #[test]
+    fn database_parses_ints_and_strings() {
+        let h = parse_schema("R: A B\n").unwrap();
+        let db = parse_database(&h, "R: A=1 B=x\nR: A=2 B=y\n").unwrap();
+        assert_eq!(db.tuple_count(), 2);
+    }
+
+    #[test]
+    fn database_rejects_bad_rows() {
+        let h = parse_schema("R: A B\nS: B C\n").unwrap();
+        assert!(parse_database(&h, "T: A=1\n").is_err());
+        assert!(parse_database(&h, "R: A=1\n").is_err()); // missing B
+        assert!(parse_database(&h, "R: A=1 C=2\n").is_err()); // C not in R
+        assert!(parse_database(&h, "R A=1\n").is_err()); // no colon
+    }
+}

@@ -1,0 +1,126 @@
+//! `hyperq` — the CLI driver for the Maier & Ullman reproduction.
+//!
+//! Loads hypergraph schemas from edge-list files, classifies them under
+//! Theorem 6.1 (acyclic with a join-tree certificate, cyclic with a
+//! verified independent-path certificate), answers universal-relation
+//! queries over canonical connections, and renders Graphviz DOT.
+//!
+//! ```text
+//! hyperq classify <schema>
+//! hyperq query    <schema> <data> --select A,B[,..] [--engine connection|yannakakis|naive]
+//! hyperq dot      <schema> [--name G]
+//! hyperq stats    <schema>
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod commands;
+mod load;
+
+use commands::Engine;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hyperq — acyclic-hypergraph schema tool (Maier & Ullman, PODS '82)
+
+USAGE:
+    hyperq classify <schema>
+    hyperq query    <schema> <data> --select A,B[,..] [--engine ENGINE]
+    hyperq dot      <schema> [--name NAME]
+    hyperq stats    <schema>
+
+COMMANDS:
+    classify   Decide acyclic vs. cyclic and print the Theorem 6.1
+               certificate (join tree / independent path)
+    query      Answer the universal-relation query pi_X over the canonical
+               connection CC(X); ENGINE is connection (default),
+               yannakakis or naive
+    dot        Emit the schema as Graphviz DOT (bipartite incidence view)
+    stats      Print a structural summary (degree hierarchy, articulation
+               sets, incidence table)
+
+FILES:
+    <schema>   One edge per line: 'LABEL: A B C' (label optional)
+    <data>     One tuple per line: 'LABEL: A=1 B=text ...'
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hyperq: {msg}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Extracts `--flag value` from `args`, leaving only positionals behind.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn run() -> Result<String, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
+        return Ok(USAGE.to_owned());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "classify" | "stats" | "dot" => {
+            let name = take_flag(&mut args, "--name")?.unwrap_or_else(|| "H".to_owned());
+            let [schema_path] = args.as_slice() else {
+                return Err(format!("{command} expects exactly one <schema> file"));
+            };
+            let schema = load::parse_schema(&read(schema_path)?)
+                .map_err(|e| format!("{schema_path}: {e}"))?;
+            Ok(match command.as_str() {
+                "classify" => commands::run_classify(&schema),
+                "dot" => commands::run_dot(&schema, &name),
+                _ => commands::run_stats(&schema),
+            })
+        }
+        "query" => {
+            let select =
+                take_flag(&mut args, "--select")?.ok_or("query requires --select A,B[,..]")?;
+            let engine = match take_flag(&mut args, "--engine")? {
+                Some(e) => Engine::parse(&e)?,
+                None => Engine::Connection,
+            };
+            let [schema_path, data_path] = args.as_slice() else {
+                return Err("query expects <schema> and <data> files".to_owned());
+            };
+            let schema = load::parse_schema(&read(schema_path)?)
+                .map_err(|e| format!("{schema_path}: {e}"))?;
+            let db = load::parse_database(&schema, &read(data_path)?)
+                .map_err(|e| format!("{data_path}: {e}"))?;
+            let attrs: Vec<&str> = select
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if attrs.is_empty() {
+                return Err("--select needs at least one attribute".to_owned());
+            }
+            commands::run_query(&db, &attrs, engine)
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}

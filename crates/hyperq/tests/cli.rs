@@ -1,0 +1,131 @@
+//! End-to-end tests driving the compiled `hyperq` binary on the paper's
+//! Fig. 1 hypergraph and the 4-ring — the acceptance scenario for the CLI.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    let p: PathBuf = [env!("CARGO_MANIFEST_DIR"), "fixtures", name]
+        .iter()
+        .collect();
+    p.to_str().expect("utf-8 path").to_owned()
+}
+
+fn hyperq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hyperq"))
+        .args(args)
+        .output()
+        .expect("spawn hyperq")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn classify_fig1_reports_acyclic_with_join_tree() {
+    let out = hyperq(&["classify", &fixture("fig1.hg")]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("6 nodes, 4 edges"), "got: {text}");
+    assert!(text.contains("classification: ACYCLIC"));
+    assert!(text.contains("running-intersection verified: true"));
+    assert!(text.contains("cross-check: GYO and MCS agree = true"));
+}
+
+#[test]
+fn classify_ring_reports_cyclic_with_certificate() {
+    let out = hyperq(&["classify", &fixture("ring4.hg")]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("classification: CYCLIC"));
+    assert!(text.contains("independent path"));
+    assert!(text.contains("verified: true"));
+}
+
+#[test]
+fn query_fig1_all_engines_agree() {
+    for engine in ["connection", "yannakakis", "naive"] {
+        let out = hyperq(&[
+            "query",
+            &fixture("fig1.hg"),
+            &fixture("fig1.data"),
+            "--select",
+            "B,D",
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success(), "engine {engine}: {:?}", out.stderr);
+        let text = stdout(&out);
+        // B appears with 2 and 7, D with 4 and 9, all joinable: 4 tuples.
+        assert!(
+            text.contains("answer (4 tuples):"),
+            "engine {engine}: {text}"
+        );
+    }
+}
+
+#[test]
+fn query_connection_joins_only_the_canonical_connection() {
+    let out = hyperq(&[
+        "query",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        "--select",
+        "A,D",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    // CC({A, D}) for Fig. 1 is two partial edges (Example 5.2-style), so
+    // the plan must not join all four objects.
+    assert!(text.contains("objects joined:"));
+    let joined = text
+        .lines()
+        .find(|l| l.starts_with("objects joined:"))
+        .unwrap();
+    assert!(
+        joined.matches(", ").count() < 3,
+        "joined too much: {joined}"
+    );
+    // A=1 joins with both D=4 and D=9 through C=3/E=5.
+    assert!(text.contains("answer (2 tuples):"), "got: {text}");
+}
+
+#[test]
+fn dot_output_is_wellformed_graphviz() {
+    let out = hyperq(&["dot", &fixture("fig1.hg"), "--name", "fig1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("graph fig1 {"));
+    assert!(text.trim_end().ends_with('}'));
+    for label in ["R1", "R2", "R3", "R4"] {
+        assert!(text.contains(label));
+    }
+}
+
+#[test]
+fn stats_reports_structure() {
+    let out = hyperq(&["stats", &fixture("fig1.hg")]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("nodes: 6"));
+    assert!(text.contains("edges: 4"));
+    assert!(text.contains("incidence:"));
+}
+
+#[test]
+fn bad_usage_fails_with_diagnostics() {
+    let out = hyperq(&["classify", "/nonexistent/schema.hg"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = hyperq(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = hyperq(&["query", &fixture("fig1.hg")]);
+    assert!(!out.status.success());
+
+    let out = hyperq(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}

@@ -37,9 +37,10 @@ pub fn is_pairwise_consistent(db: &Database) -> bool {
 /// attributes (no dangling tuples anywhere).
 pub fn is_globally_consistent(db: &Database) -> bool {
     let full = db.full_join();
-    db.relations()
-        .iter()
-        .all(|r| full.project(r.attributes()).same_contents(&r.project(r.attributes())))
+    db.relations().iter().all(|r| {
+        full.project(r.attributes())
+            .same_contents(&r.project(r.attributes()))
+    })
 }
 
 /// The relations that violate global consistency, with the number of
@@ -138,11 +139,10 @@ mod tests {
 
     #[test]
     fn global_consistency_implies_pairwise() {
-        for db in [triangle_db()] {
-            let repaired = make_globally_consistent(&db);
-            assert!(is_globally_consistent(&repaired));
-            assert!(is_pairwise_consistent(&repaired));
-        }
+        let db = triangle_db();
+        let repaired = make_globally_consistent(&db);
+        assert!(is_globally_consistent(&repaired));
+        assert!(is_pairwise_consistent(&repaired));
     }
 
     #[test]

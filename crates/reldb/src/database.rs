@@ -214,9 +214,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DbError::SchemaMismatch("R".into()).to_string().contains("R"));
-        assert!(DbError::RelationCountMismatch { edges: 2, relations: 1 }
+        assert!(DbError::SchemaMismatch("R".into())
             .to_string()
-            .contains("2"));
+            .contains("R"));
+        assert!(DbError::RelationCountMismatch {
+            edges: 2,
+            relations: 1
+        }
+        .to_string()
+        .contains("2"));
     }
 }

@@ -54,8 +54,8 @@ pub use database::{Database, DbError};
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
 pub use universal::{
-    plan_connection, query_attributes, query_via_connection, query_via_full_join,
-    query_yannakakis, ConnectionPlan,
+    plan_connection, query_attributes, query_via_connection, query_via_full_join, query_yannakakis,
+    ConnectionPlan,
 };
 pub use value::Value;
 pub use yannakakis::{full_reduce, naive_join_project, yannakakis_join, Reduced};

@@ -334,7 +334,9 @@ mod tests {
         let (h, r, _) = setup();
         let sel = r.select_eq(h.node("B").unwrap(), &Value::Int(10));
         assert_eq!(sel.len(), 2);
-        assert!(sel.tuples().all(|t| t.get(h.node("B").unwrap()) == Some(&Value::Int(10))));
+        assert!(sel
+            .tuples()
+            .all(|t| t.get(h.node("B").unwrap()) == Some(&Value::Int(10))));
     }
 
     #[test]

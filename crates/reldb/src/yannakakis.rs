@@ -171,7 +171,12 @@ mod tests {
     fn yannakakis_matches_naive_join_on_projections() {
         let db = chain_db();
         let tree = join_tree(db.schema()).unwrap();
-        for attrs in [vec!["A"], vec!["A", "D"], vec!["B", "C"], vec!["A", "C", "D"]] {
+        for attrs in [
+            vec!["A"],
+            vec!["A", "D"],
+            vec!["B", "C"],
+            vec!["A", "C", "D"],
+        ] {
             let output = db.attributes(attrs.iter().copied()).unwrap();
             let fast = yannakakis_join(&db, &tree, &output);
             let naive = naive_join_project(&db, &output);
@@ -202,16 +207,21 @@ mod tests {
         // modulo a couple of divisors, giving partial join matches.
         for (ei, e) in h.edges().iter().enumerate() {
             for row in 0..6i64 {
-                let t = Tuple::from_pairs(
-                    e.nodes
-                        .iter()
-                        .map(|n| (n, row % (2 + (ids.iter().position(|&x| x == n).unwrap() as i64 % 3)))),
-                );
+                let t = Tuple::from_pairs(e.nodes.iter().map(|n| {
+                    (
+                        n,
+                        row % (2 + (ids.iter().position(|&x| x == n).unwrap() as i64 % 3)),
+                    )
+                }));
                 db.insert(EdgeId(ei as u32), t);
             }
         }
         let tree = join_tree(&h).unwrap();
-        for attrs in [vec!["A", "D"], vec!["B", "F"], vec!["A", "B", "C", "D", "E", "F"]] {
+        for attrs in [
+            vec!["A", "D"],
+            vec!["B", "F"],
+            vec!["A", "B", "C", "D", "E", "F"],
+        ] {
             let output = db.attributes(attrs.iter().copied()).unwrap();
             let fast = yannakakis_join(&db, &tree, &output);
             let naive = naive_join_project(&db, &output);

@@ -1,0 +1,265 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim supplies the surface the benches in `crates/bench/benches` use:
+//! [`Criterion`] with builder-style configuration, benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter`, [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are real (wall-clock means over `sample_size` iterations
+//! after a warm-up) and printed as one line per benchmark, but there is no
+//! statistical analysis, HTML report or saved baseline — the shim exists so
+//! `cargo bench` runs and `cargo bench --no-run` compiles everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per iteration.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / self.sample_size as f64;
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target measurement time (kept for API compatibility; the
+    /// shim times exactly `sample_size` iterations).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(BenchmarkId::from_parameter(&name), f);
+        group.finish();
+    }
+
+    fn run(&self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let (value, unit) = if b.mean_ns >= 1e6 {
+            (b.mean_ns / 1e6, "ms")
+        } else if b.mean_ns >= 1e3 {
+            (b.mean_ns / 1e3, "µs")
+        } else {
+            (b.mean_ns, "ns")
+        };
+        println!("{label:<48} time: {value:>10.2} {unit}/iter");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run(&label, |b| f(b));
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_and_driver_run() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_positive_means() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut b = Bencher {
+            sample_size: 3,
+            warm_up: Duration::ZERO,
+            mean_ns: -1.0,
+        };
+        b.iter(|| black_box(42));
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("gyo", 32).to_string(), "gyo/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim supplies the surface the property-test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) generating one `#[test]` per property;
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer
+//!   ranges, tuples and the combinators here;
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * [`any`] for primitive types, [`Just`], [`ProptestConfig`];
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking.  Failing inputs are reported verbatim (each case is seeded
+//! deterministically from the test name and case index, so failures
+//! reproduce exactly on re-run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic PRNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG for one test case, derived from a stable test-name
+    /// hash and the case index so every case is independent yet reproducible.
+    pub fn deterministic(name_hash: u64, case: u64) -> Self {
+        TestRng {
+            state: name_hash
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(case.wrapping_mul(0xD1B5_4A32_D192_ED03))
+                ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a hash of a string, used to give each test its own RNG stream.
+pub fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `BTreeSet` whose cardinality is drawn from `size`.
+    ///
+    /// The element strategy's domain must be able to supply at least
+    /// `size.start` distinct values; generation retries a bounded number of
+    /// times and then accepts a smaller (never empty, if `start > 0`) set.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 64 * (target + 1) {
+                out.insert(self.elem.new_value(rng));
+                attempts += 1;
+            }
+            while out.len() < self.size.start {
+                // Domain too small to reach the minimum by sampling; this
+                // only happens for degenerate strategies, so keep trying.
+                out.insert(self.elem.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supports the subset of real-proptest syntax the workspace uses: an
+/// optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose arguments are drawn from strategies with `name in strat`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        $crate::fnv(concat!(module_path!(), "::", stringify!($name))),
+                        u64::from(__case),
+                    );
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Asserts inequality inside a property, with optional format arguments.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic(fnv("ranges"), 0);
+        for _ in 0..500 {
+            let v = (3u32..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0usize..1).new_value(&mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_ranges() {
+        let mut rng = TestRng::deterministic(fnv("collections"), 1);
+        for _ in 0..200 {
+            let v = collection::vec(0u32..100, 2..7).new_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = collection::btree_set(0u32..50, 1..5).new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() < 5);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::deterministic(fnv("compose"), 2);
+        let strat = (1usize..4, any::<u64>()).prop_map(|(n, seed)| vec![seed; n]);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        assert_eq!(Just(41u8).new_value(&mut rng), 41);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, asserts fire, assume skips.
+        #[test]
+        fn macro_generates_cases(a in 0u32..10, b in any::<bool>()) {
+            prop_assume!(a < 10);
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}

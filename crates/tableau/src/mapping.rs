@@ -112,10 +112,7 @@ impl RowMapping {
 
     /// True if every row maps to itself.
     pub fn is_identity(&self) -> bool {
-        self.images
-            .iter()
-            .enumerate()
-            .all(|(i, r)| r.index() == i)
+        self.images.iter().enumerate().all(|(i, r)| r.index() == i)
     }
 
     /// Composition `other ∘ self` (apply `self` first).  Both mappings must
@@ -167,7 +164,10 @@ impl RowMapping {
         for r in t.row_ids() {
             for col in t.sacred().iter() {
                 if t.is_distinguished(r, col) && !t.row(self.image(r)).nodes.contains(col) {
-                    return Err(MappingError::DistinguishedLost { column: col, row: r });
+                    return Err(MappingError::DistinguishedLost {
+                        column: col,
+                        row: r,
+                    });
                 }
             }
         }
@@ -266,7 +266,8 @@ mod tests {
         let h = m(&[1, 1, 2, 3]);
         assert!(matches!(
             h.validate(&t),
-            Err(MappingError::ColumnDisagreement { .. }) | Err(MappingError::DistinguishedLost { .. })
+            Err(MappingError::ColumnDisagreement { .. })
+                | Err(MappingError::DistinguishedLost { .. })
         ));
         assert!(!h.is_valid(&t));
     }
@@ -277,7 +278,10 @@ mod tests {
         // both, but neither is fixed.
         let t = fig2();
         let h = m(&[0, 1, 3, 2]);
-        assert!(matches!(h.validate(&t), Err(MappingError::TargetNotFixed(_))));
+        assert!(matches!(
+            h.validate(&t),
+            Err(MappingError::TargetNotFixed(_))
+        ));
     }
 
     #[test]
@@ -285,7 +289,10 @@ mod tests {
         let t = fig2();
         assert!(matches!(
             m(&[0, 1]).validate(&t),
-            Err(MappingError::WrongArity { got: 2, expected: 4 })
+            Err(MappingError::WrongArity {
+                got: 2,
+                expected: 4
+            })
         ));
         assert!(matches!(
             m(&[0, 1, 2, 9]).validate(&t),

@@ -69,7 +69,13 @@ fn solve(t: &Tableau, active: &[RowId], domains: &[Vec<RowId>]) -> Option<Vec<Ro
     let shared_columns: Vec<NodeId> = t
         .columns()
         .iter()
-        .filter(|&c| active.iter().filter(|&&r| t.row(r).nodes.contains(c)).count() >= 2)
+        .filter(|&c| {
+            active
+                .iter()
+                .filter(|&&r| t.row(r).nodes.contains(c))
+                .count()
+                >= 2
+        })
         .collect();
     let column_index = |c: NodeId| shared_columns.iter().position(|&x| x == c);
 
@@ -124,6 +130,9 @@ fn solve(t: &Tableau, active: &[RowId], domains: &[Vec<RowId>]) -> Option<Vec<Ro
         }
     }
 
+    // The arguments are the full backtracking state; bundling them into a
+    // struct would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         t: &Tableau,
         active: &[RowId],
@@ -141,7 +150,16 @@ fn solve(t: &Tableau, active: &[RowId], domains: &[Vec<RowId>]) -> Option<Vec<Ro
         for &s in &domains[i] {
             if let Some(changed) = apply(t, states, column_index, r, s) {
                 images[i] = Some(s);
-                if dfs(t, active, domains, order, depth + 1, column_index, states, images) {
+                if dfs(
+                    t,
+                    active,
+                    domains,
+                    order,
+                    depth + 1,
+                    column_index,
+                    states,
+                    images,
+                ) {
                     return true;
                 }
                 images[i] = None;
@@ -206,7 +224,10 @@ pub fn find_mapping_onto(t: &Tableau, target: &BTreeSet<RowId>) -> Option<RowMap
         .collect();
     let images = solve(t, &active, &domains)?;
     let mapping = RowMapping::new(images);
-    debug_assert!(mapping.is_valid(t), "search produced an invalid row mapping");
+    debug_assert!(
+        mapping.is_valid(t),
+        "search produced an invalid row mapping"
+    );
     Some(mapping)
 }
 

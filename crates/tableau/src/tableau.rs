@@ -113,12 +113,7 @@ impl Tableau {
     pub fn summary(&self) -> Vec<(NodeId, Option<Symbol>)> {
         self.columns
             .iter()
-            .map(|c| {
-                (
-                    c,
-                    self.sacred.contains(c).then_some(Symbol::Special(c)),
-                )
-            })
+            .map(|c| (c, self.sacred.contains(c).then_some(Symbol::Special(c))))
             .collect()
     }
 

@@ -44,10 +44,7 @@ pub fn pair_clique(n: usize) -> Hypergraph {
     let mut builder = HypergraphBuilder::new();
     for i in 0..n {
         for j in i + 1..n {
-            builder = builder.edge(
-                format!("E{i}_{j}"),
-                [names[i].as_str(), names[j].as_str()],
-            );
+            builder = builder.edge(format!("E{i}_{j}"), [names[i].as_str(), names[j].as_str()]);
         }
     }
     builder.build().expect("nonempty edges")
@@ -122,10 +119,7 @@ pub fn random_hypergraph(params: RandomParams, seed: u64) -> Hypergraph {
             let k = rng.gen_range(0..pool.len());
             chosen.push(pool.swap_remove(k));
         }
-        builder = builder.edge(
-            format!("E{i}"),
-            chosen.iter().map(|&k| names[k].as_str()),
-        );
+        builder = builder.edge(format!("E{i}"), chosen.iter().map(|&k| names[k].as_str()));
     }
     builder.build().expect("nonempty edges")
 }
@@ -139,7 +133,10 @@ mod tests {
     fn rings_and_cliques_are_cyclic() {
         for k in 3..8 {
             assert!(!ring(k).is_acyclic(), "ring({k}) must be cyclic");
-            assert!(!hyper_ring(k, 3).is_acyclic(), "hyper_ring({k},3) must be cyclic");
+            assert!(
+                !hyper_ring(k, 3).is_acyclic(),
+                "hyper_ring({k},3) must be cyclic"
+            );
         }
         for n in 3..7 {
             assert!(!pair_clique(n).is_acyclic());

@@ -41,11 +41,7 @@ pub fn random_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Da
     let mut db = Database::empty(schema.clone());
     for (i, e) in schema.edges().iter().enumerate() {
         for _ in 0..params.tuples_per_relation {
-            let t = Tuple::from_pairs(
-                e.nodes
-                    .iter()
-                    .map(|n| (n, rng.gen_range(0..params.domain))),
-            );
+            let t = Tuple::from_pairs(e.nodes.iter().map(|n| (n, rng.gen_range(0..params.domain))));
             db.insert(EdgeId(i as u32), t);
         }
     }
@@ -124,7 +120,10 @@ mod tests {
     fn inconsistent_ring_is_pairwise_but_not_globally_consistent() {
         for k in [3, 4, 5] {
             let db = inconsistent_ring_database(k);
-            assert!(is_pairwise_consistent(&db), "ring({k}) should be pairwise consistent");
+            assert!(
+                is_pairwise_consistent(&db),
+                "ring({k}) should be pairwise consistent"
+            );
             assert!(
                 !is_globally_consistent(&db),
                 "ring({k}) should not be globally consistent"

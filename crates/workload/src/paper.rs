@@ -36,8 +36,12 @@ pub fn fig1_expected_reduction(h: &Hypergraph) -> Vec<NodeSet> {
 /// The hypergraph of Example 5.1: Fig. 1 with the edge {A,C,E} removed.
 /// It is a ring of three edges and is cyclic.
 pub fn fig1_ring() -> Hypergraph {
-    Hypergraph::from_edges([vec!["A", "B", "C"], vec!["C", "D", "E"], vec!["A", "E", "F"]])
-        .expect("static fixture")
+    Hypergraph::from_edges([
+        vec!["A", "B", "C"],
+        vec!["C", "D", "E"],
+        vec!["A", "E", "F"],
+    ])
+    .expect("static fixture")
 }
 
 /// The cyclic counterexample given after Theorem 3.5: edges {A,B}, {A,C},

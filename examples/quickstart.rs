@@ -4,8 +4,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use acyclic_hypergraphs::acyclic::{
-    canonical_connection, check_theorem_6_1, classify, graham_reduction, join_tree,
-    AcyclicityExt, Classification,
+    canonical_connection, check_theorem_6_1, classify, graham_reduction, join_tree, AcyclicityExt,
+    Classification,
 };
 use acyclic_hypergraphs::hypergraph::Hypergraph;
 use acyclic_hypergraphs::tableau::{minimize, Tableau};
@@ -59,7 +59,10 @@ fn main() {
     match classify(&h) {
         Classification::Acyclic { .. } => println!("\nclassified: acyclic (no independent path)"),
         Classification::Cyclic { independent_path } => {
-            println!("\nclassified: cyclic, witness {}", independent_path.display(&h))
+            println!(
+                "\nclassified: cyclic, witness {}",
+                independent_path.display(&h)
+            )
         }
     }
 

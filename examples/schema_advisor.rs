@@ -44,9 +44,7 @@ fn advise(name: &str, h: &Hypergraph) {
                 "witness (independent path): {}",
                 independent_path.display(h)
             );
-            let endpoints = independent_path
-                .first()
-                .union(independent_path.last());
+            let endpoints = independent_path.first().union(independent_path.last());
             println!(
                 "the canonical connection of {} is {}, which the path escapes",
                 endpoints.display(h.universe()),

@@ -34,11 +34,12 @@ fn main() {
         },
         2024,
     );
-    println!("database: {} tuples across {} relations", db.tuple_count(), db.relations().len());
     println!(
-        "globally consistent: {}\n",
-        is_globally_consistent(&db)
+        "database: {} tuples across {} relations",
+        db.tuple_count(),
+        db.relations().len()
     );
+    println!("globally consistent: {}\n", is_globally_consistent(&db));
 
     // A universal-relation query: "customer names together with order dates"
     // — the user only names attributes; the system picks the objects.
@@ -47,7 +48,9 @@ fn main() {
         vec!["r_name", "c_name"],
         vec!["p_name", "quantity"],
     ] {
-        let x = db.attributes(attrs.iter().copied()).expect("known attributes");
+        let x = db
+            .attributes(attrs.iter().copied())
+            .expect("known attributes");
         let plan = plan_connection(db.schema(), &x);
         let objects: Vec<&str> = plan
             .objects

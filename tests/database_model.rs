@@ -39,8 +39,14 @@ fn tpc_schema_query_paths_agree() {
         let via_cc = query_via_connection(&db, &x);
         let naive = query_via_full_join(&db, &x);
         let yann = query_yannakakis(&db, &x).unwrap();
-        assert!(via_cc.same_contents(&naive), "CC path diverged on {attrs:?}");
-        assert!(yann.same_contents(&naive), "Yannakakis diverged on {attrs:?}");
+        assert!(
+            via_cc.same_contents(&naive),
+            "CC path diverged on {attrs:?}"
+        );
+        assert!(
+            yann.same_contents(&naive),
+            "Yannakakis diverged on {attrs:?}"
+        );
     }
 }
 
@@ -72,7 +78,11 @@ fn localized_queries_touch_few_objects() {
 /// data and never removes anything on already-consistent data.
 #[test]
 fn full_reducer_behaviour() {
-    for (schema, seed) in [(chain(5, 3, 1), 11u64), (star(5, 3), 12), (snowflake(3, 2, 3), 13)] {
+    for (schema, seed) in [
+        (chain(5, 3, 1), 11u64),
+        (star(5, 3), 12),
+        (snowflake(3, 2, 3), 13),
+    ] {
         let tree = join_tree(&schema).expect("acyclic schema");
         let raw = random_database(
             &schema,
@@ -84,17 +94,19 @@ fn full_reducer_behaviour() {
         );
         let reduced = full_reduce(&raw, &tree);
         // After reduction the database is globally consistent.
-        let reduced_db = acyclic_hypergraphs::reldb::Database::new(
-            schema.clone(),
-            reduced.relations.clone(),
-        )
-        .unwrap();
+        let reduced_db =
+            acyclic_hypergraphs::reldb::Database::new(schema.clone(), reduced.relations.clone())
+                .unwrap();
         assert!(is_globally_consistent(&reduced_db));
         assert!(dangling_report(&reduced_db).is_empty());
 
         let consistent = make_globally_consistent(&raw);
         let second = full_reduce(&consistent, &tree);
-        assert_eq!(second.total_removed(), 0, "reducer must be idempotent on consistent data");
+        assert_eq!(
+            second.total_removed(),
+            0,
+            "reducer must be idempotent on consistent data"
+        );
     }
 }
 
@@ -142,9 +154,7 @@ fn cyclic_schema_degrades_gracefully() {
         },
         1,
     );
-    let x = db
-        .attributes(["K000", "K001"])
-        .expect("hub keys exist");
+    let x = db.attributes(["K000", "K001"]).expect("hub keys exist");
     assert!(query_yannakakis(&db, &x).is_err());
     let naive = query_via_full_join(&db, &x);
     let via_cc = query_via_connection(&db, &x);
@@ -176,7 +186,11 @@ fn declarative_queries_end_to_end() {
     assert!(via_cc.same_contents(&naive));
     assert!(yann.same_contents(&naive));
     // A selection on a dimension key narrows the result.
-    let filtered = Query::new().select(k0).select(far).filter_eq(k0, 0).execute(&db);
+    let filtered = Query::new()
+        .select(k0)
+        .select(far)
+        .filter_eq(k0, 0)
+        .execute(&db);
     for t in filtered.tuples() {
         assert_eq!(t.get(k0), Some(&acyclic_hypergraphs::reldb::Value::Int(0)));
     }

@@ -1,0 +1,39 @@
+//! Smoke test: every example binary must run to completion.
+//!
+//! `cargo test` already compiles the examples; this test actually executes
+//! them, so an example whose scenario drifts from the library API (or
+//! panics at runtime) fails CI rather than rotting silently.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "paper_figures",
+    "schema_advisor",
+    "universal_relation",
+];
+
+#[test]
+fn every_example_runs_successfully() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing"
+        );
+    }
+}

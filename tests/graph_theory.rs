@@ -47,7 +47,10 @@ fn paths_decompose_into_one_block_per_edge() {
     for n in [2u32, 4, 9] {
         let g = path_graph(n);
         assert_eq!(g.biconnected_components().len(), (n - 1) as usize);
-        assert_eq!(g.articulation_points().len(), (n.saturating_sub(2)) as usize);
+        assert_eq!(
+            g.articulation_points().len(),
+            (n.saturating_sub(2)) as usize
+        );
     }
 }
 
@@ -134,7 +137,9 @@ fn articulation_sets_match_articulation_points_for_binary_edges() {
     let g = h.primal_graph();
     let points = g.articulation_points();
     for x in h.articulation_sets() {
-        let node = x.as_singleton().expect("binary edges give singleton articulation sets");
+        let node = x
+            .as_singleton()
+            .expect("binary edges give singleton articulation sets");
         assert!(points.contains(node));
     }
     assert_eq!(h.articulation_sets().len(), points.len());

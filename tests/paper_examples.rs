@@ -178,8 +178,7 @@ fn example_5_1_independent_tree() {
     // In Fig. 1 the edge {A, C, E} contains three of the tree's node sets,
     // so the same tree is not even a connecting tree.
     let fig1 = paper::fig1();
-    let tree_in_fig1 =
-        ConnectingTree::new(paper::fig6_tree_sets(&fig1), vec![(0, 1), (1, 2)]);
+    let tree_in_fig1 = ConnectingTree::new(paper::fig6_tree_sets(&fig1), vec![(0, 1), (1, 2)]);
     assert!(tree_in_fig1.verify(&fig1).is_err());
 }
 
@@ -190,7 +189,10 @@ fn example_5_1_independent_tree() {
 fn theorem_6_1_on_all_fixtures() {
     for (name, h) in paper::all_fixtures() {
         let report = check_theorem_6_1(&h);
-        assert!(report.consistent(), "inconsistent report for {name}: {report:?}");
+        assert!(
+            report.consistent(),
+            "inconsistent report for {name}: {report:?}"
+        );
         match classify(&h) {
             Classification::Acyclic { join_tree } => {
                 assert!(h.is_acyclic(), "{name} misclassified");

@@ -168,12 +168,11 @@ fn leaf_removal_preserves_acyclicity() {
 #[test]
 fn hierarchy_degrees_across_workloads() {
     assert_eq!(degree(&chain(5, 2, 1)), Degree::Berge);
-    let wide_overlap =
-        acyclic_hypergraphs::hypergraph::Hypergraph::from_edges([
-            vec!["A", "B", "C"],
-            vec!["A", "B", "D"],
-        ])
-        .unwrap();
+    let wide_overlap = acyclic_hypergraphs::hypergraph::Hypergraph::from_edges([
+        vec!["A", "B", "C"],
+        vec!["A", "B", "D"],
+    ])
+    .unwrap();
     assert_eq!(degree(&wide_overlap), Degree::Beta);
     assert_eq!(degree(&paper::fig1()), Degree::Alpha);
     assert_eq!(degree(&ring(5)), Degree::Cyclic);
