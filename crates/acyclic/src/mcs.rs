@@ -17,27 +17,68 @@ use hypergraph::{Graph, Hypergraph, NodeId, NodeSet};
 ///
 /// The returned order lists nodes in *visit* order; reversing it gives a
 /// perfect elimination ordering when the graph is chordal.
+///
+/// Runs in O(n + m): candidates live in a bucket queue indexed by weight
+/// (with lazy invalidation of stale entries), and the weight/visited state
+/// is kept in `Vec`s indexed by [`NodeId`] rather than hash maps.  Each
+/// node enters a bucket once per weight increment, and total weight across
+/// all nodes is bounded by the edge count.
 pub fn maximum_cardinality_search(g: &Graph) -> Vec<NodeId> {
-    let nodes: Vec<NodeId> = g.nodes().iter().collect();
-    let mut visited = NodeSet::new();
-    let mut weight: std::collections::HashMap<NodeId, usize> =
-        nodes.iter().map(|&n| (n, 0)).collect();
-    let mut order = Vec::with_capacity(nodes.len());
-    for _ in 0..nodes.len() {
-        let &next = nodes
-            .iter()
-            .filter(|n| !visited.contains(**n))
-            .max_by_key(|n| (weight[n], std::cmp::Reverse(n.0)))
-            .expect("unvisited node remains");
-        visited.insert(next);
+    let nodes = g.nodes();
+    let n = id_capacity(nodes.iter());
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    // buckets[w] holds candidates of weight w; entries go stale when a
+    // node's weight moves on or it is visited, and are skipped on pop.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new()];
+    // Seed in descending id order so ties pop lowest-id first (LIFO).
+    let mut seed: Vec<NodeId> = nodes.iter().collect();
+    seed.reverse();
+    buckets[0] = seed;
+    let mut maxw = 0usize;
+    let mut order = Vec::with_capacity(g.node_count());
+    for _ in 0..g.node_count() {
+        let next = loop {
+            match buckets[maxw].pop() {
+                Some(c) if !visited[c.index()] && weight[c.index()] == maxw => break c,
+                Some(_) => continue, // stale entry
+                None => maxw -= 1,   // bucket drained; next weight down
+            }
+        };
+        visited[next.index()] = true;
         order.push(next);
-        for m in g.neighbors(next).iter() {
-            if !visited.contains(m) {
-                *weight.get_mut(&m).expect("known node") += 1;
+        if let Some(nbrs) = g.neighbors_ref(next) {
+            for m in nbrs.iter() {
+                if !visited[m.index()] {
+                    let w = weight[m.index()] + 1;
+                    weight[m.index()] = w;
+                    if buckets.len() <= w {
+                        buckets.resize_with(w + 1, Vec::new);
+                    }
+                    buckets[w].push(m);
+                    maxw = maxw.max(w);
+                }
             }
         }
     }
     order
+}
+
+/// One past the largest node index yielded, or 0 for an empty iterator —
+/// the `Vec` capacity needed to index by [`NodeId`].
+fn id_capacity<I: IntoIterator<Item = NodeId>>(ids: I) -> usize {
+    ids.into_iter().map(|n| n.index() + 1).max().unwrap_or(0)
+}
+
+/// Positions of `order`'s nodes as a `Vec` indexed by node id
+/// (`usize::MAX` for nodes not in the order).
+fn position_vec(order: &[NodeId]) -> Vec<usize> {
+    let n = id_capacity(order.iter().copied());
+    let mut position = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    position
 }
 
 /// True if `order` (in visit order, i.e. reverse elimination order) is a
@@ -46,12 +87,15 @@ pub fn maximum_cardinality_search(g: &Graph) -> Vec<NodeId> {
 /// check that each vertex's earlier neighbourhood is simplicial via its
 /// latest earlier neighbour.
 fn is_perfect_elimination(g: &Graph, order: &[NodeId]) -> bool {
-    let position: std::collections::HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let position = position_vec(order);
     for (i, &v) in order.iter().enumerate() {
         // Earlier neighbours of v (visited before v).
-        let earlier: Vec<NodeId> = g.neighbors(v).iter().filter(|n| position[n] < i).collect();
-        let Some(&parent) = earlier.iter().max_by_key(|n| position[n]) else {
+        let earlier: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .filter(|n| position[n.index()] < i)
+            .collect();
+        let Some(&parent) = earlier.iter().max_by_key(|n| position[n.index()]) else {
             continue;
         };
         // Every other earlier neighbour of v must also neighbour `parent`.
@@ -78,14 +122,17 @@ pub fn maximal_cliques_chordal(g: &Graph) -> Vec<NodeSet> {
     if !is_perfect_elimination(g, &order) {
         return Vec::new();
     }
-    let position: std::collections::HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let position = position_vec(&order);
     // Candidate cliques: v together with its earlier neighbours.
     let mut cliques: Vec<NodeSet> = order
         .iter()
         .enumerate()
         .map(|(i, &v)| {
-            let mut c: NodeSet = g.neighbors(v).iter().filter(|n| position[n] < i).collect();
+            let mut c: NodeSet = g
+                .neighbors(v)
+                .iter()
+                .filter(|n| position[n.index()] < i)
+                .collect();
             c.insert(v);
             c
         })

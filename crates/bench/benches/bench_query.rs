@@ -2,25 +2,20 @@
 //! with the Yannakakis algorithm over the join tree vs. the naive
 //! join-everything plan, on chain and star schemas with increasing data
 //! sizes (dangling tuples included, which is where the full reducer wins).
+//!
+//! Since the columnar rewrite the table also times the retained naive
+//! reference engine (`reldb::reference`, the pre-rewrite implementation) on
+//! the same pipeline, so the speedup of the flat interned-row kernels is
+//! re-measured on every run instead of being folklore.
 
 use acyclic::join_tree;
 use bench_suite::{mean_time_us, Table};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hypergraph::{Hypergraph, NodeSet};
-use reldb::{query_via_connection, query_via_full_join, yannakakis_join, Database};
+use hypergraph::Hypergraph;
+use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
+use reldb::{full_reduce, query_via_connection, query_via_full_join, yannakakis_join, Database};
 use std::time::Duration;
-use workload::{chain, random_database, star, DataParams};
-
-/// The query attributes: the two "far apart" attributes of the schema.
-fn far_apart(h: &Hypergraph) -> NodeSet {
-    let first = h.edges()[0].nodes.first().expect("nonempty");
-    let last = h.edges()[h.edge_count() - 1]
-        .nodes
-        .iter()
-        .last()
-        .expect("nonempty");
-    NodeSet::from_ids([first, last])
-}
+use workload::{chain, far_apart, random_database, star, DataParams};
 
 fn make_db(schema: &Hypergraph, tuples: usize, domain: i64, seed: u64) -> Database {
     random_database(
@@ -40,8 +35,10 @@ fn print_table() {
         "tuples",
         "answer",
         "yannakakis_us",
+        "reference_us",
         "connection_us",
         "naive_us",
+        "speedup",
     ]);
     let schemas: Vec<(String, Hypergraph)> = vec![
         ("chain-4".into(), chain(4, 2, 1)),
@@ -58,6 +55,7 @@ fn print_table() {
             let x = far_apart(&schema);
             let answer = yannakakis_join(&db, &tree, &x);
             let t_yann = mean_time_us(3, || yannakakis_join(&db, &tree, &x));
+            let t_ref = mean_time_us(3, || naive_yannakakis_join(&db, &tree, &x));
             let t_conn = mean_time_us(3, || query_via_connection(&db, &x));
             let t_naive = mean_time_us(3, || query_via_full_join(&db, &x));
             table.row([
@@ -66,12 +64,16 @@ fn print_table() {
                 db.tuple_count().to_string(),
                 answer.len().to_string(),
                 format!("{t_yann:.0}"),
+                format!("{t_ref:.0}"),
                 format!("{t_conn:.0}"),
                 format!("{t_naive:.0}"),
+                format!("{:.1}x", t_ref / t_yann.max(f64::EPSILON)),
             ]);
         }
     }
-    table.print("B4: universal-relation queries — Yannakakis vs connection join vs naive join");
+    table.print(
+        "B4: universal-relation queries — columnar Yannakakis vs reference engine vs connection/naive join",
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -84,6 +86,19 @@ fn bench(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("yannakakis", 200), &db, |b, db| {
         b.iter(|| yannakakis_join(db, &tree, &x))
     });
+    group.bench_with_input(
+        BenchmarkId::new("yannakakis_reference", 200),
+        &db,
+        |b, db| b.iter(|| naive_yannakakis_join(db, &tree, &x)),
+    );
+    group.bench_with_input(BenchmarkId::new("full_reduce", 200), &db, |b, db| {
+        b.iter(|| full_reduce(db, &tree))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("full_reduce_reference", 200),
+        &db,
+        |b, db| b.iter(|| naive_full_reduce(db, &tree)),
+    );
     group.bench_with_input(BenchmarkId::new("naive", 200), &db, |b, db| {
         b.iter(|| query_via_full_join(db, &x))
     });

@@ -89,8 +89,8 @@ mod tests {
         for name in ["A", "B", "C", "D", "E"] {
             assert!(dot.contains(&format!("\"{name}\"")));
         }
-        assert!(dot.contains("edge_0_ABC"));
-        assert!(dot.contains("edge_1_CDE"));
+        assert!(dot.contains("edge_0_A_B_C"));
+        assert!(dot.contains("edge_1_C_D_E"));
         assert!(dot.ends_with("}\n"));
     }
 
@@ -99,7 +99,7 @@ mod tests {
         let table = fig1().to_ascii_table();
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[0].contains('A') && lines[0].contains('E'));
-        assert!(lines[2].starts_with("ABC"));
+        assert!(lines[2].starts_with("A-B-C"));
         assert_eq!(lines[2].matches('x').count(), 3);
         assert_eq!(lines[3].matches('x').count(), 3);
     }

@@ -51,6 +51,12 @@ impl Graph {
         self.adjacency.get(&n).cloned().unwrap_or_default()
     }
 
+    /// The neighbours of `n` by reference, or `None` if `n` is not in the
+    /// graph — the allocation-free variant used by traversal inner loops.
+    pub fn neighbors_ref(&self, n: NodeId) -> Option<&NodeSet> {
+        self.adjacency.get(&n)
+    }
+
     /// All nodes of the graph.
     pub fn nodes(&self) -> NodeSet {
         self.adjacency.keys().copied().collect()

@@ -33,9 +33,11 @@ impl Hypergraph {
 
     /// Builds a hypergraph from edges given as lists of node names.
     ///
-    /// Edge labels default to the concatenation of the node names
-    /// (e.g. `ABC`), matching the paper's convention of writing an edge
-    /// `{A, B, C}`.
+    /// Edge labels default to the node names joined with `-` (e.g.
+    /// `A-B-C` for the paper's edge `{A, B, C}`).  The separator keeps
+    /// distinct edges distinguishable — bare concatenation would label both
+    /// `["A", "BC"]` and `["AB", "C"]` as `ABC` — and any label that still
+    /// collides (e.g. duplicate edges) is deduplicated with a `#k` suffix.
     ///
     /// ```
     /// use hypergraph::Hypergraph;
@@ -45,6 +47,7 @@ impl Hypergraph {
     /// ]).unwrap();
     /// assert_eq!(h.edge_count(), 2);
     /// assert_eq!(h.node_count(), 5);
+    /// assert_eq!(h.edges()[0].label, "A-B-C");
     /// ```
     pub fn from_edges<I, E, S>(edges: I) -> Result<Self>
     where
@@ -53,9 +56,20 @@ impl Hypergraph {
         S: AsRef<str>,
     {
         let mut b = Self::builder();
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
         for edge in edges {
             let names: Vec<String> = edge.into_iter().map(|s| s.as_ref().to_owned()).collect();
-            let label = names.concat();
+            let mut label = names.join("-");
+            if !used.insert(label.clone()) {
+                let mut k = 2usize;
+                label = loop {
+                    let candidate = format!("{label}#{k}");
+                    if used.insert(candidate.clone()) {
+                        break candidate;
+                    }
+                    k += 1;
+                };
+            }
             b = b.edge(label, names.iter().map(String::as_str));
         }
         b.build()
@@ -428,7 +442,20 @@ mod tests {
         assert!(r.contains_edge_set(&h.node_set(["A", "B", "C"]).unwrap()));
         assert!(r.contains_edge_set(&h.node_set(["D"]).unwrap()));
         // Representative keeps the earliest label.
-        assert_eq!(r.edges()[0].label, "ABC");
+        assert_eq!(r.edges()[0].label, "A-B-C");
+    }
+
+    #[test]
+    fn default_labels_do_not_collide() {
+        // Bare concatenation would label both edges "ABC".
+        let h = Hypergraph::from_edges([vec!["A", "BC"], vec!["AB", "C"]]).unwrap();
+        assert_eq!(h.edges()[0].label, "A-BC");
+        assert_eq!(h.edges()[1].label, "AB-C");
+        // Identical node lists still get distinct labels.
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["A", "B"], vec!["A", "B"]]).unwrap();
+        assert_eq!(h.edges()[0].label, "A-B");
+        assert_eq!(h.edges()[1].label, "A-B#2");
+        assert_eq!(h.edges()[2].label, "A-B#3");
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! `hyperq bench` — the machine-readable perf harness.
+//!
+//! Runs the query-engine (B4: Yannakakis full reduce + join) and
+//! acyclicity micro-benchmarks at fixed workload sizes, timing both the
+//! columnar engine and the retained naive reference engine, and writes the
+//! results as `BENCH_results.json` so the perf trajectory accumulates in
+//! CI artifacts.  With `--check <baseline.json>` it additionally compares
+//! the measured columnar `full_reduce` numbers against a checked-in
+//! baseline and fails on a regression beyond `--max-regression` (default
+//! 2×, deliberately generous to tolerate runner noise).
+
+use acyclic::{is_acyclic_mcs, join_tree, AcyclicityExt};
+use hypergraph::Hypergraph;
+use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
+use reldb::{full_reduce, yannakakis_join, Database};
+use std::time::Instant;
+use workload::{chain, far_apart, random_database, star, DataParams};
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Operation name (`full_reduce`, `yannakakis_join`, `acyclicity_gyo`, …).
+    pub op: String,
+    /// `columnar` (the engine) or `reference` (the naive baseline).
+    pub engine: String,
+    /// Workload name (`chain-6`, `star-6`, `chain-64`, …).
+    pub workload: String,
+    /// Workload scale knob: tuples per relation, or edge count.
+    pub size: usize,
+    /// Work items processed per iteration: database tuples, or edges.
+    pub units: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl BenchRecord {
+    fn units_per_sec(&self) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            return 0.0;
+        }
+        self.units as f64 * 1e9 / self.ns_per_iter
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{\"op\": \"{}\", \"engine\": \"{}\", \"workload\": \"{}\", \"size\": {}, \"units\": {}, \"iters\": {}, \"ns_per_iter\": {:.0}, \"units_per_sec\": {:.0}}}",
+            self.op,
+            self.engine,
+            self.workload,
+            self.size,
+            self.units,
+            self.iters,
+            self.ns_per_iter,
+            self.units_per_sec(),
+        )
+    }
+}
+
+/// Times `f`: one warmup/calibration run, then enough iterations to fill
+/// roughly 200ms (between 2 and 100), returning `(iters, mean ns/iter)`.
+fn measure<T>(mut f: impl FnMut() -> T) -> (usize, f64) {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = start.elapsed().as_nanos().max(1);
+    let iters = (200_000_000 / once_ns).clamp(2, 100) as usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    (iters, start.elapsed().as_nanos() as f64 / iters as f64)
+}
+
+/// Which workload sizes to run: the full trajectory, the trimmed CI set,
+/// or a smoke-sized profile for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// All sizes (200/1000/4000 tuples per relation).
+    Full,
+    /// CI sizes (200/1000) — fast enough for every push.
+    Quick,
+    /// Smoke sizes (60) — for the CLI test suite under debug builds.
+    Tiny,
+}
+
+fn query_records(profile: Profile, records: &mut Vec<BenchRecord>) {
+    let sizes: &[usize] = match profile {
+        Profile::Full => &[200, 1000, 4000],
+        Profile::Quick => &[200, 1000],
+        Profile::Tiny => &[60],
+    };
+    let schemas: Vec<(&str, Hypergraph)> =
+        vec![("chain-6", chain(6, 2, 1)), ("star-6", star(6, 2))];
+    for (wname, schema) in &schemas {
+        let tree = join_tree(schema).expect("benchmark schemas are acyclic");
+        let x = far_apart(schema);
+        for &size in sizes {
+            let db: Database = random_database(
+                schema,
+                DataParams {
+                    tuples_per_relation: size,
+                    domain: (size as i64 / 2).max(2),
+                },
+                9,
+            );
+            let units = db.tuple_count();
+            let mut push = |op: &str, engine: &str, (iters, ns): (usize, f64)| {
+                records.push(BenchRecord {
+                    op: op.to_owned(),
+                    engine: engine.to_owned(),
+                    workload: (*wname).to_owned(),
+                    size,
+                    units,
+                    iters,
+                    ns_per_iter: ns,
+                });
+            };
+            push(
+                "full_reduce",
+                "columnar",
+                measure(|| full_reduce(&db, &tree)),
+            );
+            push(
+                "full_reduce",
+                "reference",
+                measure(|| naive_full_reduce(&db, &tree)),
+            );
+            push(
+                "yannakakis_join",
+                "columnar",
+                measure(|| yannakakis_join(&db, &tree, &x)),
+            );
+            push(
+                "yannakakis_join",
+                "reference",
+                measure(|| naive_yannakakis_join(&db, &tree, &x)),
+            );
+        }
+    }
+}
+
+fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
+    let sizes: &[usize] = match profile {
+        Profile::Full => &[64, 256],
+        Profile::Quick => &[64],
+        Profile::Tiny => &[16],
+    };
+    for &size in sizes {
+        let schema = chain(size, 3, 1);
+        let units = schema.edge_count();
+        let mut push = |op: &str, (iters, ns): (usize, f64)| {
+            records.push(BenchRecord {
+                op: op.to_owned(),
+                engine: "columnar".to_owned(),
+                workload: format!("chain-{size}"),
+                size,
+                units,
+                iters,
+                ns_per_iter: ns,
+            });
+        };
+        push("acyclicity_gyo", measure(|| schema.is_acyclic()));
+        push("acyclicity_mcs", measure(|| is_acyclic_mcs(&schema)));
+    }
+}
+
+/// Runs every benchmark, returning the records.
+pub fn run_all(profile: Profile) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    query_records(profile, &mut records);
+    acyclicity_records(profile, &mut records);
+    records
+}
+
+/// Renders the records as the `BENCH_results.json` document (one record per
+/// line, so the file diffs and greps cleanly).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"created_unix\": {created},\n"));
+    out.push_str("  \"results\": [\n");
+    let lines: Vec<String> = records.iter().map(BenchRecord::to_json_line).collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts a string field from a single-record JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts a numeric field from a single-record JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .map_or(line.len(), |i| i + start);
+    line[start..end].parse().ok()
+}
+
+/// Compares measured columnar `full_reduce` records against a baseline
+/// document (the format written by [`to_json`]).  Returns a summary, or an
+/// error naming every regression beyond `max_regression`.
+pub fn check_baseline(
+    records: &[BenchRecord],
+    baseline: &str,
+    max_regression: f64,
+) -> Result<String, String> {
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    let mut out = String::new();
+    for r in records {
+        if r.op != "full_reduce" || r.engine != "columnar" {
+            continue;
+        }
+        let base = baseline.lines().find_map(|line| {
+            (field_str(line, "op") == Some(r.op.as_str())
+                && field_str(line, "engine") == Some(r.engine.as_str())
+                && field_str(line, "workload") == Some(r.workload.as_str())
+                && field_num(line, "size") == Some(r.size as f64))
+            .then(|| field_num(line, "ns_per_iter"))
+            .flatten()
+        });
+        let Some(base_ns) = base else {
+            // A measured record the baseline does not cover must not
+            // silently narrow the guard.
+            failures.push(format!(
+                "{}/{} size {} has no baseline record",
+                r.op, r.workload, r.size
+            ));
+            continue;
+        };
+        compared += 1;
+        let ratio = r.ns_per_iter / base_ns;
+        out.push_str(&format!(
+            "check {}/{} size {}: {:.0} ns vs baseline {:.0} ns ({}{:.2}x)\n",
+            r.op,
+            r.workload,
+            r.size,
+            r.ns_per_iter,
+            base_ns,
+            if ratio >= 1.0 { "+" } else { "" },
+            ratio,
+        ));
+        if ratio > max_regression {
+            failures.push(format!(
+                "{}/{} size {} regressed {ratio:.2}x (limit {max_regression:.2}x)",
+                r.op, r.workload, r.size
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline contains no matching columnar full_reduce records".to_owned());
+    }
+    if !failures.is_empty() {
+        return Err(format!("bench regression: {}", failures.join("; ")));
+    }
+    out.push_str(&format!(
+        "baseline check passed: {compared} records within {max_regression:.2}x\n"
+    ));
+    Ok(out)
+}
+
+/// A human-readable summary table of the records, with the columnar
+/// speedup over the reference engine where both were measured.
+pub fn summary(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<10} {:>6} {:>8} {:>14} {:>14} {:>9}\n",
+        "op", "workload", "size", "units", "columnar_ns", "reference_ns", "speedup"
+    ));
+    for r in records.iter().filter(|r| r.engine == "columnar") {
+        let reference = records.iter().find(|b| {
+            b.engine == "reference" && b.op == r.op && b.workload == r.workload && b.size == r.size
+        });
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>6} {:>8} {:>14.0} {:>14} {:>9}\n",
+            r.op,
+            r.workload,
+            r.size,
+            r.units,
+            r.ns_per_iter,
+            reference.map_or("-".to_owned(), |b| format!("{:.0}", b.ns_per_iter)),
+            reference.map_or("-".to_owned(), |b| format!(
+                "{:.1}x",
+                b.ns_per_iter / r.ns_per_iter
+            )),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(op: &str, engine: &str, workload: &str, size: usize, ns: f64) -> BenchRecord {
+        BenchRecord {
+            op: op.into(),
+            engine: engine.into(),
+            workload: workload.into(),
+            size,
+            units: 100,
+            iters: 3,
+            ns_per_iter: ns,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_field_extractors() {
+        let records = vec![record("full_reduce", "columnar", "chain-6", 200, 12345.0)];
+        let json = to_json(&records);
+        let line = json.lines().find(|l| l.contains("\"op\"")).unwrap();
+        assert_eq!(field_str(line, "op"), Some("full_reduce"));
+        assert_eq!(field_str(line, "engine"), Some("columnar"));
+        assert_eq!(field_num(line, "size"), Some(200.0));
+        assert_eq!(field_num(line, "ns_per_iter"), Some(12345.0));
+    }
+
+    #[test]
+    fn baseline_check_passes_and_fails_on_ratio() {
+        let baseline = to_json(&[record("full_reduce", "columnar", "chain-6", 200, 1000.0)]);
+        let ok = vec![record("full_reduce", "columnar", "chain-6", 200, 1500.0)];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        let slow = vec![record("full_reduce", "columnar", "chain-6", 200, 2500.0)];
+        let err = check_baseline(&slow, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("regressed"));
+        // Records missing from the baseline are an error, not a silent pass.
+        let other = vec![record("full_reduce", "columnar", "star-6", 200, 10.0)];
+        assert!(check_baseline(&other, &baseline, 2.0).is_err());
+    }
+
+    #[test]
+    fn summary_pairs_engines() {
+        let records = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 1000.0),
+            record("full_reduce", "reference", "chain-6", 200, 9000.0),
+        ];
+        let s = summary(&records);
+        assert!(s.contains("9.0x"), "summary: {s}");
+    }
+
+    #[test]
+    fn quick_bench_produces_all_engines() {
+        // Tiny smoke: run only the acyclicity half to keep the test fast.
+        let mut records = Vec::new();
+        acyclicity_records(Profile::Tiny, &mut records);
+        assert!(records.iter().any(|r| r.op == "acyclicity_gyo"));
+        assert!(records.iter().any(|r| r.op == "acyclicity_mcs"));
+        assert!(records.iter().all(|r| r.ns_per_iter > 0.0));
+    }
+}

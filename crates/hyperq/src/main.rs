@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod commands;
 mod load;
 
@@ -28,6 +29,8 @@ USAGE:
     hyperq query    <schema> <data> --select A,B[,..] [--engine ENGINE]
     hyperq dot      <schema> [--name NAME]
     hyperq stats    <schema>
+    hyperq bench    [--out FILE] [--check BASELINE] [--max-regression F]
+                    [--quick | --tiny]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -38,6 +41,11 @@ COMMANDS:
     dot        Emit the schema as Graphviz DOT (bipartite incidence view)
     stats      Print a structural summary (degree hierarchy, articulation
                sets, incidence table)
+    bench      Run the query/acyclicity benchmarks at fixed workload sizes
+               (columnar engine vs naive reference); --out writes machine-
+               readable JSON, --check fails on a columnar full_reduce
+               regression beyond --max-regression (default 2.0) against a
+               baseline JSON, --quick trims the workload sizes for CI
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
@@ -51,6 +59,16 @@ fn fail(msg: &str) -> ExitCode {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Extracts a boolean `--flag` from `args`, leaving only positionals behind.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
 }
 
 /// Extracts `--flag value` from `args`, leaving only positionals behind.
@@ -110,6 +128,41 @@ fn run() -> Result<String, String> {
                 return Err("--select needs at least one attribute".to_owned());
             }
             commands::run_query(&db, &attrs, engine)
+        }
+        "bench" => {
+            let out_path = take_flag(&mut args, "--out")?;
+            let check_path = take_flag(&mut args, "--check")?;
+            let max_regression = match take_flag(&mut args, "--max-regression")? {
+                Some(s) => s
+                    .parse::<f64>()
+                    .map_err(|_| format!("--max-regression: not a number: {s:?}"))?,
+                None => 2.0,
+            };
+            let quick = take_switch(&mut args, "--quick");
+            let tiny = take_switch(&mut args, "--tiny");
+            if !args.is_empty() {
+                return Err(format!("bench takes no positional arguments, got {args:?}"));
+            }
+            let profile = match (tiny, quick) {
+                (true, _) => bench::Profile::Tiny,
+                (false, true) => bench::Profile::Quick,
+                (false, false) => bench::Profile::Full,
+            };
+            let records = bench::run_all(profile);
+            let mut out = bench::summary(&records);
+            if let Some(path) = out_path {
+                std::fs::write(&path, bench::to_json(&records))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+            if let Some(path) = check_path {
+                out.push_str(&bench::check_baseline(
+                    &records,
+                    &read(&path)?,
+                    max_regression,
+                )?);
+            }
+            Ok(out)
         }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }

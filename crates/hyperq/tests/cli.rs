@@ -114,6 +114,51 @@ fn stats_reports_structure() {
 }
 
 #[test]
+fn bench_writes_json_and_guards_against_regressions() {
+    let out_path = std::env::temp_dir().join(format!("hyperq_bench_{}.json", std::process::id()));
+    let out_path = out_path.to_str().expect("utf-8 path");
+
+    // Tiny profile: measure, print the summary, write the JSON document.
+    let out = hyperq(&["bench", "--tiny", "--out", out_path]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("full_reduce"), "summary: {text}");
+    assert!(text.contains("speedup"), "summary: {text}");
+    let json = std::fs::read_to_string(out_path).expect("bench JSON written");
+    assert!(json.contains("\"engine\": \"columnar\""));
+    assert!(json.contains("\"engine\": \"reference\""));
+    assert!(json.contains("\"op\": \"acyclicity_mcs\""));
+
+    // Checking against the run we just wrote passes (ratios ~1x).
+    let out = hyperq(&["bench", "--tiny", "--check", out_path]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(stdout(&out).contains("baseline check passed"));
+
+    // An absurdly fast baseline trips the regression guard.
+    std::fs::write(out_path, regression_baseline(&json)).unwrap();
+    let out = hyperq(&["bench", "--tiny", "--check", out_path]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression"));
+
+    let _ = std::fs::remove_file(out_path);
+}
+
+/// Rewrites every ns_per_iter in a bench JSON document to 1 ns.
+fn regression_baseline(json: &str) -> String {
+    json.lines()
+        .map(|l| {
+            if let Some(start) = l.find("\"ns_per_iter\": ") {
+                let rest = &l[start + 15..];
+                let end = rest.find(',').unwrap();
+                format!("{}\"ns_per_iter\": 1{}\n", &l[..start], &rest[end..])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect()
+}
+
+#[test]
 fn bad_usage_fails_with_diagnostics() {
     let out = hyperq(&["classify", "/nonexistent/schema.hg"]);
     assert!(!out.status.success());

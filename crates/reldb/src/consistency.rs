@@ -25,7 +25,7 @@ pub fn is_pairwise_consistent(db: &Database) -> bool {
             if i == j {
                 continue;
             }
-            if rels[i].semijoin(&rels[j]).len() != rels[i].len() {
+            if rels[i].semijoin_count(&rels[j]) != rels[i].len() {
                 return false;
             }
         }
@@ -37,10 +37,9 @@ pub fn is_pairwise_consistent(db: &Database) -> bool {
 /// attributes (no dangling tuples anywhere).
 pub fn is_globally_consistent(db: &Database) -> bool {
     let full = db.full_join();
-    db.relations().iter().all(|r| {
-        full.project(r.attributes())
-            .same_contents(&r.project(r.attributes()))
-    })
+    db.relations()
+        .iter()
+        .all(|r| full.project(r.attributes()).same_contents(r))
 }
 
 /// The relations that violate global consistency, with the number of
@@ -50,11 +49,9 @@ pub fn dangling_report(db: &Database) -> Vec<(String, usize)> {
     db.relations()
         .iter()
         .filter_map(|r| {
-            let represented = full.project(r.attributes());
-            let dangling = r
-                .tuples()
-                .filter(|t| !represented.contains(&t.project(r.attributes())))
-                .count();
+            // A tuple is dangling exactly when it matches no tuple of the
+            // full join on r's attributes, i.e. the semijoin drops it.
+            let dangling = r.len() - r.semijoin_count(&full);
             (dangling > 0).then(|| (r.name().to_owned(), dangling))
         })
         .collect()
@@ -68,13 +65,7 @@ pub fn make_globally_consistent(db: &Database) -> Database {
     let relations: Vec<Relation> = db
         .relations()
         .iter()
-        .map(|r| {
-            let mut fresh = Relation::new(r.name().to_owned(), r.attributes().clone());
-            for t in full.project(r.attributes()).tuples() {
-                fresh.insert(t.clone());
-            }
-            fresh
-        })
+        .map(|r| full.project(r.attributes()).with_name(r.name().to_owned()))
         .collect();
     Database::new(db.schema().clone(), relations).expect("schema unchanged")
 }

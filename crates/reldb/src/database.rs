@@ -1,6 +1,8 @@
 //! Databases: one relation ("object") per hyperedge of a schema hypergraph.
 
+use crate::pool::ValuePool;
 use crate::relation::{Relation, Tuple};
+use crate::value::Value;
 use hypergraph::{EdgeId, Hypergraph, NodeSet};
 use std::fmt;
 
@@ -43,20 +45,36 @@ impl std::error::Error for DbError {}
 pub struct Database {
     schema: Hypergraph,
     relations: Vec<Relation>,
+    pool: ValuePool,
 }
 
 impl Database {
     /// Creates an empty database (all relations empty) over `schema`.
+    ///
+    /// All relations share one [`ValuePool`], so every cross-relation kernel
+    /// (join, semijoin, reduction) compares plain handles with no
+    /// translation step.
     pub fn empty(schema: Hypergraph) -> Self {
+        let pool = ValuePool::new();
         let relations = schema
             .edges()
             .iter()
-            .map(|e| Relation::new(e.label.clone(), e.nodes.clone()))
+            .map(|e| Relation::with_pool(e.label.clone(), e.nodes.clone(), pool.clone()))
             .collect();
-        Self { schema, relations }
+        Self {
+            schema,
+            relations,
+            pool,
+        }
     }
 
     /// Assembles a database from a schema and relations given in edge order.
+    ///
+    /// Relations produced by this crate's kernels from a common ancestor
+    /// (the usual case: reductions, projections, repairs) already share one
+    /// pool.  Independently built relations keep their own pools — the
+    /// kernels still work, paying a handle translation per cross-pool
+    /// operation.
     pub fn new(schema: Hypergraph, relations: Vec<Relation>) -> Result<Self, DbError> {
         if relations.len() != schema.edge_count() {
             return Err(DbError::RelationCountMismatch {
@@ -69,7 +87,14 @@ impl Database {
                 return Err(DbError::SchemaMismatch(r.name().to_owned()));
             }
         }
-        Ok(Self { schema, relations })
+        let pool = relations
+            .first()
+            .map_or_else(ValuePool::new, |r| r.pool().clone());
+        Ok(Self {
+            schema,
+            relations,
+            pool,
+        })
     }
 
     /// The schema hypergraph.
@@ -92,9 +117,27 @@ impl Database {
         &mut self.relations[e.index()]
     }
 
+    /// The database's value pool: the pool every relation of an
+    /// [`Database::empty`]-built database interns into (for assembled
+    /// databases, the first relation's pool — see [`Database::new`]).
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
     /// Inserts a tuple into the relation of schema edge `e`.
     pub fn insert(&mut self, e: EdgeId, t: Tuple) -> bool {
         self.relations[e.index()].insert(t)
+    }
+
+    /// Inserts a tuple given as values in column order (ascending attribute
+    /// id) into the relation of schema edge `e` — the bulk-loading fast
+    /// path; see [`Relation::insert_values`].
+    pub fn insert_values<I, V>(&mut self, e: EdgeId, values: I) -> bool
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.relations[e.index()].insert_values(values)
     }
 
     /// Total number of tuples across all relations.
@@ -163,7 +206,7 @@ mod tests {
         let db = Database::empty(schema());
         assert_eq!(db.relations().len(), 2);
         assert_eq!(db.tuple_count(), 0);
-        assert_eq!(db.relation(EdgeId(0)).name(), "AB");
+        assert_eq!(db.relation(EdgeId(0)).name(), "A-B");
         assert_eq!(
             db.relation(EdgeId(1)).attributes(),
             &db.schema().node_set(["B", "C"]).unwrap()

@@ -41,7 +41,9 @@
 
 mod consistency;
 mod database;
+mod pool;
 mod query;
+pub mod reference;
 mod relation;
 mod universal;
 mod value;
@@ -51,6 +53,7 @@ pub use consistency::{
     dangling_report, is_globally_consistent, is_pairwise_consistent, make_globally_consistent,
 };
 pub use database::{Database, DbError};
+pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
 pub use universal::{

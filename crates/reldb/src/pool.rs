@@ -1,0 +1,189 @@
+//! Value interning.
+//!
+//! The columnar engine stores tuples as fixed-width rows of `u32` *handles*
+//! rather than owned [`Value`]s.  A [`ValuePool`] is the dictionary behind
+//! those handles: interning the same value twice yields the same handle, so
+//! the join/semijoin/projection kernels compare and hash plain integers and
+//! never touch a `Value` (or allocate) on the hot path.
+//!
+//! One pool is shared by every relation of a [`Database`](crate::Database)
+//! and by every relation derived from them (joins, projections, reductions),
+//! so handle equality *is* value equality within a query.  Relations built
+//! independently carry their own pools; the binary kernels detect that via
+//! [`ValuePool::same_pool`] and translate handles across pools first.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Handle reserved as "no handle" (used by row tables and translations).
+pub(crate) const NO_HANDLE: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    values: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+/// A shared, thread-safe dictionary interning [`Value`]s to `u32` handles.
+///
+/// Cloning a `ValuePool` clones the *handle to the same dictionary*; use
+/// [`ValuePool::same_pool`] to test identity.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl ValuePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the two handles point at the same dictionary, i.e. handles
+    /// from one are directly comparable with handles from the other.
+    pub fn same_pool(&self, other: &ValuePool) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Interns `v`, returning its handle.  Idempotent.
+    pub fn intern(&self, v: &Value) -> u32 {
+        let mut inner = self.inner.lock().expect("value pool lock");
+        Self::intern_locked(&mut inner, v)
+    }
+
+    fn intern_locked(inner: &mut PoolInner, v: &Value) -> u32 {
+        if let Some(&h) = inner.index.get(v) {
+            return h;
+        }
+        let h = u32::try_from(inner.values.len()).expect("value pool overflow");
+        assert!(h < NO_HANDLE - 1, "value pool overflow");
+        inner.values.push(v.clone());
+        inner.index.insert(v.clone(), h);
+        h
+    }
+
+    /// Interns a whole row of values under a single lock, appending the
+    /// handles to `out`.
+    pub fn intern_row<'a, I>(&self, values: I, out: &mut Vec<u32>)
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut inner = self.inner.lock().expect("value pool lock");
+        for v in values {
+            out.push(Self::intern_locked(&mut inner, v));
+        }
+    }
+
+    /// The handle of `v`, if it has been interned.
+    pub fn get(&self, v: &Value) -> Option<u32> {
+        self.inner
+            .lock()
+            .expect("value pool lock")
+            .index
+            .get(v)
+            .copied()
+    }
+
+    /// The value behind `h`.
+    ///
+    /// # Panics
+    /// Panics if `h` was not produced by this pool.
+    pub fn value(&self, h: u32) -> Value {
+        self.inner.lock().expect("value pool lock").values[h as usize].clone()
+    }
+
+    /// A snapshot of the whole dictionary, indexed by handle — one lock for
+    /// a bulk decode instead of one per [`ValuePool::value`] call.
+    pub(crate) fn snapshot(&self) -> Vec<Value> {
+        self.inner.lock().expect("value pool lock").values.clone()
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("value pool lock").values.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A translation table from this pool's handles to `to`'s handles:
+    /// `table[h]` is the handle in `to` of the value behind `h` here.
+    ///
+    /// With `intern == false`, values unknown to `to` map to
+    /// [`NO_HANDLE`] (they can never match a row of a relation over `to`);
+    /// with `intern == true` they are interned into `to` first, so the table
+    /// never contains `NO_HANDLE`.
+    pub(crate) fn translation_to(&self, to: &ValuePool, intern: bool) -> Vec<u32> {
+        // Snapshot first so the two pool locks are never held together.
+        let values: Vec<Value> = self.inner.lock().expect("value pool lock").values.clone();
+        let mut to_inner = to.inner.lock().expect("value pool lock");
+        values
+            .iter()
+            .map(|v| {
+                if intern {
+                    Self::intern_locked(&mut to_inner, v)
+                } else {
+                    to_inner.index.get(v).copied().unwrap_or(NO_HANDLE)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let pool = ValuePool::new();
+        let a = pool.intern(&Value::Int(7));
+        let b = pool.intern(&Value::str("x"));
+        assert_eq!(pool.intern(&Value::Int(7)), a);
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.value(a), Value::Int(7));
+        assert_eq!(pool.get(&Value::str("x")), Some(b));
+        assert_eq!(pool.get(&Value::str("y")), None);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn intern_row_batches_under_one_lock() {
+        let pool = ValuePool::new();
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(1)];
+        let mut out = Vec::new();
+        pool.intern_row(vals.iter(), &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_identity_but_fresh_pools_do_not() {
+        let pool = ValuePool::new();
+        let twin = pool.clone();
+        assert!(pool.same_pool(&twin));
+        let h = twin.intern(&Value::Int(3));
+        assert_eq!(pool.value(h), Value::Int(3));
+        assert!(!pool.same_pool(&ValuePool::new()));
+    }
+
+    #[test]
+    fn translation_maps_known_values_and_flags_unknown() {
+        let a = ValuePool::new();
+        let b = ValuePool::new();
+        a.intern(&Value::Int(1));
+        a.intern(&Value::Int(2));
+        let h1 = b.intern(&Value::Int(2));
+        let table = a.translation_to(&b, false);
+        assert_eq!(table, vec![NO_HANDLE, h1]);
+        let table = a.translation_to(&b, true);
+        assert_eq!(table[1], h1);
+        assert_ne!(table[0], NO_HANDLE);
+        assert_eq!(b.value(table[0]), Value::Int(1));
+    }
+}

@@ -1,19 +1,38 @@
-//! Relations with set semantics.
+//! Relations with set semantics, stored columnar-flat.
 //!
-//! A [`Relation`] is a named set of [`Tuple`]s over a fixed set of
-//! attributes.  Attributes are hypergraph nodes ([`NodeId`]), so a relation
-//! corresponds directly to one "object" (hyperedge) of the paper's
-//! universal-relation model.
+//! A [`Relation`] is a named set of tuples over a fixed set of attributes.
+//! Attributes are hypergraph nodes ([`NodeId`]), so a relation corresponds
+//! directly to one "object" (hyperedge) of the paper's universal-relation
+//! model.
+//!
+//! # Storage layout
+//!
+//! Values are interned once into a shared [`ValuePool`]; a stored tuple is a
+//! fixed-width row of `u32` handles laid out in the relation's schema
+//! attribute order (ascending [`NodeId`]), and all rows live in one
+//! contiguous `Vec<u32>` buffer.  Set semantics are enforced by an
+//! open-addressing hash index over the rows.  The relational kernels —
+//! [`Relation::join`], [`Relation::semijoin`], [`Relation::project`],
+//! [`Relation::select_eq`] — resolve attribute positions once per call and
+//! then work purely on handle rows: no `Value` is cloned, hashed or compared
+//! on the hot path.
+//!
+//! [`Tuple`] remains the boundary type for building and reading individual
+//! tuples; it is decoded from / encoded into rows only at the edges.
 
+use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
 use hypergraph::{NodeId, NodeSet, Universe};
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A tuple: an assignment of values to attributes.
+///
+/// This is the *exchange* representation used to build and inspect
+/// relations; inside a [`Relation`] tuples are stored as flat interned rows.
+/// Pairs are kept sorted by attribute, matching the relation column order.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tuple {
-    values: BTreeMap<NodeId, Value>,
+    pairs: Vec<(NodeId, Value)>,
 }
 
 impl Tuple {
@@ -22,49 +41,63 @@ impl Tuple {
         Self::default()
     }
 
-    /// Builds a tuple from `(attribute, value)` pairs.
+    /// Builds a tuple from `(attribute, value)` pairs.  A repeated attribute
+    /// keeps the last value given.
     pub fn from_pairs<I, V>(pairs: I) -> Self
     where
         I: IntoIterator<Item = (NodeId, V)>,
         V: Into<Value>,
     {
-        Self {
-            values: pairs.into_iter().map(|(a, v)| (a, v.into())).collect(),
+        let mut t = Tuple::new();
+        for (a, v) in pairs {
+            t.set(a, v);
         }
+        t
     }
 
     /// The value of attribute `a`, if present.
     pub fn get(&self, a: NodeId) -> Option<&Value> {
-        self.values.get(&a)
+        self.pairs
+            .binary_search_by_key(&a, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.pairs[i].1)
     }
 
     /// Sets the value of attribute `a`.
     pub fn set(&mut self, a: NodeId, v: impl Into<Value>) {
-        self.values.insert(a, v.into());
+        match self.pairs.binary_search_by_key(&a, |(k, _)| *k) {
+            Ok(i) => self.pairs[i].1 = v.into(),
+            Err(i) => self.pairs.insert(i, (a, v.into())),
+        }
+    }
+
+    /// Iterates over `(attribute, value)` pairs in ascending attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Value)> + '_ {
+        self.pairs.iter().map(|(a, v)| (*a, v))
     }
 
     /// The attributes this tuple assigns.
     pub fn attributes(&self) -> NodeSet {
-        self.values.keys().copied().collect()
+        self.pairs.iter().map(|(a, _)| *a).collect()
     }
 
     /// Restriction of the tuple to the attributes in `attrs`.
     pub fn project(&self, attrs: &NodeSet) -> Tuple {
         Tuple {
-            values: self
-                .values
+            pairs: self
+                .pairs
                 .iter()
-                .filter(|(a, _)| attrs.contains(**a))
-                .map(|(a, v)| (*a, v.clone()))
+                .filter(|(a, _)| attrs.contains(*a))
+                .cloned()
                 .collect(),
         }
     }
 
     /// True if the two tuples agree on every attribute they share.
     pub fn joinable(&self, other: &Tuple) -> bool {
-        self.values
+        self.pairs
             .iter()
-            .all(|(a, v)| other.values.get(a).is_none_or(|w| w == v))
+            .all(|(a, v)| other.get(*a).is_none_or(|w| w == v))
     }
 
     /// The combined tuple, if the two agree on shared attributes.
@@ -72,27 +105,27 @@ impl Tuple {
         if !self.joinable(other) {
             return None;
         }
-        let mut values = self.values.clone();
-        for (a, v) in &other.values {
-            values.insert(*a, v.clone());
+        let mut out = self.clone();
+        for (a, v) in other.iter() {
+            out.set(a, v.clone());
         }
-        Some(Tuple { values })
+        Some(out)
     }
 
     /// Number of attributes assigned.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.pairs.len()
     }
 
     /// True if the tuple assigns no attribute.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.pairs.is_empty()
     }
 
     /// Renders the tuple with attribute names from `universe`.
     pub fn display(&self, universe: &Universe) -> String {
         let parts: Vec<String> = self
-            .values
+            .pairs
             .iter()
             .map(|(a, v)| format!("{}={}", universe.name(*a), v))
             .collect();
@@ -100,21 +133,164 @@ impl Tuple {
     }
 }
 
-/// A relation: a named set of tuples over a fixed attribute set.
-#[derive(Debug, Clone, PartialEq, Eq)]
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_step(h: u64, w: u32) -> u64 {
+    (h ^ u64::from(w)).wrapping_mul(FNV_PRIME)
+}
+
+/// Finalizer mixing the accumulator so the low bits (used as table index)
+/// depend on every input word.
+#[inline]
+fn fnv_finish(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[inline]
+fn hash_row(row: &[u32]) -> u64 {
+    fnv_finish(row.iter().fold(FNV_OFFSET, |h, &w| fnv_step(h, w)))
+}
+
+#[inline]
+fn hash_key(row: &[u32], pos: &[usize]) -> u64 {
+    fnv_finish(pos.iter().fold(FNV_OFFSET, |h, &p| fnv_step(h, row[p])))
+}
+
+/// Open-addressing hash table storing `u32` entry ids.  The caller supplies
+/// hashing and equality (entries usually denote rows in some buffer), keeps
+/// its own occupancy count, and must call [`RowTable::reserve`] before every
+/// insertion so a free slot always exists.
+#[derive(Debug, Clone, Default)]
+struct RowTable {
+    slots: Vec<u32>,
+}
+
+impl RowTable {
+    /// Grows the table if inserting one more entry would exceed a 3/4 load
+    /// factor, rehashing existing entries with `hash_of`.
+    fn reserve(&mut self, occupied: usize, hash_of: impl Fn(u32) -> u64) {
+        if (occupied + 1) * 4 > self.slots.len() * 3 {
+            let cap = ((occupied + 1) * 2).next_power_of_two().max(8);
+            let mut slots = vec![NO_HANDLE; cap];
+            let mask = cap - 1;
+            for &id in &self.slots {
+                if id == NO_HANDLE {
+                    continue;
+                }
+                let mut i = hash_of(id) as usize & mask;
+                while slots[i] != NO_HANDLE {
+                    i = (i + 1) & mask;
+                }
+                slots[i] = id;
+            }
+            self.slots = slots;
+        }
+    }
+
+    /// The entry equal (per `eq`) to the probed key, if present.
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let id = self.slots[i];
+            if id == NO_HANDLE {
+                return None;
+            }
+            if eq(id) {
+                return Some(id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Probes for the key: `(slot, true)` if an equal entry occupies `slot`,
+    /// `(slot, false)` if `slot` is the free slot where it belongs.  Call
+    /// [`RowTable::reserve`] first.
+    fn find_slot(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> (usize, bool) {
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let id = self.slots[i];
+            if id == NO_HANDLE {
+                return (i, false);
+            }
+            if eq(id) {
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, slot: usize) -> u32 {
+        self.slots[slot]
+    }
+
+    fn set(&mut self, slot: usize, id: u32) {
+        self.slots[slot] = id;
+    }
+}
+
+#[inline]
+fn row_of(buf: &[u32], width: usize, id: u32) -> &[u32] {
+    &buf[id as usize * width..(id as usize + 1) * width]
+}
+
+/// Positions (column indices) of the attributes of `of` within `cols`.
+/// Both are in ascending attribute order, so position sequences computed for
+/// the same `of` against two relations align column-for-column.
+fn positions(of: &NodeSet, cols: &[NodeId]) -> Vec<usize> {
+    cols.iter()
+        .enumerate()
+        .filter(|(_, c)| of.contains(**c))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// A relation: a named set of tuples over a fixed attribute set, stored as
+/// flat interned rows (see the module docs for the layout).
+#[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     attributes: NodeSet,
-    tuples: BTreeSet<Tuple>,
+    /// The attributes in ascending id order; column `i` of every row holds
+    /// the value of `cols[i]`.
+    cols: Box<[NodeId]>,
+    pool: ValuePool,
+    /// Row-major handle buffer of `len * cols.len()` words.
+    rows: Vec<u32>,
+    /// Number of rows (kept separately: zero-width relations have rows too).
+    len: usize,
+    /// Set-semantics index over the rows.
+    index: RowTable,
 }
 
 impl Relation {
-    /// Creates an empty relation over `attributes`.
+    /// Creates an empty relation over `attributes` with its own fresh
+    /// [`ValuePool`].  Relations meant to be joined together should share a
+    /// pool (see [`Relation::with_pool`]); the kernels still work across
+    /// pools, at the cost of a handle translation per operation.
     pub fn new(name: impl Into<String>, attributes: NodeSet) -> Self {
+        Self::with_pool(name, attributes, ValuePool::new())
+    }
+
+    /// Creates an empty relation over `attributes` interning into `pool`.
+    pub fn with_pool(name: impl Into<String>, attributes: NodeSet, pool: ValuePool) -> Self {
+        let cols: Box<[NodeId]> = attributes.iter().collect();
         Self {
             name: name.into(),
             attributes,
-            tuples: BTreeSet::new(),
+            cols,
+            pool,
+            rows: Vec::new(),
+            len: 0,
+            index: RowTable::default(),
         }
     }
 
@@ -123,24 +299,137 @@ impl Relation {
         &self.name
     }
 
+    /// Returns the relation renamed to `name`.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     /// The relation's attribute set.
     pub fn attributes(&self) -> &NodeSet {
         &self.attributes
     }
 
-    /// The tuples, in canonical order.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+    /// The attributes in column (ascending id) order — the order in which
+    /// [`Relation::insert_values`] expects values.
+    pub fn columns(&self) -> &[NodeId] {
+        &self.cols
+    }
+
+    /// The value pool this relation interns into.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn col_pos(&self, a: NodeId) -> Option<usize> {
+        self.cols.binary_search(&a).ok()
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        let w = self.width();
+        &self.rows[i * w..(i + 1) * w]
+    }
+
+    fn rows_iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        let w = self.width();
+        (0..self.len).map(move |i| &self.rows[i * w..(i + 1) * w])
+    }
+
+    /// Decodes row `i` into a [`Tuple`].
+    pub fn tuple_at(&self, i: usize) -> Tuple {
+        assert!(i < self.len, "row index out of range");
+        Tuple {
+            pairs: self
+                .cols
+                .iter()
+                .zip(self.row(i))
+                .map(|(&a, &h)| (a, self.decode_cell(&None, h)))
+                .collect(),
+        }
+    }
+
+    /// The dictionary snapshot for decoding `cells` cells, or `None` when
+    /// the relation is small enough that per-handle lookups beat cloning
+    /// the (shared, possibly much larger) dictionary.
+    fn decode_snapshot(&self, cells: usize) -> Option<Vec<Value>> {
+        (cells >= self.pool.len()).then(|| self.pool.snapshot())
+    }
+
+    /// Decodes one handle, through the snapshot when one was taken.
+    fn decode_cell(&self, snapshot: &Option<Vec<Value>>, h: u32) -> Value {
+        match snapshot {
+            Some(values) => values[h as usize].clone(),
+            None => self.pool.value(h),
+        }
+    }
+
+    /// The tuples, decoded, in storage (first-insertion) order.
+    ///
+    /// Bulk decodes snapshot the value dictionary once up front (one pool
+    /// lock total rather than one per cell); small relations decode via
+    /// per-handle lookups instead.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        let values = self.decode_snapshot(self.len * self.width());
+        (0..self.len).map(move |i| Tuple {
+            pairs: self
+                .cols
+                .iter()
+                .zip(self.row(i))
+                .map(|(&a, &h)| (a, self.decode_cell(&values, h)))
+                .collect(),
+        })
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// True if the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
+    }
+
+    /// Inserts an already-encoded row, deduplicating.  Returns `true` if new.
+    fn insert_row(&mut self, row: &[u32]) -> bool {
+        debug_assert_eq!(row.len(), self.width());
+        let w = self.width();
+        let rows = &self.rows;
+        let index = &mut self.index;
+        let h = hash_row(row);
+        index.reserve(self.len, |id| hash_row(row_of(rows, w, id)));
+        let (slot, occupied) = index.find_slot(h, |id| row_of(rows, w, id) == row);
+        if occupied {
+            return false;
+        }
+        let id = u32::try_from(self.len).expect("relation too large");
+        // Row ids share the u32 space with the NO_HANDLE sentinel used by
+        // the tables and join chains; the last id must stay below it.
+        assert!(id < NO_HANDLE, "relation too large");
+        self.rows.extend_from_slice(row);
+        self.index.set(slot, id);
+        self.len += 1;
+        true
+    }
+
+    /// Rebuilds the dedup index from scratch (rows are known distinct).
+    fn rebuild_index(&mut self) {
+        let w = self.width();
+        let rows = &self.rows;
+        let mut table = RowTable::default();
+        for id in 0..self.len as u32 {
+            let h = hash_row(row_of(rows, w, id));
+            table.reserve(id as usize, |j| hash_row(row_of(rows, w, j)));
+            let (slot, occupied) =
+                table.find_slot(h, |j| row_of(rows, w, j) == row_of(rows, w, id));
+            debug_assert!(!occupied, "rebuild_index requires distinct rows");
+            table.set(slot, id);
+        }
+        self.index = table;
     }
 
     /// Inserts a tuple.
@@ -155,68 +444,311 @@ impl Relation {
             "tuple attributes do not match relation {:?}",
             self.name
         );
-        self.tuples.insert(t)
+        let mut row = Vec::with_capacity(self.width());
+        // Tuple pairs are sorted by attribute id == column order.
+        self.pool
+            .intern_row(t.pairs.iter().map(|(_, v)| v), &mut row);
+        self.insert_row(&row)
+    }
+
+    /// Inserts a tuple given as values in **column order** (ascending
+    /// attribute id, see [`Relation::columns`]) — the allocation-light bulk
+    /// loading path used by the data generators and loaders.
+    ///
+    /// # Panics
+    /// Panics if the number of values differs from the relation's arity.
+    pub fn insert_values<I, V>(&mut self, values: I) -> bool
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let vals: Vec<Value> = values.into_iter().map(Into::into).collect();
+        assert_eq!(
+            vals.len(),
+            self.width(),
+            "value count does not match relation {:?} arity",
+            self.name
+        );
+        let mut row = Vec::with_capacity(vals.len());
+        self.pool.intern_row(vals.iter(), &mut row);
+        self.insert_row(&row)
     }
 
     /// True if the relation contains `t`.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        if t.attributes() != self.attributes {
+            return false;
+        }
+        let mut row = Vec::with_capacity(self.width());
+        for (_, v) in t.iter() {
+            match self.pool.get(v) {
+                Some(h) => row.push(h),
+                // A value never interned here cannot occur in any row.
+                None => return false,
+            }
+        }
+        let w = self.width();
+        self.index
+            .find(hash_row(&row), |id| row_of(&self.rows, w, id) == &row[..])
+            .is_some()
     }
 
     /// Projection onto `attrs` (which need not be a subset of the schema;
     /// extra attributes are ignored), with duplicate elimination.
     pub fn project(&self, attrs: &NodeSet) -> Relation {
         let kept = self.attributes.intersection(attrs);
-        let mut out = Relation::new(format!("π({})", self.name), kept.clone());
-        for t in &self.tuples {
-            out.tuples.insert(t.project(&kept));
+        let mut out = Relation::with_pool(format!("π({})", self.name), kept, self.pool.clone());
+        let pos: Vec<usize> = out
+            .cols
+            .iter()
+            .map(|c| self.col_pos(*c).expect("kept ⊆ schema"))
+            .collect();
+        let mut buf = vec![0u32; pos.len()];
+        for i in 0..self.len {
+            let row = self.row(i);
+            for (j, &p) in pos.iter().enumerate() {
+                buf[j] = row[p];
+            }
+            out.insert_row(&buf);
         }
         out
     }
 
     /// Selection: keep tuples where attribute `a` equals `v`.
     pub fn select_eq(&self, a: NodeId, v: &Value) -> Relation {
-        let mut out = Relation::new(format!("σ({})", self.name), self.attributes.clone());
-        for t in &self.tuples {
-            if t.get(a) == Some(v) {
-                out.tuples.insert(t.clone());
+        let mut out = Relation::with_pool(
+            format!("σ({})", self.name),
+            self.attributes.clone(),
+            self.pool.clone(),
+        );
+        let (Some(p), Some(h)) = (self.col_pos(a), self.pool.get(v)) else {
+            // Attribute outside the schema or value never seen: empty result.
+            return out;
+        };
+        for i in 0..self.len {
+            let row = self.row(i);
+            if row[p] == h {
+                out.insert_row(row);
             }
         }
         out
     }
 
-    /// Natural join.
+    /// Natural join, as a positional hash join: the smaller side is indexed
+    /// by its shared-attribute key columns, the larger side probes, and
+    /// output rows are assembled by copying handles.
     pub fn join(&self, other: &Relation) -> Relation {
         let attrs = self.attributes.union(&other.attributes);
-        let shared = self.attributes.intersection(&other.attributes);
-        let mut out = Relation::new(format!("({}⋈{})", self.name, other.name), attrs);
-        // Hash join on the shared attributes.
-        let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
-        for t in &other.tuples {
-            index.entry(t.project(&shared)).or_default().push(t);
+        let name = format!("({}⋈{})", self.name, other.name);
+        let mut out = Relation::with_pool(name, attrs, self.pool.clone());
+        if self.len == 0 || other.len == 0 {
+            return out;
         }
-        for t in &self.tuples {
-            if let Some(matches) = index.get(&t.project(&shared)) {
-                for m in matches {
-                    if let Some(joined) = t.join(m) {
-                        out.tuples.insert(joined);
-                    }
+        // Unify pools so handle equality is value equality; output values
+        // come from both sides, so unknown values are interned.
+        let converted;
+        let other = if self.pool.same_pool(&other.pool) {
+            other
+        } else {
+            converted = other.reintern_into(&self.pool);
+            &converted
+        };
+        let shared = self.attributes.intersection(&other.attributes);
+        let (build, probe) = if self.len <= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let build_key = positions(&shared, &build.cols);
+        let probe_key = positions(&shared, &probe.cols);
+        // Where each output column comes from; prefer the probe side so the
+        // shared columns are copied from the row already in hand.
+        let sources: Vec<(bool, usize)> = out
+            .cols
+            .iter()
+            .map(|c| match probe.col_pos(*c) {
+                Some(p) => (true, p),
+                None => (false, build.col_pos(*c).expect("union attr")),
+            })
+            .collect();
+        // Index the build side: one table entry per distinct key, rows with
+        // equal keys chained through `next`.
+        let bw = build.width();
+        let brows = &build.rows;
+        let mut next: Vec<u32> = vec![NO_HANDLE; build.len];
+        let mut table = RowTable::default();
+        let mut distinct = 0usize;
+        for r in 0..build.len as u32 {
+            let h = hash_key(row_of(brows, bw, r), &build_key);
+            table.reserve(distinct, |id| hash_key(row_of(brows, bw, id), &build_key));
+            let (slot, occupied) = table.find_slot(h, |id| {
+                let (a, b) = (row_of(brows, bw, id), row_of(brows, bw, r));
+                build_key.iter().all(|&p| a[p] == b[p])
+            });
+            if occupied {
+                next[r as usize] = table.get(slot);
+                table.set(slot, r);
+            } else {
+                table.set(slot, r);
+                distinct += 1;
+            }
+        }
+        // Probe and emit.
+        let k = probe_key.len();
+        let mut keybuf = vec![0u32; k];
+        let mut rowbuf = vec![0u32; out.width()];
+        for prow in probe.rows_iter() {
+            for (j, &p) in probe_key.iter().enumerate() {
+                keybuf[j] = prow[p];
+            }
+            let head = table.find(hash_row(&keybuf), |id| {
+                let b = row_of(brows, bw, id);
+                build_key.iter().zip(&keybuf).all(|(&p, &v)| b[p] == v)
+            });
+            let Some(mut cur) = head else { continue };
+            loop {
+                let brow = row_of(brows, bw, cur);
+                for (c, &(from_probe, p)) in sources.iter().enumerate() {
+                    rowbuf[c] = if from_probe { prow[p] } else { brow[p] };
                 }
+                out.insert_row(&rowbuf);
+                if next[cur as usize] == NO_HANDLE {
+                    break;
+                }
+                cur = next[cur as usize];
             }
         }
         out
+    }
+
+    /// For each row of `self`, whether some row of `other` matches it on the
+    /// shared attributes — the common kernel behind the semijoin family.
+    fn semijoin_mask(&self, other: &Relation) -> Vec<bool> {
+        let shared = self.attributes.intersection(&other.attributes);
+        if shared.is_empty() {
+            // π_∅(other) is {()} iff other is nonempty; every tuple matches.
+            return vec![!other.is_empty(); self.len];
+        }
+        let my_pos = positions(&shared, &self.cols);
+        let their_pos = positions(&shared, &other.cols);
+        let k = my_pos.len();
+        // Handle translation (read-only): other-pool values unknown to our
+        // pool cannot occur in our rows, so their rows are simply skipped.
+        let trans = if self.pool.same_pool(&other.pool) {
+            None
+        } else {
+            Some(other.pool.translation_to(&self.pool, false))
+        };
+        // Gather the (translated) key columns of `other` into one buffer.
+        let mut keys: Vec<u32> = Vec::with_capacity(other.len * k);
+        'rows: for row in other.rows_iter() {
+            let start = keys.len();
+            for &p in &their_pos {
+                let h = match &trans {
+                    None => row[p],
+                    Some(table) => {
+                        let t = table[row[p] as usize];
+                        if t == NO_HANDLE {
+                            keys.truncate(start);
+                            continue 'rows;
+                        }
+                        t
+                    }
+                };
+                keys.push(h);
+            }
+        }
+        let nkeys = keys.len() / k;
+        let key_at = |id: u32| &keys[id as usize * k..(id as usize + 1) * k];
+        let mut table = RowTable::default();
+        let mut distinct = 0usize;
+        for i in 0..nkeys as u32 {
+            let h = hash_row(key_at(i));
+            table.reserve(distinct, |id| hash_row(key_at(id)));
+            let (slot, occupied) = table.find_slot(h, |id| key_at(id) == key_at(i));
+            if !occupied {
+                table.set(slot, i);
+                distinct += 1;
+            }
+        }
+        let mut keybuf = vec![0u32; k];
+        self.rows_iter()
+            .map(|row| {
+                for (j, &p) in my_pos.iter().enumerate() {
+                    keybuf[j] = row[p];
+                }
+                table
+                    .find(hash_row(&keybuf), |id| key_at(id) == &keybuf[..])
+                    .is_some()
+            })
+            .collect()
     }
 
     /// Semijoin: the tuples of `self` that join with at least one tuple of
     /// `other`.
     pub fn semijoin(&self, other: &Relation) -> Relation {
-        let shared = self.attributes.intersection(&other.attributes);
-        let other_keys: BTreeSet<Tuple> = other.tuples.iter().map(|t| t.project(&shared)).collect();
-        let mut out = Relation::new(self.name.clone(), self.attributes.clone());
-        for t in &self.tuples {
-            if other_keys.contains(&t.project(&shared)) {
-                out.tuples.insert(t.clone());
+        let mask = self.semijoin_mask(other);
+        let mut out = Relation::with_pool(
+            self.name.clone(),
+            self.attributes.clone(),
+            self.pool.clone(),
+        );
+        for (row, &keep) in self.rows_iter().zip(&mask) {
+            if keep {
+                out.insert_row(row);
             }
+        }
+        out
+    }
+
+    /// Number of tuples the semijoin with `other` would keep, without
+    /// materializing it.
+    pub fn semijoin_count(&self, other: &Relation) -> usize {
+        self.semijoin_mask(other).iter().filter(|&&b| b).count()
+    }
+
+    /// In-place semijoin: removes the tuples of `self` that match no tuple
+    /// of `other`, compacting the row buffer without reallocating.  Returns
+    /// the number of tuples removed.
+    pub fn retain_semijoin(&mut self, other: &Relation) -> usize {
+        let mask = self.semijoin_mask(other);
+        let removed = mask.iter().filter(|&&b| !b).count();
+        if removed == 0 {
+            return 0;
+        }
+        let w = self.width();
+        let mut write = 0usize;
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                if write != i {
+                    self.rows.copy_within(i * w..(i + 1) * w, write * w);
+                }
+                write += 1;
+            }
+        }
+        self.rows.truncate(write * w);
+        self.len = write;
+        self.rebuild_index();
+        removed
+    }
+
+    /// A copy of the relation with every value re-interned into `pool`.
+    ///
+    /// Translation is lazy per distinct handle: only values the rows
+    /// actually use enter `pool` (this relation's own pool may be a shared
+    /// dictionary far larger than the relation).
+    fn reintern_into(&self, pool: &ValuePool) -> Relation {
+        let mut cache: Vec<u32> = vec![NO_HANDLE; self.pool.len()];
+        let mut out = Relation::with_pool(self.name.clone(), self.attributes.clone(), pool.clone());
+        let mut buf = vec![0u32; self.width()];
+        for row in self.rows_iter() {
+            for (j, &h) in row.iter().enumerate() {
+                if cache[h as usize] == NO_HANDLE {
+                    cache[h as usize] = pool.intern(&self.pool.value(h));
+                }
+                buf[j] = cache[h as usize];
+            }
+            out.insert_row(&buf);
         }
         out
     }
@@ -224,28 +756,62 @@ impl Relation {
     /// True if the two relations hold exactly the same tuples over the same
     /// attributes (names are ignored).
     pub fn same_contents(&self, other: &Relation) -> bool {
-        self.attributes == other.attributes && self.tuples == other.tuples
+        if self.attributes != other.attributes || self.len != other.len {
+            return false;
+        }
+        if self.width() == 0 {
+            return true; // equal row counts of the empty tuple
+        }
+        let trans = if self.pool.same_pool(&other.pool) {
+            None
+        } else {
+            Some(other.pool.translation_to(&self.pool, false))
+        };
+        let w = self.width();
+        let mut buf = vec![0u32; w];
+        for row in other.rows_iter() {
+            match &trans {
+                None => buf.copy_from_slice(row),
+                Some(table) => {
+                    for (j, &h) in row.iter().enumerate() {
+                        let t = table[h as usize];
+                        if t == NO_HANDLE {
+                            return false;
+                        }
+                        buf[j] = t;
+                    }
+                }
+            }
+            if self
+                .index
+                .find(hash_row(&buf), |id| row_of(&self.rows, w, id) == &buf[..])
+                .is_none()
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// Renders the relation as a small table using `universe` for names.
     pub fn display(&self, universe: &Universe) -> String {
         let mut out = String::new();
-        let attrs: Vec<NodeId> = self.attributes.iter().collect();
         out.push_str(&format!("{} (", self.name));
         out.push_str(
-            &attrs
+            &self
+                .cols
                 .iter()
                 .map(|a| universe.name(*a).to_owned())
                 .collect::<Vec<_>>()
                 .join(", "),
         );
-        out.push_str(&format!(") — {} tuples\n", self.tuples.len()));
-        for t in &self.tuples {
+        out.push_str(&format!(") — {} tuples\n", self.len));
+        let values = self.decode_snapshot(self.len * self.width());
+        for row in self.rows_iter() {
             out.push_str("  ");
             out.push_str(
-                &attrs
-                    .iter()
-                    .map(|a| t.get(*a).map_or("-".to_owned(), |v| v.to_string()))
+                &row.iter()
+                    .map(|&h| self.decode_cell(&values, h).to_string())
                     .collect::<Vec<_>>()
                     .join(" | "),
             );
@@ -255,9 +821,18 @@ impl Relation {
     }
 }
 
+impl PartialEq for Relation {
+    /// Equal when name, attributes and tuple contents all agree.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.same_contents(other)
+    }
+}
+
+impl Eq for Relation {}
+
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{} tuples]", self.name, self.tuples.len())
+        write!(f, "{}[{} tuples]", self.name, self.len)
     }
 }
 
@@ -305,6 +880,19 @@ mod tests {
     }
 
     #[test]
+    fn tuple_set_replaces_and_keeps_order() {
+        let (h, _, _) = setup();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        let mut t = Tuple::from_pairs([(b, 1), (a, 2), (b, 3)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b), Some(&Value::Int(3)));
+        t.set(a, 9);
+        assert_eq!(t.get(a), Some(&Value::Int(9)));
+        let attrs: Vec<NodeId> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(attrs, vec![a, b]);
+    }
+
+    #[test]
     fn natural_join_matches_shared_attributes() {
         let (h, r, s) = setup();
         let j = r.join(&s);
@@ -330,6 +918,15 @@ mod tests {
     }
 
     #[test]
+    fn projection_onto_nothing_yields_one_empty_tuple() {
+        let (_, r, _) = setup();
+        let p = r.project(&NodeSet::new());
+        assert_eq!(p.len(), 1);
+        assert!(p.attributes().is_empty());
+        assert!(p.tuples().next().unwrap().is_empty());
+    }
+
+    #[test]
     fn selection_filters() {
         let (h, r, _) = setup();
         let sel = r.select_eq(h.node("B").unwrap(), &Value::Int(10));
@@ -337,6 +934,13 @@ mod tests {
         assert!(sel
             .tuples()
             .all(|t| t.get(h.node("B").unwrap()) == Some(&Value::Int(10))));
+        // Unknown value or out-of-schema attribute: empty result.
+        assert!(r
+            .select_eq(h.node("B").unwrap(), &Value::Int(77))
+            .is_empty());
+        assert!(r
+            .select_eq(h.node("C").unwrap(), &Value::Int(10))
+            .is_empty());
     }
 
     #[test]
@@ -345,9 +949,50 @@ mod tests {
         let sj = r.semijoin(&s);
         assert_eq!(sj.len(), 2); // A=1 and A=3 (B=10 matches), A=2 (B=20) dropped
         assert_eq!(sj.attributes(), &h.node_set(["A", "B"]).unwrap());
+        assert_eq!(r.semijoin_count(&s), 2);
         // Semijoin against an empty relation empties the result.
         let empty = Relation::new("E", h.node_set(["B", "C"]).unwrap());
         assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn retain_semijoin_matches_semijoin() {
+        let (_, mut r, s) = setup();
+        let expected = r.semijoin(&s);
+        let removed = r.retain_semijoin(&s);
+        assert_eq!(removed, 1);
+        assert!(r.same_contents(&expected));
+        // Idempotent afterwards.
+        assert_eq!(r.retain_semijoin(&s), 0);
+    }
+
+    #[test]
+    fn cross_pool_operations_translate_handles() {
+        // r and s are built independently, so they intern into different
+        // pools; every kernel must still agree with the shared-pool result.
+        let (h, r, s) = setup();
+        assert!(!r.pool().same_pool(s.pool()));
+        let mut s_shared = Relation::with_pool("S", s.attributes().clone(), r.pool().clone());
+        for t in s.tuples() {
+            s_shared.insert(t);
+        }
+        assert!(s.same_contents(&s_shared));
+        assert!(r.join(&s).same_contents(&r.join(&s_shared)));
+        assert!(r.semijoin(&s).same_contents(&r.semijoin(&s_shared)));
+        let _ = h;
+    }
+
+    #[test]
+    fn insert_values_matches_insert() {
+        let (h, r, _) = setup();
+        let mut v = Relation::new("V", h.node_set(["A", "B"]).unwrap());
+        // Column order is ascending attribute id: A then B.
+        assert_eq!(v.columns().len(), 2);
+        assert!(v.insert_values([1i64, 10]));
+        assert!(v.insert_values([2i64, 20]));
+        assert!(v.insert_values([3i64, 10]));
+        assert!(!v.insert_values([1i64, 10]));
+        assert!(v.same_contents(&r));
     }
 
     #[test]
@@ -369,6 +1014,19 @@ mod tests {
     }
 
     #[test]
+    fn contains_and_tuple_roundtrip() {
+        let (h, r, _) = setup();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        assert!(r.contains(&Tuple::from_pairs([(a, 1), (b, 10)])));
+        assert!(!r.contains(&Tuple::from_pairs([(a, 1), (b, 11)])));
+        assert!(!r.contains(&Tuple::from_pairs([(a, 1)])));
+        for (i, t) in r.tuples().enumerate() {
+            assert_eq!(r.tuple_at(i), t);
+            assert!(r.contains(&t));
+        }
+    }
+
+    #[test]
     fn join_with_disjoint_schemas_is_cross_product() {
         let h = Hypergraph::from_edges([vec!["A"], vec!["B"]]).unwrap();
         let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
@@ -380,5 +1038,19 @@ mod tests {
         s.insert(Tuple::from_pairs([(b, 8)]));
         s.insert(Tuple::from_pairs([(b, 9)]));
         assert_eq!(r.join(&s).len(), 6);
+    }
+
+    #[test]
+    fn dedup_survives_many_inserts_and_growth() {
+        let h = Hypergraph::from_edges([vec!["A", "B"]]).unwrap();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        let mut r = Relation::new("R", h.node_set(["A", "B"]).unwrap());
+        for i in 0..1000i64 {
+            assert!(r.insert(Tuple::from_pairs([(a, i), (b, i % 7)])));
+        }
+        for i in 0..1000i64 {
+            assert!(!r.insert(Tuple::from_pairs([(a, i), (b, i % 7)])));
+        }
+        assert_eq!(r.len(), 1000);
     }
 }

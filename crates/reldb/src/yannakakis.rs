@@ -30,37 +30,46 @@ impl Reduced {
     }
 }
 
+/// Mutable access to `rels[i]` alongside shared access to `rels[j]`.
+fn pair_mut(rels: &mut [Relation], i: usize, j: usize) -> (&mut Relation, &Relation) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = rels.split_at_mut(j);
+        (&mut a[i], &b[0])
+    } else {
+        let (a, b) = rels.split_at_mut(i);
+        (&mut b[0], &a[j])
+    }
+}
+
 /// Runs the two semijoin passes of the Yannakakis full reducer over `tree`.
 ///
 /// The upward pass semijoins every parent with each of its children
 /// (children processed bottom-up); the downward pass semijoins every child
 /// with its parent (top-down).  Afterwards every remaining tuple
-/// participates in the full join.
+/// participates in the full join.  Each semijoin reduces the relation *in
+/// place* ([`Relation::retain_semijoin`]): the row buffer is compacted by a
+/// keep-mask rather than rebuilding the relation every pass.
 pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
     let mut relations: Vec<Relation> = db.relations().to_vec();
-    let before: Vec<usize> = relations.iter().map(Relation::len).collect();
+    let mut removed: Vec<usize> = vec![0; relations.len()];
 
     let order = tree.bottom_up_order();
     // Upward pass: parent ⋉ child, children first.
     for &child in &order {
         if let Some(parent) = tree.parent(child) {
-            relations[parent.index()] =
-                relations[parent.index()].semijoin(&relations[child.index()]);
+            let (p, c) = pair_mut(&mut relations, parent.index(), child.index());
+            removed[parent.index()] += p.retain_semijoin(c);
         }
     }
     // Downward pass: child ⋉ parent, top-down.
     for &child in order.iter().rev() {
         if let Some(parent) = tree.parent(child) {
-            relations[child.index()] =
-                relations[child.index()].semijoin(&relations[parent.index()]);
+            let (c, p) = pair_mut(&mut relations, child.index(), parent.index());
+            removed[child.index()] += c.retain_semijoin(p);
         }
     }
 
-    let removed = relations
-        .iter()
-        .zip(before)
-        .map(|(r, b)| b - r.len())
-        .collect();
     Reduced { relations, removed }
 }
 

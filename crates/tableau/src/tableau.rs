@@ -258,7 +258,7 @@ mod tests {
         let t = fig2();
         let s = t.render();
         assert!(s.contains("summary"));
-        assert!(s.contains("ABC"));
+        assert!(s.contains("A-B-C"));
         assert!(s.lines().count() >= 8);
     }
 }

@@ -11,10 +11,27 @@
 //!   in which universal-relation query answering via canonical connections
 //!   agrees with the join-everything semantics.
 
-use hypergraph::{EdgeId, Hypergraph};
+use hypergraph::{EdgeId, Hypergraph, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reldb::{make_globally_consistent, Database, Tuple};
+
+/// The benchmark-B4 query attributes of a schema: the two "far apart"
+/// attributes (the first attribute of the first edge and the last of the
+/// last edge) — shared by the criterion bench and `hyperq bench` so both
+/// harnesses measure the same query.
+///
+/// # Panics
+/// Panics if the schema has no edges or an empty edge.
+pub fn far_apart(h: &Hypergraph) -> NodeSet {
+    let first = h.edges()[0].nodes.first().expect("nonempty edge");
+    let last = h.edges()[h.edge_count() - 1]
+        .nodes
+        .iter()
+        .last()
+        .expect("nonempty edge");
+    NodeSet::from_ids([first, last])
+}
 
 /// Parameters for the random data generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,14 +52,22 @@ impl Default for DataParams {
 }
 
 /// Fills every relation of `schema` with independent random tuples.
+///
+/// Tuples are loaded through the column-order bulk path
+/// ([`Database::insert_values`]): edge node sets iterate in ascending
+/// attribute order, which is exactly the relation's column order, so no
+/// per-tuple attribute map is ever built.
 pub fn random_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Database {
     assert!(params.domain >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::empty(schema.clone());
     for (i, e) in schema.edges().iter().enumerate() {
+        let arity = e.nodes.len();
         for _ in 0..params.tuples_per_relation {
-            let t = Tuple::from_pairs(e.nodes.iter().map(|n| (n, rng.gen_range(0..params.domain))));
-            db.insert(EdgeId(i as u32), t);
+            db.insert_values(
+                EdgeId(i as u32),
+                (0..arity).map(|_| rng.gen_range(0..params.domain)),
+            );
         }
     }
     db

@@ -27,5 +27,7 @@ pub mod schema_gen;
 
 pub use acyclic_gen::{chain, random_acyclic, star, AcyclicParams};
 pub use cyclic_gen::{grid, hyper_ring, pair_clique, random_hypergraph, ring, RandomParams};
-pub use data_gen::{consistent_database, inconsistent_ring_database, random_database, DataParams};
+pub use data_gen::{
+    consistent_database, far_apart, inconsistent_ring_database, random_database, DataParams,
+};
 pub use schema_gen::{snowflake, tpc_like, with_cycle};

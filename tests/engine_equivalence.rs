@@ -1,0 +1,216 @@
+//! Equivalence property suite: the columnar engine against the retained
+//! naive reference implementation (`reldb::reference`).
+//!
+//! Random acyclic databases come from the workload generators; every core
+//! kernel — join, semijoin, projection, selection, the full reducer and the
+//! Yannakakis join — must agree with the reference tuple-for-tuple.  This is
+//! the safety net under the columnar rewrite: the reference is the
+//! pre-rewrite engine kept alive as an oracle.
+
+use acyclic_hypergraphs::acyclic::join_tree;
+use acyclic_hypergraphs::hypergraph::{Hypergraph, NodeSet};
+use acyclic_hypergraphs::reldb::reference::{
+    naive_full_reduce, naive_yannakakis_join, NaiveRelation,
+};
+use acyclic_hypergraphs::reldb::{full_reduce, yannakakis_join, Database, Relation, Tuple, Value};
+use acyclic_hypergraphs::workload::{chain, random_database, snowflake, star, DataParams};
+use proptest::prelude::*;
+
+/// One of the acyclic benchmark schema families, scaled by `shape`.
+fn schema(family: usize, shape: usize) -> Hypergraph {
+    match family % 3 {
+        0 => chain(2 + shape % 4, 2 + shape % 2, 1),
+        1 => star(2 + shape % 4, 2),
+        _ => snowflake(2 + shape % 2, 2, 2),
+    }
+}
+
+fn db_for(family: usize, shape: usize, tuples: usize, domain: i64, seed: u64) -> Database {
+    random_database(
+        &schema(family, shape),
+        DataParams {
+            tuples_per_relation: tuples,
+            domain,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pairwise join and semijoin agree with the reference on every pair of
+    /// relations of a random acyclic database.
+    #[test]
+    fn join_and_semijoin_match_reference(
+        family in 0usize..3,
+        shape in 0usize..4,
+        tuples in 1usize..24,
+        domain in 1i64..6,
+        seed in 0u64..1_000,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let rels = db.relations();
+        let naive: Vec<NaiveRelation> = rels.iter().map(NaiveRelation::from_relation).collect();
+        for i in 0..rels.len() {
+            for j in 0..rels.len() {
+                prop_assert!(
+                    naive[i].join(&naive[j]).agrees_with(&rels[i].join(&rels[j])),
+                    "join diverged on relations {i}×{j}"
+                );
+                prop_assert!(
+                    naive[i].semijoin(&naive[j]).agrees_with(&rels[i].semijoin(&rels[j])),
+                    "semijoin diverged on relations {i}⋉{j}"
+                );
+            }
+        }
+    }
+
+    /// Projection onto random attribute subsets agrees with the reference,
+    /// including the empty projection.
+    #[test]
+    fn projection_matches_reference(
+        family in 0usize..3,
+        shape in 0usize..4,
+        tuples in 1usize..24,
+        domain in 1i64..6,
+        seed in 0u64..1_000,
+        keep_mask in 0usize..64,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        for r in db.relations() {
+            let naive = NaiveRelation::from_relation(r);
+            let kept: NodeSet = r
+                .attributes()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep_mask & (1 << (i % 6)) != 0)
+                .map(|(_, n)| n)
+                .collect();
+            prop_assert!(
+                naive.project(&kept).agrees_with(&r.project(&kept)),
+                "projection diverged on {} -> {} attrs",
+                r.attributes().len(),
+                kept.len()
+            );
+        }
+    }
+
+    /// The in-place full reducer removes exactly the tuples the reference
+    /// reducer removes — same counts, same survivors.
+    #[test]
+    fn full_reduce_matches_reference(
+        family in 0usize..3,
+        shape in 0usize..4,
+        tuples in 1usize..24,
+        domain in 1i64..6,
+        seed in 0u64..1_000,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let fast = full_reduce(&db, &tree);
+        let (naive_rels, naive_removed) = naive_full_reduce(&db, &tree);
+        prop_assert_eq!(&fast.removed, &naive_removed, "removed-tuple counts diverged");
+        for (n, f) in naive_rels.iter().zip(&fast.relations) {
+            prop_assert!(n.agrees_with(f), "reduced relation contents diverged");
+        }
+    }
+
+    /// The full Yannakakis pipeline agrees with the reference pipeline on
+    /// random output attribute sets.
+    #[test]
+    fn yannakakis_join_matches_reference(
+        family in 0usize..3,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        seed in 0u64..1_000,
+        pick in 0usize..64,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let all: Vec<_> = db.schema().nodes().iter().collect();
+        let output: NodeSet = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick & (1 << (i % 6)) != 0)
+            .map(|(_, &n)| n)
+            .collect();
+        let fast = yannakakis_join(&db, &tree, &output);
+        let slow = naive_yannakakis_join(&db, &tree, &output);
+        prop_assert!(slow.agrees_with(&fast), "yannakakis output diverged");
+    }
+
+    /// Kernels translate handles correctly across independently built
+    /// relations (distinct value pools), matching the shared-pool result.
+    #[test]
+    fn cross_pool_kernels_match_shared_pool(
+        tuples in 1usize..20,
+        domain in 1i64..5,
+        seed in 0u64..1_000,
+    ) {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        // r and s_own intern into unrelated pools; s_shared mirrors s_own
+        // inside r's pool.
+        let mut r = Relation::new("R", h.node_set(["A", "B"]).unwrap());
+        let mut s_own = Relation::new("S", h.node_set(["B", "C"]).unwrap());
+        let mut s_shared =
+            Relation::with_pool("S", h.node_set(["B", "C"]).unwrap(), r.pool().clone());
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Value::Int(((x >> 33) as i64).rem_euclid(domain))
+        };
+        for _ in 0..tuples {
+            let (va, vb) = (next(), next());
+            r.insert(Tuple::from_pairs([(a, va), (b, vb)]));
+            let (vb2, vc) = (next(), next());
+            s_own.insert(Tuple::from_pairs([(b, vb2.clone()), (c, vc.clone())]));
+            s_shared.insert(Tuple::from_pairs([(b, vb2), (c, vc)]));
+        }
+        prop_assert!(s_own.same_contents(&s_shared));
+        prop_assert!(r.join(&s_own).same_contents(&r.join(&s_shared)));
+        prop_assert!(r.semijoin(&s_own).same_contents(&r.semijoin(&s_shared)));
+        prop_assert_eq!(r.semijoin_count(&s_own), r.semijoin_count(&s_shared));
+    }
+}
+
+/// Fixed regression: the rewrite must remove exactly the same number of
+/// dangling tuples as the pre-rewrite reducer did (the reference preserves
+/// its semantics) on the canonical chain instance of the yannakakis tests.
+#[test]
+fn full_reduce_removed_counts_regression() {
+    let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap();
+    let (a, b, c, d) = (
+        h.node("A").unwrap(),
+        h.node("B").unwrap(),
+        h.node("C").unwrap(),
+        h.node("D").unwrap(),
+    );
+    let mut db = Database::empty(h);
+    use acyclic_hypergraphs::hypergraph::EdgeId;
+    for i in 0..5i64 {
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, i), (b, i)]));
+    }
+    for i in 0..3i64 {
+        db.insert(EdgeId(1), Tuple::from_pairs([(b, i), (c, i * 10)]));
+    }
+    db.insert(EdgeId(1), Tuple::from_pairs([(b, 99), (c, 990)]));
+    for i in 0..2i64 {
+        db.insert(EdgeId(2), Tuple::from_pairs([(c, i * 10), (d, i + 100)]));
+    }
+    let tree = join_tree(db.schema()).unwrap();
+    let fast = full_reduce(&db, &tree);
+    let (_, naive_removed) = naive_full_reduce(&db, &tree);
+    assert_eq!(fast.removed, naive_removed);
+    assert_eq!(fast.total_removed(), naive_removed.iter().sum::<usize>());
+    assert!(
+        fast.total_removed() > 0,
+        "instance must contain dangling tuples"
+    );
+}

@@ -207,7 +207,7 @@ proptest! {
         let via_cc = query_via_connection(&raw, &x);
         let naive = query_via_full_join(&raw, &x);
         for t in naive.tuples() {
-            prop_assert!(via_cc.contains(t), "connection answer must contain the naive answer");
+            prop_assert!(via_cc.contains(&t), "connection answer must contain the naive answer");
         }
 
         let consistent = make_globally_consistent(&raw);
