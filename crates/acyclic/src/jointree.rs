@@ -21,11 +21,32 @@ pub struct JoinTree {
     /// Parent of each edge in the rooted tree (`None` for the root).
     /// Indexed by edge id.
     parent: Vec<Option<EdgeId>>,
+    /// Children of each edge, precomputed once at construction so
+    /// [`JoinTree::children`] is a slice lookup rather than a scan of the
+    /// whole parent array (it is hit once per edge per reducer pass).
+    children: Vec<Vec<EdgeId>>,
     /// The root edge.
     root: EdgeId,
 }
 
 impl JoinTree {
+    /// Assembles a tree from a parent array, building the children
+    /// adjacency.  The parent array must be acyclic (it comes from an ear
+    /// decomposition).
+    fn from_parents(parent: Vec<Option<EdgeId>>, root: EdgeId) -> Self {
+        let mut children: Vec<Vec<EdgeId>> = vec![Vec::new(); parent.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(EdgeId(i as u32));
+            }
+        }
+        Self {
+            parent,
+            children,
+            root,
+        }
+    }
+
     /// The root edge of the tree.
     pub fn root(&self) -> EdgeId {
         self.root
@@ -46,14 +67,35 @@ impl JoinTree {
         self.parent.is_empty()
     }
 
-    /// The children of `e`.
-    pub fn children(&self, e: EdgeId) -> Vec<EdgeId> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p == Some(e))
-            .map(|(i, _)| EdgeId(i as u32))
-            .collect()
+    /// The children of `e`, in ascending edge-id order.
+    pub fn children(&self, e: EdgeId) -> &[EdgeId] {
+        &self.children[e.index()]
+    }
+
+    /// The edges grouped by depth: `levels()[0]` holds the roots (edges with
+    /// no parent), `levels()[d]` the edges whose parent sits at depth `d-1`.
+    ///
+    /// This is the partition the level-synchronous Yannakakis reducer runs
+    /// over: within one level, the upward semijoins (parent ⋉ child) write
+    /// distinct parents and only read children one level deeper, and the
+    /// downward semijoins (child ⋉ parent) write distinct children and only
+    /// read parents one level shallower — so each level can be sharded
+    /// across threads.
+    pub fn levels(&self) -> Vec<Vec<EdgeId>> {
+        let mut levels: Vec<Vec<EdgeId>> = Vec::new();
+        let mut frontier: Vec<EdgeId> = (0..self.len())
+            .map(|i| EdgeId(i as u32))
+            .filter(|e| self.parent(*e).is_none())
+            .collect();
+        while !frontier.is_empty() {
+            let next: Vec<EdgeId> = frontier
+                .iter()
+                .flat_map(|e| self.children(*e).iter().copied())
+                .collect();
+            levels.push(frontier);
+            frontier = next;
+        }
+        levels
     }
 
     /// The tree edges as `(child, parent)` pairs.
@@ -77,7 +119,7 @@ impl JoinTree {
                 return;
             }
             visited[e.index()] = true;
-            for c in t.children(e) {
+            for &c in t.children(e) {
                 visit(t, c, visited, order);
             }
             order.push(e);
@@ -192,7 +234,7 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
     }
 
     let root = EdgeId(alive.iter().position(|&a| a).expect("one edge remains") as u32);
-    Some(JoinTree { parent, root })
+    Some(JoinTree::from_parents(parent, root))
 }
 
 /// Builds a join tree and returns it together with the separator
@@ -304,11 +346,43 @@ mod tests {
         // Chain A-B, B-C, C-D hung as a star off the first edge violates the
         // running intersection property for node C.
         let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap();
-        let bad = JoinTree {
-            parent: vec![None, Some(EdgeId(0)), Some(EdgeId(0))],
-            root: EdgeId(0),
-        };
+        let bad = JoinTree::from_parents(vec![None, Some(EdgeId(0)), Some(EdgeId(0))], EdgeId(0));
         assert!(!bad.verify_running_intersection(&h));
+    }
+
+    #[test]
+    fn levels_group_edges_by_depth() {
+        let h = fig1();
+        let t = join_tree(&h).unwrap();
+        let levels = t.levels();
+        // Root {A,C,E} at depth 0, its three children at depth 1.
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0], vec![t.root()]);
+        assert_eq!(levels[1].len(), 3);
+        // Every edge appears exactly once, at depth(parent) + 1.
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, t.len());
+        for (d, level) in levels.iter().enumerate() {
+            for &e in level {
+                match t.parent(e) {
+                    None => assert_eq!(d, 0),
+                    Some(p) => assert!(levels[d - 1].contains(&p)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_levels_are_singletons() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap();
+        let t = join_tree(&h).unwrap();
+        let levels = t.levels();
+        assert_eq!(levels.len(), 3);
+        assert!(levels.iter().all(|l| l.len() == 1));
+        // Children slices agree with the parent array.
+        for (c, p) in t.tree_edges() {
+            assert!(t.children(p).contains(&c));
+        }
     }
 
     #[test]

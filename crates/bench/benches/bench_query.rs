@@ -23,6 +23,7 @@ fn make_db(schema: &Hypergraph, tuples: usize, domain: i64, seed: u64) -> Databa
         DataParams {
             tuples_per_relation: tuples,
             domain,
+            skew: 0.0,
         },
         seed,
     )

@@ -12,9 +12,9 @@
 use acyclic::{is_acyclic_mcs, join_tree, AcyclicityExt};
 use hypergraph::Hypergraph;
 use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
-use reldb::{full_reduce, yannakakis_join, Database};
+use reldb::{full_reduce_with, yannakakis_join_with, Database, ExecPolicy, JoinStrategy};
 use std::time::Instant;
-use workload::{chain, far_apart, random_database, star, DataParams};
+use workload::{chain, far_apart, random_database, snowflake_tree, star, DataParams};
 
 /// One measured data point.
 #[derive(Debug, Clone)]
@@ -84,23 +84,89 @@ pub enum Profile {
     Tiny,
 }
 
-fn query_records(profile: Profile, records: &mut Vec<BenchRecord>) {
+/// One benchmark schema family: its name, schema, data skew, and which
+/// engine rows to measure on it.
+struct QueryWorkload {
+    name: &'static str,
+    schema: Hypergraph,
+    /// Zipf skew for the generated data (`0.0` = uniform).
+    skew: f64,
+    /// Divisor mapping tuples/relation to the value domain: small divisors
+    /// mean more distinct keys.
+    domain_div: i64,
+    /// Measure the naive reference engine (slow; kept for the original
+    /// chain/star trajectory rows).
+    reference: bool,
+    /// Measure the sort-merge and parallel engine variants.
+    variants: bool,
+}
+
+/// The strategy/parallelism engine variants measured alongside the default
+/// columnar hash engine.  The engine label is what lands in the JSON rows.
+fn engine_policies(threads: usize) -> Vec<(&'static str, ExecPolicy)> {
+    vec![
+        (
+            "columnar-sortmerge",
+            ExecPolicy::sequential(JoinStrategy::SortMerge),
+        ),
+        (
+            "columnar-parallel",
+            ExecPolicy::parallel(JoinStrategy::Hash, threads),
+        ),
+    ]
+}
+
+fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord>) {
     let sizes: &[usize] = match profile {
         Profile::Full => &[200, 1000, 4000],
         Profile::Quick => &[200, 1000],
         Profile::Tiny => &[60],
     };
-    let schemas: Vec<(&str, Hypergraph)> =
-        vec![("chain-6", chain(6, 2, 1)), ("star-6", star(6, 2))];
-    for (wname, schema) in &schemas {
-        let tree = join_tree(schema).expect("benchmark schemas are acyclic");
-        let x = far_apart(schema);
+    let workloads = vec![
+        QueryWorkload {
+            name: "chain-6",
+            schema: chain(6, 2, 1),
+            skew: 0.0,
+            domain_div: 2,
+            reference: true,
+            variants: true,
+        },
+        QueryWorkload {
+            name: "star-6",
+            schema: star(6, 2),
+            skew: 0.0,
+            domain_div: 2,
+            reference: true,
+            variants: false,
+        },
+        QueryWorkload {
+            name: "snowflake-2x2",
+            schema: snowflake_tree(2, 2, 3),
+            skew: 0.0,
+            domain_div: 2,
+            reference: false,
+            variants: true,
+        },
+        QueryWorkload {
+            name: "chain-6-zipf",
+            schema: chain(6, 2, 1),
+            skew: 1.1,
+            domain_div: 1,
+            reference: false,
+            variants: true,
+        },
+    ];
+    let hash_seq = ExecPolicy::sequential(JoinStrategy::Hash);
+    for w in &workloads {
+        let tree = join_tree(&w.schema).expect("benchmark schemas are acyclic");
+        let x = far_apart(&w.schema);
         for &size in sizes {
             let db: Database = random_database(
-                schema,
+                &w.schema,
                 DataParams {
                     tuples_per_relation: size,
-                    domain: (size as i64 / 2).max(2),
+                    domain: (size as i64 / w.domain_div).max(2),
+                    skew: w.skew,
                 },
                 9,
             );
@@ -109,7 +175,7 @@ fn query_records(profile: Profile, records: &mut Vec<BenchRecord>) {
                 records.push(BenchRecord {
                     op: op.to_owned(),
                     engine: engine.to_owned(),
-                    workload: (*wname).to_owned(),
+                    workload: w.name.to_owned(),
                     size,
                     units,
                     iters,
@@ -119,23 +185,59 @@ fn query_records(profile: Profile, records: &mut Vec<BenchRecord>) {
             push(
                 "full_reduce",
                 "columnar",
-                measure(|| full_reduce(&db, &tree)),
-            );
-            push(
-                "full_reduce",
-                "reference",
-                measure(|| naive_full_reduce(&db, &tree)),
+                measure(|| full_reduce_with(&db, &tree, &hash_seq)),
             );
             push(
                 "yannakakis_join",
                 "columnar",
-                measure(|| yannakakis_join(&db, &tree, &x)),
+                measure(|| yannakakis_join_with(&db, &tree, &x, &hash_seq)),
             );
-            push(
-                "yannakakis_join",
-                "reference",
-                measure(|| naive_yannakakis_join(&db, &tree, &x)),
-            );
+            if w.reference {
+                push(
+                    "full_reduce",
+                    "reference",
+                    measure(|| naive_full_reduce(&db, &tree)),
+                );
+                push(
+                    "yannakakis_join",
+                    "reference",
+                    measure(|| naive_yannakakis_join(&db, &tree, &x)),
+                );
+            }
+            if w.variants {
+                for (engine, policy) in engine_policies(threads) {
+                    push(
+                        "full_reduce",
+                        engine,
+                        measure(|| full_reduce_with(&db, &tree, &policy)),
+                    );
+                    push(
+                        "yannakakis_join",
+                        engine,
+                        measure(|| yannakakis_join_with(&db, &tree, &x, &policy)),
+                    );
+                }
+                // A single binary join of the schema's first two relations,
+                // isolating the strategy difference from the Yannakakis
+                // pipeline.  Every bench schema's first two edges share a
+                // key; assert it so a future workload cannot silently turn
+                // this row into a cross-product measurement.
+                let (r0, r1) = (&db.relations()[0], &db.relations()[1]);
+                assert!(
+                    !r0.attributes().intersection(r1.attributes()).is_empty(),
+                    "join_pair workload relations must share a key"
+                );
+                push(
+                    "join_pair",
+                    "columnar",
+                    measure(|| r0.join_with(r1, JoinStrategy::Hash)),
+                );
+                push(
+                    "join_pair",
+                    "columnar-sortmerge",
+                    measure(|| r0.join_with(r1, JoinStrategy::SortMerge)),
+                );
+            }
         }
     }
 }
@@ -165,10 +267,12 @@ fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
     }
 }
 
-/// Runs every benchmark, returning the records.
-pub fn run_all(profile: Profile) -> Vec<BenchRecord> {
+/// Runs every benchmark, returning the records.  `threads` pins the worker
+/// count of the `columnar-parallel` engine rows (CI passes a fixed value so
+/// the trajectory is reproducible across runners).
+pub fn run_all(profile: Profile, threads: usize) -> Vec<BenchRecord> {
     let mut records = Vec::new();
-    query_records(profile, &mut records);
+    query_records(profile, threads, &mut records);
     acyclicity_records(profile, &mut records);
     records
 }
@@ -220,7 +324,9 @@ pub fn check_baseline(
     let mut failures = Vec::new();
     let mut out = String::new();
     for r in records {
-        if r.op != "full_reduce" || r.engine != "columnar" {
+        // Guard the sequential hash engine and the parallel reducer alike:
+        // a regression in either is a regression in the production path.
+        if r.op != "full_reduce" || (r.engine != "columnar" && r.engine != "columnar-parallel") {
             continue;
         }
         let base = baseline.lines().find_map(|line| {
@@ -235,16 +341,17 @@ pub fn check_baseline(
             // A measured record the baseline does not cover must not
             // silently narrow the guard.
             failures.push(format!(
-                "{}/{} size {} has no baseline record",
-                r.op, r.workload, r.size
+                "{}/{}/{} size {} has no baseline record",
+                r.op, r.engine, r.workload, r.size
             ));
             continue;
         };
         compared += 1;
         let ratio = r.ns_per_iter / base_ns;
         out.push_str(&format!(
-            "check {}/{} size {}: {:.0} ns vs baseline {:.0} ns ({}{:.2}x)\n",
+            "check {}/{}/{} size {}: {:.0} ns vs baseline {:.0} ns ({}{:.2}x)\n",
             r.op,
+            r.engine,
             r.workload,
             r.size,
             r.ns_per_iter,
@@ -254,8 +361,8 @@ pub fn check_baseline(
         ));
         if ratio > max_regression {
             failures.push(format!(
-                "{}/{} size {} regressed {ratio:.2}x (limit {max_regression:.2}x)",
-                r.op, r.workload, r.size
+                "{}/{}/{} size {} regressed {ratio:.2}x (limit {max_regression:.2}x)",
+                r.op, r.engine, r.workload, r.size
             ));
         }
     }
@@ -271,30 +378,26 @@ pub fn check_baseline(
     Ok(out)
 }
 
-/// A human-readable summary table of the records, with the columnar
-/// speedup over the reference engine where both were measured.
+/// A human-readable summary table of the records: every engine row, with
+/// the speedup over the sequential columnar hash engine where both were
+/// measured (reference rows show their slowdown the same way).
 pub fn summary(records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:<10} {:>6} {:>8} {:>14} {:>14} {:>9}\n",
-        "op", "workload", "size", "units", "columnar_ns", "reference_ns", "speedup"
+        "{:<16} {:<19} {:<13} {:>6} {:>8} {:>14} {:>12}\n",
+        "op", "engine", "workload", "size", "units", "ns_per_iter", "vs_columnar"
     ));
-    for r in records.iter().filter(|r| r.engine == "columnar") {
-        let reference = records.iter().find(|b| {
-            b.engine == "reference" && b.op == r.op && b.workload == r.workload && b.size == r.size
+    for r in records {
+        let baseline = records.iter().find(|b| {
+            b.engine == "columnar" && b.op == r.op && b.workload == r.workload && b.size == r.size
         });
+        let vs = match baseline {
+            Some(b) if r.engine != "columnar" => format!("{:.2}x", b.ns_per_iter / r.ns_per_iter),
+            _ => "-".to_owned(),
+        };
         out.push_str(&format!(
-            "{:<16} {:<10} {:>6} {:>8} {:>14.0} {:>14} {:>9}\n",
-            r.op,
-            r.workload,
-            r.size,
-            r.units,
-            r.ns_per_iter,
-            reference.map_or("-".to_owned(), |b| format!("{:.0}", b.ns_per_iter)),
-            reference.map_or("-".to_owned(), |b| format!(
-                "{:.1}x",
-                b.ns_per_iter / r.ns_per_iter
-            )),
+            "{:<16} {:<19} {:<13} {:>6} {:>8} {:>14.0} {:>12}\n",
+            r.op, r.engine, r.workload, r.size, r.units, r.ns_per_iter, vs,
         ));
     }
     out
@@ -345,9 +448,39 @@ mod tests {
         let records = vec![
             record("full_reduce", "columnar", "chain-6", 200, 1000.0),
             record("full_reduce", "reference", "chain-6", 200, 9000.0),
+            record("full_reduce", "columnar-parallel", "chain-6", 200, 500.0),
         ];
         let s = summary(&records);
-        assert!(s.contains("9.0x"), "summary: {s}");
+        assert!(s.contains("0.11x"), "reference slowdown shown: {s}");
+        assert!(s.contains("2.00x"), "parallel speedup shown: {s}");
+    }
+
+    #[test]
+    fn baseline_check_covers_parallel_engine() {
+        let baseline = to_json(&[
+            record("full_reduce", "columnar", "chain-6", 200, 1000.0),
+            record("full_reduce", "columnar-parallel", "chain-6", 200, 1000.0),
+        ]);
+        let ok = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 900.0),
+            record("full_reduce", "columnar-parallel", "chain-6", 200, 1100.0),
+        ];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        let slow_par = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 900.0),
+            record("full_reduce", "columnar-parallel", "chain-6", 200, 5000.0),
+        ];
+        let err = check_baseline(&slow_par, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("columnar-parallel"), "err: {err}");
+        // A parallel row missing from the baseline is flagged, not skipped.
+        let unknown = vec![record(
+            "full_reduce",
+            "columnar-parallel",
+            "star-6",
+            200,
+            10.0,
+        )];
+        assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ USAGE:
     hyperq dot      <schema> [--name NAME]
     hyperq stats    <schema>
     hyperq bench    [--out FILE] [--check BASELINE] [--max-regression F]
-                    [--quick | --tiny]
+                    [--threads N] [--quick | --tiny]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -45,7 +45,9 @@ COMMANDS:
                (columnar engine vs naive reference); --out writes machine-
                readable JSON, --check fails on a columnar full_reduce
                regression beyond --max-regression (default 2.0) against a
-               baseline JSON, --quick trims the workload sizes for CI
+               baseline JSON, --quick trims the workload sizes for CI,
+               --threads pins the parallel-engine worker count (default 4)
+               so CI runs are reproducible across runners
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
@@ -138,6 +140,13 @@ fn run() -> Result<String, String> {
                     .map_err(|_| format!("--max-regression: not a number: {s:?}"))?,
                 None => 2.0,
             };
+            let threads = match take_flag(&mut args, "--threads")? {
+                Some(s) => match s.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--threads: not a positive integer: {s:?}")),
+                },
+                None => 4,
+            };
             let quick = take_switch(&mut args, "--quick");
             let tiny = take_switch(&mut args, "--tiny");
             if !args.is_empty() {
@@ -148,7 +157,7 @@ fn run() -> Result<String, String> {
                 (false, true) => bench::Profile::Quick,
                 (false, false) => bench::Profile::Full,
             };
-            let records = bench::run_all(profile);
+            let records = bench::run_all(profile, threads);
             let mut out = bench::summary(&records);
             if let Some(path) = out_path {
                 std::fs::write(&path, bench::to_json(&records))

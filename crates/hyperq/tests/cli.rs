@@ -123,10 +123,15 @@ fn bench_writes_json_and_guards_against_regressions() {
     assert!(out.status.success(), "stderr: {:?}", out.stderr);
     let text = stdout(&out);
     assert!(text.contains("full_reduce"), "summary: {text}");
-    assert!(text.contains("speedup"), "summary: {text}");
+    assert!(text.contains("vs_columnar"), "summary: {text}");
     let json = std::fs::read_to_string(out_path).expect("bench JSON written");
     assert!(json.contains("\"engine\": \"columnar\""));
     assert!(json.contains("\"engine\": \"reference\""));
+    assert!(json.contains("\"engine\": \"columnar-sortmerge\""));
+    assert!(json.contains("\"engine\": \"columnar-parallel\""));
+    assert!(json.contains("\"workload\": \"snowflake-2x2\""));
+    assert!(json.contains("\"workload\": \"chain-6-zipf\""));
+    assert!(json.contains("\"op\": \"join_pair\""));
     assert!(json.contains("\"op\": \"acyclicity_mcs\""));
 
     // Checking against the run we just wrote passes (ratios ~1x).

@@ -1,0 +1,143 @@
+//! Execution policy: join-strategy selection and parallelism knobs.
+//!
+//! The columnar kernels come in two physical flavors — hash (build the
+//! smaller side, probe the larger) and sort-merge (sort row-id permutations
+//! by the key columns, merge equal-key runs).  Hash wins on near-unique
+//! keys; sort-merge wins when keys are heavily duplicated (skewed data),
+//! where the pattern-defeating sort degenerates towards linear and the merge
+//! replaces per-row hashing.  [`JoinStrategy::Auto`] picks per operation
+//! from an estimated distinct-key ratio (the rows themselves are distinct —
+//! the relation's dedup index guarantees that — so sampled key duplication
+//! measures genuine key skew).
+//!
+//! [`ExecPolicy`] bundles the strategy with the parallelism knobs used by
+//! the level-synchronous Yannakakis reducer
+//! ([`full_reduce_with`](crate::full_reduce_with)): how many scoped worker
+//! threads to use and the total-tuple threshold below which spawning threads
+//! costs more than it saves.
+
+/// Which physical join/semijoin kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash build + probe (the columnar default).
+    Hash,
+    /// Sort row-id permutations by the key columns and merge.
+    SortMerge,
+    /// Pick per operation from the estimated distinct-key ratio.
+    #[default]
+    Auto,
+}
+
+impl JoinStrategy {
+    /// Parses a CLI spelling (`hash`, `sortmerge`/`sort-merge`, `auto`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hash" => Ok(Self::Hash),
+            "sortmerge" | "sort-merge" => Ok(Self::SortMerge),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!(
+                "unknown join strategy {other:?} (expected hash, sortmerge or auto)"
+            )),
+        }
+    }
+}
+
+/// Keys with a distinct-key ratio at or below this are considered skewed
+/// enough for sort-merge under [`JoinStrategy::Auto`].
+pub(crate) const AUTO_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.05;
+
+/// How the Yannakakis reducer and join execute: join strategy plus the
+/// scoped-thread parallelism knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Physical kernel selection for every join/semijoin.
+    pub strategy: JoinStrategy,
+    /// Worker threads for the level-synchronous reducer passes; `0` means
+    /// auto-detect ([`std::thread::available_parallelism`]).
+    pub threads: usize,
+    /// Total database tuples below which the reducer stays sequential even
+    /// when `threads > 1` (thread spawning would dominate).
+    pub parallel_threshold: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self {
+            strategy: JoinStrategy::Auto,
+            threads: 0,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// A fully sequential policy with an explicit strategy — what the
+    /// benchmarks use to isolate one kernel.
+    pub fn sequential(strategy: JoinStrategy) -> Self {
+        Self {
+            strategy,
+            threads: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// A parallel policy pinned to `threads` workers that always engages
+    /// (no tuple threshold) — what the benchmarks and CI use for
+    /// reproducible worker counts.
+    pub fn parallel(strategy: JoinStrategy, threads: usize) -> Self {
+        Self {
+            strategy,
+            threads: threads.max(1),
+            parallel_threshold: 0,
+        }
+    }
+
+    /// The worker count to actually use for a workload of `total_tuples`:
+    /// resolves `threads == 0` to the machine's available parallelism and
+    /// applies the sequential-fallback threshold.
+    pub fn effective_threads(&self, total_tuples: usize) -> usize {
+        if total_tuples < self.parallel_threshold {
+            return 1;
+        }
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parses_cli_spellings() {
+        assert_eq!(JoinStrategy::parse("hash"), Ok(JoinStrategy::Hash));
+        assert_eq!(
+            JoinStrategy::parse("sortmerge"),
+            Ok(JoinStrategy::SortMerge)
+        );
+        assert_eq!(
+            JoinStrategy::parse("sort-merge"),
+            Ok(JoinStrategy::SortMerge)
+        );
+        assert_eq!(JoinStrategy::parse("auto"), Ok(JoinStrategy::Auto));
+        assert!(JoinStrategy::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn effective_threads_applies_threshold_and_pin() {
+        let p = ExecPolicy::parallel(JoinStrategy::Hash, 4);
+        assert_eq!(p.effective_threads(0), 4);
+        assert_eq!(p.effective_threads(1_000_000), 4);
+        let s = ExecPolicy::sequential(JoinStrategy::Hash);
+        assert_eq!(s.effective_threads(1_000_000), 1);
+        let auto = ExecPolicy::default();
+        assert_eq!(
+            auto.effective_threads(10),
+            1,
+            "below threshold stays sequential"
+        );
+        assert!(auto.effective_threads(1_000_000) >= 1);
+    }
+}

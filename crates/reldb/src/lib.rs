@@ -41,6 +41,7 @@
 
 mod consistency;
 mod database;
+mod exec;
 mod pool;
 mod query;
 pub mod reference;
@@ -53,6 +54,7 @@ pub use consistency::{
     dangling_report, is_globally_consistent, is_pairwise_consistent, make_globally_consistent,
 };
 pub use database::{Database, DbError};
+pub use exec::{ExecPolicy, JoinStrategy};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
@@ -61,13 +63,17 @@ pub use universal::{
     ConnectionPlan,
 };
 pub use value::Value;
-pub use yannakakis::{full_reduce, naive_join_project, yannakakis_join, Reduced};
+pub use yannakakis::{
+    full_reduce, full_reduce_with, naive_join_project, yannakakis_join, yannakakis_join_with,
+    Reduced,
+};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::{
-        full_reduce, is_globally_consistent, is_pairwise_consistent, plan_connection,
-        query_via_connection, query_via_full_join, query_yannakakis, yannakakis_join, Database,
-        DbError, Query, Relation, Tuple, Value,
+        full_reduce, full_reduce_with, is_globally_consistent, is_pairwise_consistent,
+        plan_connection, query_via_connection, query_via_full_join, query_yannakakis,
+        yannakakis_join, yannakakis_join_with, Database, DbError, ExecPolicy, JoinStrategy, Query,
+        Relation, Tuple, Value,
     };
 }

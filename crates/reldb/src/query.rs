@@ -10,10 +10,11 @@
 //! tests and the query benchmark.
 
 use crate::database::{Database, DbError};
+use crate::exec::{ExecPolicy, JoinStrategy};
 use crate::relation::Relation;
 use crate::universal::plan_connection;
 use crate::value::Value;
-use crate::yannakakis::yannakakis_join;
+use crate::yannakakis::yannakakis_join_with;
 use acyclic::join_tree;
 use hypergraph::{NodeId, NodeSet};
 use std::fmt;
@@ -32,6 +33,7 @@ pub struct Selection {
 pub struct Query {
     output: Vec<NodeId>,
     selections: Vec<Selection>,
+    strategy: JoinStrategy,
 }
 
 impl Query {
@@ -65,6 +67,20 @@ impl Query {
         self
     }
 
+    /// Pins the physical join strategy for every join and semijoin this
+    /// query executes (default: [`JoinStrategy::Auto`], the cost-pick
+    /// planner).  The explicit override exists for benchmarking and for
+    /// workloads whose skew the sampler cannot see.
+    pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The query's join strategy.
+    pub fn strategy(&self) -> JoinStrategy {
+        self.strategy
+    }
+
     /// The output attributes as a node set.
     pub fn output_set(&self) -> NodeSet {
         self.output.iter().copied().collect()
@@ -95,15 +111,26 @@ impl Query {
         }
     }
 
-    /// Applies the selections that an object's schema can evaluate.
+    /// The selections a relation's schema can evaluate, as `(attribute,
+    /// value)` predicate pairs.
+    fn applicable(&self, relation: &Relation) -> Vec<(NodeId, Value)> {
+        self.selections
+            .iter()
+            .filter(|sel| relation.attributes().contains(sel.attribute))
+            .map(|sel| (sel.attribute, sel.value.clone()))
+            .collect()
+    }
+
+    /// Applies the selections that an object's schema can evaluate, all of
+    /// them fused into a single row scan with one output build
+    /// ([`Relation::select_eq_all`]) instead of materializing one
+    /// intermediate relation per selection.
     fn filtered(&self, relation: &Relation) -> Relation {
-        let mut r = relation.clone();
-        for sel in &self.selections {
-            if r.attributes().contains(sel.attribute) {
-                r = r.select_eq(sel.attribute, &sel.value);
-            }
+        let preds = self.applicable(relation);
+        if preds.is_empty() {
+            return relation.clone();
         }
-        r
+        relation.select_eq_all(&preds)
     }
 
     /// Executes via the canonical connection: filter each chosen object,
@@ -115,7 +142,7 @@ impl Query {
             let filtered = self.filtered(&db.relations()[i]);
             acc = Some(match acc {
                 None => filtered,
-                Some(a) => a.join(&filtered),
+                Some(a) => a.join_with(&filtered, self.strategy),
             });
         }
         let joined = acc.unwrap_or_else(|| Relation::new("∅", self.mentioned()));
@@ -132,7 +159,11 @@ impl Query {
         })?;
         let filtered: Vec<Relation> = db.relations().iter().map(|r| self.filtered(r)).collect();
         let filtered_db = Database::new(db.schema().clone(), filtered)?;
-        let joined = yannakakis_join(&filtered_db, &tree, &self.mentioned());
+        let policy = ExecPolicy {
+            strategy: self.strategy,
+            ..ExecPolicy::default()
+        };
+        let joined = yannakakis_join_with(&filtered_db, &tree, &self.mentioned(), &policy);
         Ok(self.finish(joined))
     }
 
@@ -141,14 +172,15 @@ impl Query {
         self.finish(db.full_join())
     }
 
-    /// Applies the remaining selections to a joined relation and projects.
+    /// Applies the remaining selections to a joined relation (fused into
+    /// one scan) and projects.
     fn finish(&self, joined: Relation) -> Relation {
-        let mut r = joined;
-        for sel in &self.selections {
-            if r.attributes().contains(sel.attribute) {
-                r = r.select_eq(sel.attribute, &sel.value);
-            }
-        }
+        let preds = self.applicable(&joined);
+        let r = if preds.is_empty() {
+            joined
+        } else {
+            joined.select_eq_all(&preds)
+        };
         r.project(&self.output_set())
     }
 }

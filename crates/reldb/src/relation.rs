@@ -20,10 +20,15 @@
 //! [`Tuple`] remains the boundary type for building and reading individual
 //! tuples; it is decoded from / encoded into rows only at the edges.
 
+use crate::exec::{JoinStrategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO};
 use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
 use hypergraph::{NodeId, NodeSet, Universe};
 use std::fmt;
+
+/// Rows below which a semijoin probe loop is never sharded across threads
+/// (thread spawning would dominate the probes themselves).
+const PAR_MASK_MIN_ROWS: usize = 1024;
 
 /// A tuple: an assignment of values to attributes.
 ///
@@ -253,6 +258,123 @@ fn positions(of: &NodeSet, cols: &[NodeId]) -> Vec<usize> {
         .collect()
 }
 
+/// The key-extraction plan shared by the binary join/semijoin kernels: the
+/// shared attributes' column positions on both sides, plus the read-only
+/// handle translation needed when the two relations intern into different
+/// pools.  Factoring this out keeps the hash and sort-merge flavors of each
+/// kernel byte-for-byte identical in how they see keys.
+struct JoinKeys {
+    left_pos: Vec<usize>,
+    right_pos: Vec<usize>,
+    trans: Option<Vec<u32>>,
+}
+
+impl JoinKeys {
+    /// The plan for `left` against `right`, or `None` when they share no
+    /// attributes (the degenerate cross-product / nonempty-test cases).
+    fn new(left: &Relation, right: &Relation) -> Option<Self> {
+        let shared = left.attributes.intersection(&right.attributes);
+        if shared.is_empty() {
+            return None;
+        }
+        let trans = if left.pool.same_pool(&right.pool) {
+            None
+        } else {
+            // Read-only translation: right-pool values unknown to the left
+            // pool cannot occur in any left row, so right rows holding them
+            // are skipped at gather time.
+            Some(right.pool.translation_to(&left.pool, false))
+        };
+        Some(Self {
+            left_pos: positions(&shared, &left.cols),
+            right_pos: positions(&shared, &right.cols),
+            trans,
+        })
+    }
+
+    /// The plan for two relations already sharing one pool (the join
+    /// kernels unify pools before calling); `shared` must be nonempty.
+    fn for_unified(left: &Relation, right: &Relation, shared: &NodeSet) -> Self {
+        Self {
+            left_pos: positions(shared, &left.cols),
+            right_pos: positions(shared, &right.cols),
+            trans: None,
+        }
+    }
+
+    /// Key width.
+    fn k(&self) -> usize {
+        self.left_pos.len()
+    }
+
+    /// Flattened key columns of `rel` at `pos` (no translation).
+    fn gather(&self, rel: &Relation, pos: &[usize]) -> Vec<u32> {
+        let mut keys = Vec::with_capacity(rel.len * pos.len());
+        for row in rel.rows_iter() {
+            keys.extend(pos.iter().map(|&p| row[p]));
+        }
+        keys
+    }
+
+    /// Flattened key columns of the right side, translated into left-pool
+    /// handles; rows holding values unknown to the left pool are skipped
+    /// (they cannot match anything on the left).
+    fn gather_translated(&self, right: &Relation) -> Vec<u32> {
+        let Some(table) = &self.trans else {
+            return self.gather(right, &self.right_pos);
+        };
+        let mut keys = Vec::with_capacity(right.len * self.k());
+        'rows: for row in right.rows_iter() {
+            let start = keys.len();
+            for &p in &self.right_pos {
+                let t = table[row[p] as usize];
+                if t == NO_HANDLE {
+                    keys.truncate(start);
+                    continue 'rows;
+                }
+                keys.push(t);
+            }
+        }
+        keys
+    }
+}
+
+/// Sorts the ids `0..n` by their flattened `k`-wide keys, returning the
+/// permutation.  Single-column keys pack `(key, id)` into one `u64` so the
+/// sort runs on a primitive; wider keys compare key slices.  The row
+/// buffers themselves are never reordered.
+fn sort_ids_by_key(keys: &[u32], k: usize, n: usize) -> Vec<u32> {
+    debug_assert_eq!(keys.len(), n * k);
+    if k == 1 {
+        let mut packed: Vec<u64> = (0..n)
+            .map(|i| (u64::from(keys[i]) << 32) | i as u64)
+            .collect();
+        packed.sort_unstable();
+        return packed
+            .into_iter()
+            .map(|p| (p & 0xffff_ffff) as u32)
+            .collect();
+    }
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.sort_unstable_by(|&a, &b| {
+        keys[a as usize * k..(a as usize + 1) * k].cmp(&keys[b as usize * k..(b as usize + 1) * k])
+    });
+    ids
+}
+
+/// The end (exclusive) of the equal-key run starting at `start` in a
+/// key-sorted id permutation.
+fn run_end(keys: &[u32], sorted: &[u32], start: usize, k: usize) -> usize {
+    let key = &keys[sorted[start] as usize * k..(sorted[start] as usize + 1) * k];
+    let mut end = start + 1;
+    while end < sorted.len()
+        && &keys[sorted[end] as usize * k..(sorted[end] as usize + 1) * k] == key
+    {
+        end += 1;
+    }
+    end
+}
+
 /// A relation: a named set of tuples over a fixed attribute set, stored as
 /// flat interned rows (see the module docs for the layout).
 #[derive(Debug, Clone)]
@@ -269,6 +391,14 @@ pub struct Relation {
     len: usize,
     /// Set-semantics index over the rows.
     index: RowTable,
+    /// True when `index` no longer reflects `rows` (set by the in-place
+    /// reducer, which shrinks rows without touching the index).  Readers
+    /// that need the index rebuild it lazily; the reducer's repeated
+    /// `retain_semijoin` calls never pay for rebuilds they don't use.
+    index_stale: bool,
+    /// How many times the index has been rebuilt — observability for the
+    /// deferred-rebuild optimization (tests assert rebuilds are saved).
+    index_rebuilds: usize,
 }
 
 impl Relation {
@@ -291,6 +421,8 @@ impl Relation {
             rows: Vec::new(),
             len: 0,
             index: RowTable::default(),
+            index_stale: false,
+            index_rebuilds: 0,
         }
     }
 
@@ -397,6 +529,7 @@ impl Relation {
     /// Inserts an already-encoded row, deduplicating.  Returns `true` if new.
     fn insert_row(&mut self, row: &[u32]) -> bool {
         debug_assert_eq!(row.len(), self.width());
+        self.ensure_index();
         let w = self.width();
         let rows = &self.rows;
         let index = &mut self.index;
@@ -416,8 +549,8 @@ impl Relation {
         true
     }
 
-    /// Rebuilds the dedup index from scratch (rows are known distinct).
-    fn rebuild_index(&mut self) {
+    /// Builds a fresh dedup table over the current rows (known distinct).
+    fn build_table(&self) -> RowTable {
         let w = self.width();
         let rows = &self.rows;
         let mut table = RowTable::default();
@@ -426,10 +559,20 @@ impl Relation {
             table.reserve(id as usize, |j| hash_row(row_of(rows, w, j)));
             let (slot, occupied) =
                 table.find_slot(h, |j| row_of(rows, w, j) == row_of(rows, w, id));
-            debug_assert!(!occupied, "rebuild_index requires distinct rows");
+            debug_assert!(!occupied, "build_table requires distinct rows");
             table.set(slot, id);
         }
-        self.index = table;
+        table
+    }
+
+    /// Rebuilds the stale dedup index if needed — called lazily by the
+    /// mutating paths that actually consult it.
+    fn ensure_index(&mut self) {
+        if self.index_stale {
+            self.index = self.build_table();
+            self.index_stale = false;
+            self.index_rebuilds += 1;
+        }
     }
 
     /// Inserts a tuple.
@@ -488,6 +631,11 @@ impl Relation {
             }
         }
         let w = self.width();
+        if self.index_stale {
+            // Deferred-rebuild path: a linear scan costs no more than the
+            // rebuild this read-only call would otherwise force.
+            return self.rows_iter().any(|r| r == &row[..]);
+        }
         self.index
             .find(hash_row(&row), |id| row_of(&self.rows, w, id) == &row[..])
             .is_some()
@@ -516,31 +664,54 @@ impl Relation {
 
     /// Selection: keep tuples where attribute `a` equals `v`.
     pub fn select_eq(&self, a: NodeId, v: &Value) -> Relation {
+        self.select_eq_all(&[(a, v.clone())])
+    }
+
+    /// Conjunctive selection: keep tuples satisfying *every* `attribute =
+    /// value` predicate, in one row scan with one output build.  The query
+    /// layer fuses all selections pushed onto a relation into a single call
+    /// instead of materializing one intermediate relation per selection.
+    ///
+    /// A predicate on an attribute outside the schema, or naming a value
+    /// never interned here, makes the result empty (nothing can match).
+    pub fn select_eq_all(&self, preds: &[(NodeId, Value)]) -> Relation {
         let mut out = Relation::with_pool(
             format!("σ({})", self.name),
             self.attributes.clone(),
             self.pool.clone(),
         );
-        let (Some(p), Some(h)) = (self.col_pos(a), self.pool.get(v)) else {
-            // Attribute outside the schema or value never seen: empty result.
-            return out;
-        };
+        let mut tests: Vec<(usize, u32)> = Vec::with_capacity(preds.len());
+        for (a, v) in preds {
+            match (self.col_pos(*a), self.pool.get(v)) {
+                (Some(p), Some(h)) => tests.push((p, h)),
+                _ => return out,
+            }
+        }
         for i in 0..self.len {
             let row = self.row(i);
-            if row[p] == h {
+            if tests.iter().all(|&(p, h)| row[p] == h) {
                 out.insert_row(row);
             }
         }
         out
     }
 
-    /// Natural join, as a positional hash join: the smaller side is indexed
-    /// by its shared-attribute key columns, the larger side probes, and
-    /// output rows are assembled by copying handles.
+    /// Natural join with the default hash kernel — see [`Relation::join_with`].
     pub fn join(&self, other: &Relation) -> Relation {
+        self.join_with(other, JoinStrategy::Hash)
+    }
+
+    /// Natural join under an explicit [`JoinStrategy`].
+    ///
+    /// `Hash` indexes the smaller side by its shared-attribute key columns
+    /// and probes with the larger; `SortMerge` sorts row-id permutations of
+    /// both sides by the key columns (never the row buffers themselves) and
+    /// merges equal-key runs; `Auto` picks by the estimated distinct-key
+    /// ratio of the larger side (heavy key duplication favors sort-merge).
+    pub fn join_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
         let attrs = self.attributes.union(&other.attributes);
         let name = format!("({}⋈{})", self.name, other.name);
-        let mut out = Relation::with_pool(name, attrs, self.pool.clone());
+        let out = Relation::with_pool(name, attrs, self.pool.clone());
         if self.len == 0 || other.len == 0 {
             return out;
         }
@@ -554,13 +725,29 @@ impl Relation {
             &converted
         };
         let shared = self.attributes.intersection(&other.attributes);
+        let strategy = if shared.is_empty() {
+            // Cross product: there is no key to sort by.
+            JoinStrategy::Hash
+        } else {
+            let larger = if self.len >= other.len { self } else { other };
+            larger.resolve_strategy(strategy, &positions(&shared, &larger.cols))
+        };
+        match strategy {
+            JoinStrategy::SortMerge => self.sort_merge_join_into(other, &shared, out),
+            _ => self.hash_join_into(other, &shared, out),
+        }
+    }
+
+    /// The hash-join kernel: build the smaller side, probe the larger.
+    /// Pools are already unified.
+    fn hash_join_into(&self, other: &Relation, shared: &NodeSet, mut out: Relation) -> Relation {
         let (build, probe) = if self.len <= other.len {
             (self, other)
         } else {
             (other, self)
         };
-        let build_key = positions(&shared, &build.cols);
-        let probe_key = positions(&shared, &probe.cols);
+        let build_key = positions(shared, &build.cols);
+        let probe_key = positions(shared, &probe.cols);
         // Where each output column comes from; prefer the probe side so the
         // shared columns are copied from the row already in hand.
         let sources: Vec<(bool, usize)> = out
@@ -621,45 +808,135 @@ impl Relation {
         out
     }
 
-    /// For each row of `self`, whether some row of `other` matches it on the
-    /// shared attributes — the common kernel behind the semijoin family.
-    fn semijoin_mask(&self, other: &Relation) -> Vec<bool> {
-        let shared = self.attributes.intersection(&other.attributes);
-        if shared.is_empty() {
-            // π_∅(other) is {()} iff other is nonempty; every tuple matches.
-            return vec![!other.is_empty(); self.len];
+    /// The sort-merge join kernel: sort row-id permutations of both sides
+    /// by the shared key columns, then emit the cross product of every pair
+    /// of equal-key runs.  Pools are already unified and `shared` is
+    /// nonempty.
+    fn sort_merge_join_into(
+        &self,
+        other: &Relation,
+        shared: &NodeSet,
+        mut out: Relation,
+    ) -> Relation {
+        let keys = JoinKeys::for_unified(self, other, shared);
+        let left_keys = keys.gather(self, &keys.left_pos);
+        let right_keys = keys.gather(other, &keys.right_pos);
+        let left_sorted = sort_ids_by_key(&left_keys, keys.k(), self.len);
+        let right_sorted = sort_ids_by_key(&right_keys, keys.k(), other.len);
+        // Where each output column comes from; shared columns read the left.
+        let sources: Vec<(bool, usize)> = out
+            .cols
+            .iter()
+            .map(|c| match self.col_pos(*c) {
+                Some(p) => (true, p),
+                None => (false, other.col_pos(*c).expect("union attr")),
+            })
+            .collect();
+        let mut rowbuf = vec![0u32; out.width()];
+        let k = keys.k();
+        fn key_of(buf: &[u32], id: u32, k: usize) -> &[u32] {
+            &buf[id as usize * k..(id as usize + 1) * k]
         }
-        let my_pos = positions(&shared, &self.cols);
-        let their_pos = positions(&shared, &other.cols);
-        let k = my_pos.len();
-        // Handle translation (read-only): other-pool values unknown to our
-        // pool cannot occur in our rows, so their rows are simply skipped.
-        let trans = if self.pool.same_pool(&other.pool) {
-            None
-        } else {
-            Some(other.pool.translation_to(&self.pool, false))
-        };
-        // Gather the (translated) key columns of `other` into one buffer.
-        let mut keys: Vec<u32> = Vec::with_capacity(other.len * k);
-        'rows: for row in other.rows_iter() {
-            let start = keys.len();
-            for &p in &their_pos {
-                let h = match &trans {
-                    None => row[p],
-                    Some(table) => {
-                        let t = table[row[p] as usize];
-                        if t == NO_HANDLE {
-                            keys.truncate(start);
-                            continue 'rows;
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < left_sorted.len() && ri < right_sorted.len() {
+            let lkey = key_of(&left_keys, left_sorted[li], k);
+            let rkey = key_of(&right_keys, right_sorted[ri], k);
+            match lkey.cmp(rkey) {
+                std::cmp::Ordering::Less => li += 1,
+                std::cmp::Ordering::Greater => ri += 1,
+                std::cmp::Ordering::Equal => {
+                    // Bound the two equal-key runs, emit their cross product.
+                    let lend = run_end(&left_keys, &left_sorted, li, k);
+                    let rend = run_end(&right_keys, &right_sorted, ri, k);
+                    for &lid in &left_sorted[li..lend] {
+                        let lrow = self.row(lid as usize);
+                        for &rid in &right_sorted[ri..rend] {
+                            let rrow = other.row(rid as usize);
+                            for (c, &(from_left, p)) in sources.iter().enumerate() {
+                                rowbuf[c] = if from_left { lrow[p] } else { rrow[p] };
+                            }
+                            out.insert_row(&rowbuf);
                         }
-                        t
                     }
-                };
-                keys.push(h);
+                    li = lend;
+                    ri = rend;
+                }
             }
         }
-        let nkeys = keys.len() / k;
-        let key_at = |id: u32| &keys[id as usize * k..(id as usize + 1) * k];
+        out
+    }
+
+    /// Resolves [`JoinStrategy::Auto`] for a key over this relation's
+    /// `pos` columns: heavy key duplication (low distinct-key ratio)
+    /// favors sort-merge, anything else stays with hash.
+    fn resolve_strategy(&self, strategy: JoinStrategy, pos: &[usize]) -> JoinStrategy {
+        match strategy {
+            JoinStrategy::Auto => {
+                if self.estimate_distinct_key_ratio(pos) <= AUTO_SORTMERGE_MAX_DISTINCT_RATIO {
+                    JoinStrategy::SortMerge
+                } else {
+                    JoinStrategy::Hash
+                }
+            }
+            fixed => fixed,
+        }
+    }
+
+    /// Estimated fraction of distinct keys among the rows, from a sample of
+    /// up to 128 evenly spaced rows.  The rows themselves are distinct (the
+    /// dedup index enforces set semantics), so duplication among the
+    /// sampled key columns measures genuine key skew rather than duplicate
+    /// tuples.
+    fn estimate_distinct_key_ratio(&self, pos: &[usize]) -> f64 {
+        let k = pos.len();
+        if self.len == 0 || k == 0 {
+            return 1.0;
+        }
+        if k == self.width() {
+            return 1.0; // keys are whole rows, which are distinct by construction
+        }
+        let sample = self.len.min(128);
+        let mut buf: Vec<u32> = Vec::with_capacity(sample * k);
+        for s in 0..sample {
+            // Spread the sample across the whole relation (integer-truncated
+            // strides would only ever inspect a prefix).
+            let row = self.row(s * self.len / sample);
+            buf.extend(pos.iter().map(|&p| row[p]));
+        }
+        let mut ids = sort_ids_by_key(&buf, k, sample);
+        ids.dedup_by(|a, b| {
+            buf[*a as usize * k..(*a as usize + 1) * k]
+                == buf[*b as usize * k..(*b as usize + 1) * k]
+        });
+        ids.len() as f64 / sample as f64
+    }
+
+    /// For each row of `self`, whether some row of `other` matches it on the
+    /// shared attributes — the common kernel behind the semijoin family,
+    /// parameterized by strategy and probe-shard worker count.
+    fn semijoin_mask(&self, other: &Relation, strategy: JoinStrategy, threads: usize) -> Vec<bool> {
+        let Some(keys) = JoinKeys::new(self, other) else {
+            // π_∅(other) is {()} iff other is nonempty; every tuple matches.
+            return vec![!other.is_empty(); self.len];
+        };
+        // Gather the (translated) key columns of `other` into one buffer.
+        let other_keys = keys.gather_translated(other);
+        match self.resolve_strategy(strategy, &keys.left_pos) {
+            JoinStrategy::SortMerge => self.sort_merge_mask(&keys, &other_keys),
+            _ => self.hash_mask(&keys, &other_keys, threads),
+        }
+    }
+
+    /// Hash flavor of the semijoin mask: index `other`'s distinct keys,
+    /// probe every row of `self`.  With `threads > 1` and enough rows the
+    /// probe loop (embarrassingly parallel, read-only) is sharded across
+    /// scoped threads — the intra-operator parallelism the level-synchronous
+    /// reducer falls back to when a tree level has fewer targets than
+    /// workers (e.g. chain schemas, whose levels are singletons).
+    fn hash_mask(&self, keys: &JoinKeys, other_keys: &[u32], threads: usize) -> Vec<bool> {
+        let k = keys.k();
+        let nkeys = other_keys.len() / k;
+        let key_at = |id: u32| &other_keys[id as usize * k..(id as usize + 1) * k];
         let mut table = RowTable::default();
         let mut distinct = 0usize;
         for i in 0..nkeys as u32 {
@@ -671,23 +948,87 @@ impl Relation {
                 distinct += 1;
             }
         }
-        let mut keybuf = vec![0u32; k];
-        self.rows_iter()
-            .map(|row| {
-                for (j, &p) in my_pos.iter().enumerate() {
-                    keybuf[j] = row[p];
+        // The probe step shared verbatim by the sequential loop and every
+        // parallel shard, so the two paths cannot drift apart.
+        let probe = |row: &[u32], keybuf: &mut [u32]| -> bool {
+            for (j, &p) in keys.left_pos.iter().enumerate() {
+                keybuf[j] = row[p];
+            }
+            table
+                .find(hash_row(keybuf), |id| {
+                    other_keys[id as usize * k..(id as usize + 1) * k] == keybuf[..]
+                })
+                .is_some()
+        };
+        if threads <= 1 || self.len < PAR_MASK_MIN_ROWS {
+            let mut keybuf = vec![0u32; k];
+            return self
+                .rows_iter()
+                .map(|row| probe(row, &mut keybuf))
+                .collect();
+        }
+        let mut mask = vec![false; self.len];
+        let chunk_rows = self.len.div_ceil(threads);
+        let probe = &probe;
+        std::thread::scope(|scope| {
+            for (w, mchunk) in mask.chunks_mut(chunk_rows).enumerate() {
+                scope.spawn(move || {
+                    let mut keybuf = vec![0u32; k];
+                    for (j, m) in mchunk.iter_mut().enumerate() {
+                        *m = probe(self.row(w * chunk_rows + j), &mut keybuf);
+                    }
+                });
+            }
+        });
+        mask
+    }
+
+    /// Sort-merge flavor of the semijoin mask: sort a row-id permutation of
+    /// `self` by the key columns (never the rows themselves), sort + dedup
+    /// `other`'s keys, and mark equal-key runs in one merge walk.
+    fn sort_merge_mask(&self, keys: &JoinKeys, other_keys: &[u32]) -> Vec<bool> {
+        let k = keys.k();
+        let mut mask = vec![false; self.len];
+        if other_keys.is_empty() || self.len == 0 {
+            return mask;
+        }
+        let my_keys = keys.gather(self, &keys.left_pos);
+        let mine = sort_ids_by_key(&my_keys, k, self.len);
+        let mut others = sort_ids_by_key(other_keys, k, other_keys.len() / k);
+        others.dedup_by(|a, b| {
+            other_keys[*a as usize * k..(*a as usize + 1) * k]
+                == other_keys[*b as usize * k..(*b as usize + 1) * k]
+        });
+        let my_key = |id: u32| &my_keys[id as usize * k..(id as usize + 1) * k];
+        let other_key = |id: u32| &other_keys[id as usize * k..(id as usize + 1) * k];
+        let mut oi = 0usize;
+        let mut i = 0usize;
+        while i < mine.len() && oi < others.len() {
+            let key = my_key(mine[i]);
+            let end = run_end(&my_keys, &mine, i, k);
+            while oi < others.len() && other_key(others[oi]) < key {
+                oi += 1;
+            }
+            if oi < others.len() && other_key(others[oi]) == key {
+                for &id in &mine[i..end] {
+                    mask[id as usize] = true;
                 }
-                table
-                    .find(hash_row(&keybuf), |id| key_at(id) == &keybuf[..])
-                    .is_some()
-            })
-            .collect()
+            }
+            i = end;
+        }
+        mask
     }
 
     /// Semijoin: the tuples of `self` that join with at least one tuple of
     /// `other`.
     pub fn semijoin(&self, other: &Relation) -> Relation {
-        let mask = self.semijoin_mask(other);
+        self.semijoin_with(other, JoinStrategy::Hash)
+    }
+
+    /// Semijoin under an explicit [`JoinStrategy`] — see
+    /// [`Relation::join_with`] for the strategy semantics.
+    pub fn semijoin_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
+        let mask = self.semijoin_mask(other, strategy, 1);
         let mut out = Relation::with_pool(
             self.name.clone(),
             self.attributes.clone(),
@@ -704,14 +1045,34 @@ impl Relation {
     /// Number of tuples the semijoin with `other` would keep, without
     /// materializing it.
     pub fn semijoin_count(&self, other: &Relation) -> usize {
-        self.semijoin_mask(other).iter().filter(|&&b| b).count()
+        self.semijoin_mask(other, JoinStrategy::Hash, 1)
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+
+    /// In-place semijoin with the default kernel — see
+    /// [`Relation::retain_semijoin_with`].
+    pub fn retain_semijoin(&mut self, other: &Relation) -> usize {
+        self.retain_semijoin_with(other, JoinStrategy::Hash, 1)
     }
 
     /// In-place semijoin: removes the tuples of `self` that match no tuple
     /// of `other`, compacting the row buffer without reallocating.  Returns
     /// the number of tuples removed.
-    pub fn retain_semijoin(&mut self, other: &Relation) -> usize {
-        let mask = self.semijoin_mask(other);
+    ///
+    /// The dedup index rebuild is deferred (marked stale) rather than done
+    /// eagerly: the Yannakakis reducer semijoins the same relation several
+    /// times in a row and never consults the index in between, so eager
+    /// rebuilds were pure waste.  With `threads > 1` the hash probe loop is
+    /// sharded across scoped threads.
+    pub fn retain_semijoin_with(
+        &mut self,
+        other: &Relation,
+        strategy: JoinStrategy,
+        threads: usize,
+    ) -> usize {
+        let mask = self.semijoin_mask(other, strategy, threads);
         let removed = mask.iter().filter(|&&b| !b).count();
         if removed == 0 {
             return 0;
@@ -728,8 +1089,14 @@ impl Relation {
         }
         self.rows.truncate(write * w);
         self.len = write;
-        self.rebuild_index();
+        self.index_stale = true;
         removed
+    }
+
+    /// How many times this relation's dedup index has been rebuilt — the
+    /// observability hook for the deferred-rebuild optimization.
+    pub fn index_rebuild_count(&self) -> usize {
+        self.index_rebuilds
     }
 
     /// A copy of the relation with every value re-interned into `pool`.
@@ -768,6 +1135,10 @@ impl Relation {
             Some(other.pool.translation_to(&self.pool, false))
         };
         let w = self.width();
+        // A stale index (deferred rebuild) is replaced by a transient table
+        // for the duration of this comparison.
+        let transient = self.index_stale.then(|| self.build_table());
+        let index = transient.as_ref().unwrap_or(&self.index);
         let mut buf = vec![0u32; w];
         for row in other.rows_iter() {
             match &trans {
@@ -782,8 +1153,7 @@ impl Relation {
                     }
                 }
             }
-            if self
-                .index
+            if index
                 .find(hash_row(&buf), |id| row_of(&self.rows, w, id) == &buf[..])
                 .is_none()
             {
@@ -1038,6 +1408,183 @@ mod tests {
         s.insert(Tuple::from_pairs([(b, 8)]));
         s.insert(Tuple::from_pairs([(b, 9)]));
         assert_eq!(r.join(&s).len(), 6);
+    }
+
+    #[test]
+    fn sort_merge_join_matches_hash_join() {
+        let (_, r, s) = setup();
+        let hash = r.join_with(&s, JoinStrategy::Hash);
+        let sm = r.join_with(&s, JoinStrategy::SortMerge);
+        assert!(hash.same_contents(&sm));
+        // Also with the sides flipped and under Auto.
+        assert!(s
+            .join_with(&r, JoinStrategy::SortMerge)
+            .same_contents(&hash));
+        assert!(r.join_with(&s, JoinStrategy::Auto).same_contents(&hash));
+    }
+
+    #[test]
+    fn sort_merge_semijoin_matches_hash_semijoin() {
+        let (_, r, s) = setup();
+        let hash = r.semijoin_with(&s, JoinStrategy::Hash);
+        let sm = r.semijoin_with(&s, JoinStrategy::SortMerge);
+        assert!(hash.same_contents(&sm));
+        let empty = Relation::new("E", s.attributes().clone());
+        assert!(r.semijoin_with(&empty, JoinStrategy::SortMerge).is_empty());
+    }
+
+    #[test]
+    fn sort_merge_kernels_translate_across_pools() {
+        let (_, r, s) = setup();
+        assert!(!r.pool().same_pool(s.pool()));
+        assert!(r
+            .join_with(&s, JoinStrategy::SortMerge)
+            .same_contents(&r.join(&s)));
+        assert!(r
+            .semijoin_with(&s, JoinStrategy::SortMerge)
+            .same_contents(&r.semijoin(&s)));
+    }
+
+    #[test]
+    fn multi_column_keys_sort_merge() {
+        // Two shared attributes force the general (slice-compare) sort path.
+        let h = Hypergraph::from_edges([vec!["A", "B", "C"], vec!["A", "B", "D"]]).unwrap();
+        let (a, b, c, d) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+            h.node("D").unwrap(),
+        );
+        let mut r = Relation::new("R", h.node_set(["A", "B", "C"]).unwrap());
+        let mut s =
+            Relation::with_pool("S", h.node_set(["A", "B", "D"]).unwrap(), r.pool().clone());
+        for i in 0..20i64 {
+            r.insert(Tuple::from_pairs([(a, i % 3), (b, i % 4), (c, i)]));
+            s.insert(Tuple::from_pairs([(a, i % 4), (b, i % 3), (d, i)]));
+        }
+        assert!(r
+            .join_with(&s, JoinStrategy::SortMerge)
+            .same_contents(&r.join_with(&s, JoinStrategy::Hash)));
+        assert!(r
+            .semijoin_with(&s, JoinStrategy::SortMerge)
+            .same_contents(&r.semijoin_with(&s, JoinStrategy::Hash)));
+    }
+
+    #[test]
+    fn select_eq_all_fuses_selections() {
+        let (h, r, _) = setup();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        let fused = r.select_eq_all(&[(a, Value::Int(1)), (b, Value::Int(10))]);
+        let chained = r.select_eq(a, &Value::Int(1)).select_eq(b, &Value::Int(10));
+        assert!(fused.same_contents(&chained));
+        assert_eq!(fused.len(), 1);
+        // Contradictory predicates on one attribute: empty.
+        assert!(r
+            .select_eq_all(&[(a, Value::Int(1)), (a, Value::Int(2))])
+            .is_empty());
+        // Unknown value: empty.
+        assert!(r.select_eq_all(&[(a, Value::Int(777))]).is_empty());
+        // No predicates: everything survives.
+        assert_eq!(r.select_eq_all(&[]).len(), r.len());
+    }
+
+    #[test]
+    fn retain_semijoin_defers_index_rebuild() {
+        let (h, mut r, s) = setup();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        assert_eq!(r.index_rebuild_count(), 0);
+        // Two consecutive in-place semijoins: the reducer's hot pattern.
+        // Neither consults the index, so no rebuild happens.
+        assert_eq!(r.retain_semijoin(&s), 1);
+        assert!(r.index_stale);
+        let mut t = Relation::with_pool("T", s.attributes().clone(), r.pool().clone());
+        t.insert(Tuple::from_pairs([
+            (h.node("B").unwrap(), 10),
+            (h.node("C").unwrap(), 100),
+        ]));
+        r.retain_semijoin(&t);
+        assert_eq!(
+            r.index_rebuild_count(),
+            0,
+            "reducer passes must not rebuild"
+        );
+        // Read-only membership works off the stale index via a scan.
+        assert!(r.contains(&Tuple::from_pairs([(a, 1), (b, 10)])));
+        assert!(!r.contains(&Tuple::from_pairs([(a, 2), (b, 20)])));
+        // The first mutation that needs the index rebuilds exactly once.
+        r.insert(Tuple::from_pairs([(a, 9), (b, 9)]));
+        assert_eq!(r.index_rebuild_count(), 1);
+        assert!(!r.index_stale);
+        // Dedup semantics survive the rebuild.
+        assert!(!r.insert(Tuple::from_pairs([(a, 9), (b, 9)])));
+    }
+
+    #[test]
+    fn same_contents_works_with_stale_index() {
+        let (_, mut r, s) = setup();
+        let expected = r.semijoin(&s);
+        r.retain_semijoin(&s);
+        assert!(r.index_stale);
+        assert!(r.same_contents(&expected));
+        assert!(expected.same_contents(&r));
+        assert_eq!(
+            r.index_rebuild_count(),
+            0,
+            "same_contents uses a transient table"
+        );
+    }
+
+    #[test]
+    fn distinct_key_ratio_reflects_duplication() {
+        let h = Hypergraph::from_edges([vec!["A", "B"]]).unwrap();
+        let (a, b) = (h.node("A").unwrap(), h.node("B").unwrap());
+        let mut dup = Relation::new("D", h.node_set(["A", "B"]).unwrap());
+        let mut uniq = Relation::new("U", h.node_set(["A", "B"]).unwrap());
+        for i in 0..500i64 {
+            dup.insert(Tuple::from_pairs([(a, 7), (b, i)]));
+            uniq.insert(Tuple::from_pairs([(a, i), (b, i)]));
+        }
+        // Column A: constant in `dup`, unique in `uniq`.
+        assert!(dup.estimate_distinct_key_ratio(&[0]) < 0.05);
+        assert!(uniq.estimate_distinct_key_ratio(&[0]) > 0.9);
+        // Whole-row keys are distinct by construction.
+        assert_eq!(dup.estimate_distinct_key_ratio(&[0, 1]), 1.0);
+        // Auto resolves accordingly.
+        assert_eq!(
+            dup.resolve_strategy(JoinStrategy::Auto, &[0]),
+            JoinStrategy::SortMerge
+        );
+        assert_eq!(
+            uniq.resolve_strategy(JoinStrategy::Auto, &[0]),
+            JoinStrategy::Hash
+        );
+    }
+
+    #[test]
+    fn parallel_hash_mask_matches_sequential() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut r = Relation::new("R", h.node_set(["A", "B"]).unwrap());
+        let mut s = Relation::with_pool("S", h.node_set(["B", "C"]).unwrap(), r.pool().clone());
+        // Enough rows to clear PAR_MASK_MIN_ROWS so the probe loop shards.
+        for i in 0..3000i64 {
+            r.insert(Tuple::from_pairs([(a, i), (b, i % 101)]));
+            if i % 2 == 0 {
+                s.insert(Tuple::from_pairs([(b, i % 101), (c, i)]));
+            }
+        }
+        let seq = r.semijoin_mask(&s, JoinStrategy::Hash, 1);
+        let par = r.semijoin_mask(&s, JoinStrategy::Hash, 4);
+        assert_eq!(seq, par);
+        let mut r2 = r.clone();
+        let removed_seq = r.retain_semijoin_with(&s, JoinStrategy::Hash, 1);
+        let removed_par = r2.retain_semijoin_with(&s, JoinStrategy::Hash, 4);
+        assert_eq!(removed_seq, removed_par);
+        assert!(r.same_contents(&r2));
     }
 
     #[test]

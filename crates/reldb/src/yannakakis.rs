@@ -9,6 +9,7 @@
 //! the paper's §7 interpretation points at, and the subject of benchmark B4.
 
 use crate::database::Database;
+use crate::exec::{ExecPolicy, JoinStrategy};
 use crate::relation::Relation;
 use acyclic::JoinTree;
 use hypergraph::{EdgeId, NodeSet};
@@ -42,43 +43,164 @@ fn pair_mut(rels: &mut [Relation], i: usize, j: usize) -> (&mut Relation, &Relat
     }
 }
 
-/// Runs the two semijoin passes of the Yannakakis full reducer over `tree`.
+/// One level's worth of reducer work: semijoin the target relation with
+/// each source relation in turn, in place.
+struct LevelJob {
+    /// Index of the relation being reduced.
+    target: usize,
+    /// Indices of the relations it is semijoined against (children in the
+    /// upward pass; the single parent in the downward pass).
+    sources: Vec<usize>,
+}
+
+/// Runs one level of jobs, sequentially or across scoped worker threads.
+///
+/// Within a level the targets are pairwise distinct and never appear among
+/// any job's sources (upward: targets are parents at depth `d`, sources
+/// their children at `d+1`; downward: targets at depth `d`, sources their
+/// parents at `d-1`), so target relations can be taken out of the slice and
+/// mutated concurrently while the sources are read shared.  When a level
+/// has fewer targets than workers (chains: every level is a singleton) the
+/// parallelism drops *inside* the semijoin instead: the hash probe loop is
+/// sharded across threads ([`Relation::retain_semijoin_with`]).
+fn run_level(
+    relations: &mut [Relation],
+    removed: &mut [usize],
+    jobs: &[LevelJob],
+    strategy: JoinStrategy,
+    threads: usize,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    if threads <= 1 || jobs.len() == 1 {
+        let probe_threads = if jobs.len() == 1 { threads } else { 1 };
+        for job in jobs {
+            for &s in &job.sources {
+                let (t, src) = pair_mut(relations, job.target, s);
+                removed[job.target] += t.retain_semijoin_with(src, strategy, probe_threads);
+            }
+        }
+        return;
+    }
+    // Take the targets out of the slice (placeholders are never read: no
+    // job's sources intersect the level's targets), shard the jobs across
+    // scoped workers, then put the reduced targets back.
+    let mut taken: Vec<(Relation, usize)> = jobs
+        .iter()
+        .map(|j| {
+            let placeholder = Relation::new("·", NodeSet::new());
+            (std::mem::replace(&mut relations[j.target], placeholder), 0)
+        })
+        .collect();
+    let shared: &[Relation] = relations;
+    let per_worker = jobs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (taken_chunk, job_chunk) in taken.chunks_mut(per_worker).zip(jobs.chunks(per_worker)) {
+            scope.spawn(move || {
+                for ((target, removed_here), job) in taken_chunk.iter_mut().zip(job_chunk) {
+                    for &s in &job.sources {
+                        *removed_here += target.retain_semijoin_with(&shared[s], strategy, 1);
+                    }
+                }
+            });
+        }
+    });
+    for ((rel, rem), job) in taken.into_iter().zip(jobs) {
+        relations[job.target] = rel;
+        removed[job.target] += rem;
+    }
+}
+
+/// Runs the two semijoin passes of the Yannakakis full reducer over `tree`
+/// with the default [`ExecPolicy`] (auto strategy, parallel above the
+/// tuple threshold) — see [`full_reduce_with`].
+pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
+    full_reduce_with(db, tree, &ExecPolicy::default())
+}
+
+/// Runs the two semijoin passes of the Yannakakis full reducer over `tree`,
+/// level-synchronously, under an explicit [`ExecPolicy`].
 ///
 /// The upward pass semijoins every parent with each of its children
-/// (children processed bottom-up); the downward pass semijoins every child
-/// with its parent (top-down).  Afterwards every remaining tuple
-/// participates in the full join.  Each semijoin reduces the relation *in
-/// place* ([`Relation::retain_semijoin`]): the row buffer is compacted by a
-/// keep-mask rather than rebuilding the relation every pass.
-pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
+/// (deepest levels first); the downward pass semijoins every child with its
+/// parent (top-down).  Afterwards every remaining tuple participates in the
+/// full join.  Each semijoin reduces the relation *in place*
+/// ([`Relation::retain_semijoin_with`]): the row buffer is compacted by a
+/// keep-mask rather than rebuilding the relation every pass, and the dedup
+/// index rebuild is deferred until something actually reads it.
+///
+/// Parallelism is level-synchronous: within one tree level the semijoins
+/// write pairwise-distinct target relations and only read relations from
+/// the adjacent level, so each level shards across
+/// [`std::thread::scope`] workers (`policy.threads`, with a sequential
+/// fallback below `policy.parallel_threshold` total tuples).  The result is
+/// tuple-for-tuple identical to the sequential pass: surviving rows depend
+/// only on the *set* of semijoins applied, and within one target they are
+/// applied in the same child order as the sequential bottom-up walk.
+pub fn full_reduce_with(db: &Database, tree: &JoinTree, policy: &ExecPolicy) -> Reduced {
     let mut relations: Vec<Relation> = db.relations().to_vec();
     let mut removed: Vec<usize> = vec![0; relations.len()];
+    let threads = policy.effective_threads(db.tuple_count());
+    let levels = tree.levels();
 
-    let order = tree.bottom_up_order();
-    // Upward pass: parent ⋉ child, children first.
-    for &child in &order {
-        if let Some(parent) = tree.parent(child) {
-            let (p, c) = pair_mut(&mut relations, parent.index(), child.index());
-            removed[parent.index()] += p.retain_semijoin(c);
-        }
+    // Upward pass: parent ⋉ each child, deepest parent level first.
+    for level in levels.iter().rev() {
+        let jobs: Vec<LevelJob> = level
+            .iter()
+            .filter(|&&e| !tree.children(e).is_empty())
+            .map(|&e| LevelJob {
+                target: e.index(),
+                sources: tree.children(e).iter().map(|c| c.index()).collect(),
+            })
+            .collect();
+        run_level(
+            &mut relations,
+            &mut removed,
+            &jobs,
+            policy.strategy,
+            threads,
+        );
     }
     // Downward pass: child ⋉ parent, top-down.
-    for &child in order.iter().rev() {
-        if let Some(parent) = tree.parent(child) {
-            let (c, p) = pair_mut(&mut relations, child.index(), parent.index());
-            removed[child.index()] += c.retain_semijoin(p);
-        }
+    for level in levels.iter().skip(1) {
+        let jobs: Vec<LevelJob> = level
+            .iter()
+            .map(|&e| LevelJob {
+                target: e.index(),
+                sources: vec![tree.parent(e).expect("non-root level").index()],
+            })
+            .collect();
+        run_level(
+            &mut relations,
+            &mut removed,
+            &jobs,
+            policy.strategy,
+            threads,
+        );
     }
 
     Reduced { relations, removed }
 }
 
 /// Computes the projection of the full join onto `output` by the Yannakakis
+/// algorithm with the default [`ExecPolicy`] — see [`yannakakis_join_with`].
+pub fn yannakakis_join(db: &Database, tree: &JoinTree, output: &NodeSet) -> Relation {
+    yannakakis_join_with(db, tree, output, &ExecPolicy::default())
+}
+
+/// Computes the projection of the full join onto `output` by the Yannakakis
 /// algorithm: full-reduce, then join bottom-up along the tree, projecting
 /// intermediate results onto (needed separator ∪ output) attributes to keep
-/// them small.
-pub fn yannakakis_join(db: &Database, tree: &JoinTree, output: &NodeSet) -> Relation {
-    let reduced = full_reduce(db, tree);
+/// them small.  The policy picks the reducer parallelism and the physical
+/// join strategy ([`crate::JoinStrategy`]) for every semijoin and join.
+pub fn yannakakis_join_with(
+    db: &Database,
+    tree: &JoinTree,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+) -> Relation {
+    let reduced = full_reduce_with(db, tree, policy);
     let relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
@@ -99,7 +221,7 @@ pub fn yannakakis_join(db: &Database, tree: &JoinTree, output: &NodeSet) -> Rela
         let mut acc = relations[e.index()].clone();
         for c in tree.children(e) {
             let child_rel = partial[c.index()].take().expect("children processed first");
-            acc = acc.join(&child_rel);
+            acc = acc.join_with(&child_rel, policy.strategy);
         }
         // Keep this subtree's contribution small: only output attributes
         // (including those surfaced by children) and the separator towards
@@ -235,6 +357,72 @@ mod tests {
             let fast = yannakakis_join(&db, &tree, &output);
             let naive = naive_join_project(&db, &output);
             assert!(fast.same_contents(&naive), "mismatch for {attrs:?}");
+        }
+    }
+
+    /// A small snowflake schema (fact hub with two arms of depth two) with
+    /// random-ish data containing dangling tuples.
+    fn snowflake_db() -> Database {
+        let h = Hypergraph::from_edges([
+            vec!["K0", "K1"],        // FACT
+            vec!["K0", "D0", "K00"], // DIM arm 0 level 0
+            vec!["K00", "D00"],      // DIM arm 0 level 1
+            vec!["K1", "D1", "K10"], // DIM arm 1 level 0
+            vec!["K10", "D10"],      // DIM arm 1 level 1
+        ])
+        .unwrap();
+        let mut db = Database::empty(h.clone());
+        for (ei, e) in h.edges().iter().enumerate() {
+            for row in 0..12i64 {
+                let t = Tuple::from_pairs(
+                    e.nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(j, n)| (n, (row * (ei as i64 + 1) + j as i64) % 5)),
+                );
+                db.insert(EdgeId(ei as u32), t);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn snowflake_parallel_and_strategies_agree_with_sequential() {
+        use crate::exec::{ExecPolicy, JoinStrategy};
+        let db = snowflake_db();
+        let tree = join_tree(db.schema()).unwrap();
+        // The snowflake tree has multi-edge levels, so the parallel path
+        // exercises target-sharding (not just probe-sharding).
+        assert!(tree.levels().iter().any(|l| l.len() > 1));
+        let baseline = full_reduce_with(&db, &tree, &ExecPolicy::sequential(JoinStrategy::Hash));
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::SortMerge),
+            ExecPolicy::sequential(JoinStrategy::Auto),
+            ExecPolicy::parallel(JoinStrategy::Hash, 4),
+            ExecPolicy::parallel(JoinStrategy::SortMerge, 3),
+            ExecPolicy::parallel(JoinStrategy::Auto, 2),
+        ] {
+            let got = full_reduce_with(&db, &tree, &policy);
+            assert_eq!(
+                got.removed, baseline.removed,
+                "removed counts diverged under {policy:?}"
+            );
+            for (b, g) in baseline.relations.iter().zip(&got.relations) {
+                assert!(b.same_contents(g), "relations diverged under {policy:?}");
+            }
+        }
+        // The full pipeline agrees with the naive join on every policy.
+        let all = db.schema().nodes();
+        let naive = naive_join_project(&db, &all);
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::SortMerge),
+            ExecPolicy::parallel(JoinStrategy::Auto, 4),
+        ] {
+            let fast = yannakakis_join_with(&db, &tree, &all, &policy);
+            assert!(
+                fast.same_contents(&naive),
+                "pipeline diverged under {policy:?}"
+            );
         }
     }
 

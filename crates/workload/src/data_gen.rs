@@ -13,7 +13,7 @@
 
 use hypergraph::{EdgeId, Hypergraph, NodeSet};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use reldb::{make_globally_consistent, Database, Tuple};
 
 /// The benchmark-B4 query attributes of a schema: the two "far apart"
@@ -34,12 +34,17 @@ pub fn far_apart(h: &Hypergraph) -> NodeSet {
 }
 
 /// Parameters for the random data generators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataParams {
     /// Tuples generated per relation (before set-semantics deduplication).
     pub tuples_per_relation: usize,
-    /// Every attribute draws values uniformly from `0..domain`.
+    /// Every attribute draws values from `0..domain`.
     pub domain: i64,
+    /// Zipf skew exponent `s`: `0.0` (the default) draws uniformly; `s > 0`
+    /// draws value `k` with probability proportional to `1/(k+1)^s`, so
+    /// large `s` concentrates the mass on a few hot keys — the
+    /// high-duplicate regime where sort-merge kernels beat hash builds.
+    pub skew: f64,
 }
 
 impl Default for DataParams {
@@ -47,7 +52,38 @@ impl Default for DataParams {
         Self {
             tuples_per_relation: 64,
             domain: 8,
+            skew: 0.0,
         }
+    }
+}
+
+/// Inverse-CDF sampler for the (finite) Zipf distribution over
+/// `0..domain`: value `k` has probability proportional to `1/(k+1)^s`.
+/// The CDF is precomputed once per generator run; each sample is one
+/// uniform draw plus a binary search.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(domain: i64, s: f64) -> Self {
+        assert!(domain >= 1 && s > 0.0);
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut total = 0.0f64;
+        for k in 0..domain {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        // 53-bit uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c <= u) as i64
     }
 }
 
@@ -59,14 +95,19 @@ impl Default for DataParams {
 /// per-tuple attribute map is ever built.
 pub fn random_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Database {
     assert!(params.domain >= 1);
+    assert!(params.skew >= 0.0, "skew must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = (params.skew > 0.0).then(|| ZipfSampler::new(params.domain, params.skew));
     let mut db = Database::empty(schema.clone());
     for (i, e) in schema.edges().iter().enumerate() {
         let arity = e.nodes.len();
         for _ in 0..params.tuples_per_relation {
             db.insert_values(
                 EdgeId(i as u32),
-                (0..arity).map(|_| rng.gen_range(0..params.domain)),
+                (0..arity).map(|_| match &zipf {
+                    None => rng.gen_range(0..params.domain),
+                    Some(z) => z.sample(&mut rng),
+                }),
             );
         }
     }
@@ -134,6 +175,7 @@ mod tests {
             DataParams {
                 tuples_per_relation: 20,
                 domain: 3,
+                skew: 0.0,
             },
             42,
         );
@@ -158,6 +200,61 @@ mod tests {
     }
 
     #[test]
+    fn zipf_skew_concentrates_values() {
+        let schema = chain(2, 2, 1);
+        let params = DataParams {
+            tuples_per_relation: 400,
+            domain: 64,
+            skew: 1.5,
+        };
+        let skewed = random_database(&schema, params, 3);
+        let uniform = random_database(
+            &schema,
+            DataParams {
+                skew: 0.0,
+                ..params
+            },
+            3,
+        );
+        // Count how often the hottest value (0) appears in the first column
+        // of the first relation.
+        let hot = |db: &Database| {
+            db.relations()[0]
+                .tuples()
+                .filter(|t| {
+                    t.iter()
+                        .next()
+                        .is_some_and(|(_, v)| *v == reldb::Value::Int(0))
+                })
+                .count()
+        };
+        assert!(
+            hot(&skewed) > 4 * hot(&uniform).max(1),
+            "skewed data must concentrate on the hot key: {} vs {}",
+            hot(&skewed),
+            hot(&uniform)
+        );
+        // Determinism per seed holds for the skewed path too.
+        let again = random_database(&schema, params, 3);
+        assert_eq!(skewed.tuple_count(), again.tuple_count());
+    }
+
+    #[test]
+    fn zipf_sampler_covers_and_bounds_domain() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [0usize; 5];
+        for _ in 0..2000 {
+            let v = z.sample(&mut rng);
+            assert!((0..5).contains(&v));
+            seen[v as usize] += 1;
+        }
+        // Monotone-ish head: the hottest value dominates the coldest.
+        assert!(seen[0] > seen[4]);
+        assert!(seen.iter().all(|&c| c > 0));
+    }
+
+    #[test]
     fn small_domain_produces_joinable_data() {
         let schema = chain(3, 2, 1);
         let db = random_database(
@@ -165,6 +262,7 @@ mod tests {
             DataParams {
                 tuples_per_relation: 30,
                 domain: 2,
+                skew: 0.0,
             },
             7,
         );

@@ -30,4 +30,4 @@ pub use cyclic_gen::{grid, hyper_ring, pair_clique, random_hypergraph, ring, Ran
 pub use data_gen::{
     consistent_database, far_apart, inconsistent_ring_database, random_database, DataParams,
 };
-pub use schema_gen::{snowflake, tpc_like, with_cycle};
+pub use schema_gen::{snowflake, snowflake_tree, tpc_like, with_cycle};

@@ -28,6 +28,46 @@ pub fn snowflake(arms: usize, depth: usize, width: usize) -> Hypergraph {
     builder.build().expect("nonempty edges")
 }
 
+/// A snowflake whose dimensions branch: a fact hub with `fanout` arms, each
+/// dimension edge at depth `d < depth` having `fanout` child dimensions of
+/// its own, every edge `width` attributes wide (one key shared with the
+/// parent, one key per child, padding attributes in between).
+///
+/// Unlike [`snowflake`] (whose arms are chains), the dimension tree is a
+/// complete `fanout`-ary tree, so the join tree has `fanout^d` edges at
+/// depth `d` — the shape that exercises the level-synchronous reducer's
+/// target-sharding (chains only ever exercise probe-sharding).
+pub fn snowflake_tree(depth: usize, fanout: usize, width: usize) -> Hypergraph {
+    assert!(depth >= 1 && fanout >= 1 && width >= 2);
+    let mut builder = HypergraphBuilder::new();
+    // The hub shares one key with each top-level dimension.
+    let hub_keys: Vec<String> = (0..fanout).map(|a| format!("K{a}")).collect();
+    builder = builder.edge("FACT", hub_keys.iter().map(String::as_str));
+    // Breadth-first over the dimension tree; each node is named by its
+    // root-to-node path of child indices.
+    let mut frontier: Vec<String> = (0..fanout).map(|a| a.to_string()).collect();
+    for d in 0..depth {
+        let mut next = Vec::new();
+        for path in frontier {
+            let mut names = vec![format!("K{path}")];
+            for w in 0..width.saturating_sub(2) {
+                names.push(format!("D{path}_{w}"));
+            }
+            if d + 1 < depth {
+                for c in 0..fanout {
+                    names.push(format!("K{path}{c}"));
+                    next.push(format!("{path}{c}"));
+                }
+            } else {
+                names.push(format!("L{path}"));
+            }
+            builder = builder.edge(format!("DIM{path}"), names.iter().map(String::as_str));
+        }
+        frontier = next;
+    }
+    builder.build().expect("nonempty edges")
+}
+
 /// A fixed order-management schema in the spirit of TPC benchmarks:
 /// region–nation–customer–orders–lineitem–part/supplier.  Eight relations,
 /// acyclic, with realistic key sharing.
@@ -79,6 +119,24 @@ mod tests {
         assert_eq!(h.edge_count(), 1 + 3 * 2);
         assert!(h.is_acyclic());
         assert!(h.is_connected());
+    }
+
+    #[test]
+    fn snowflake_tree_is_acyclic_with_fanout_levels() {
+        let h = snowflake_tree(2, 2, 3);
+        // FACT + 2 dimensions at depth 1 + 4 at depth 2.
+        assert_eq!(h.edge_count(), 1 + 2 + 4);
+        assert!(h.is_acyclic());
+        assert!(h.is_connected());
+        let tree = acyclic::join_tree(&h).expect("acyclic");
+        let levels = tree.levels();
+        assert!(
+            levels.iter().any(|l| l.len() >= 2),
+            "fanout tree must produce multi-edge levels"
+        );
+        let deep = snowflake_tree(3, 3, 4);
+        assert_eq!(deep.edge_count(), 1 + 3 + 9 + 27);
+        assert!(deep.is_acyclic());
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
         DataParams {
             tuples_per_relation: 40,
             domain: 24,
+            skew: 0.0,
         },
         2024,
     );

@@ -25,6 +25,7 @@ fn tpc_schema_query_paths_agree() {
         DataParams {
             tuples_per_relation: 30,
             domain: 20,
+            skew: 0.0,
         },
         7,
     );
@@ -60,6 +61,7 @@ fn localized_queries_touch_few_objects() {
         DataParams {
             tuples_per_relation: 10,
             domain: 8,
+            skew: 0.0,
         },
         3,
     );
@@ -89,6 +91,7 @@ fn full_reducer_behaviour() {
             DataParams {
                 tuples_per_relation: 12,
                 domain: 4,
+                skew: 0.0,
             },
             seed,
         );
@@ -131,6 +134,7 @@ fn consistency_dichotomy() {
         DataParams {
             tuples_per_relation: 25,
             domain: 3,
+            skew: 0.0,
         },
         99,
     );
@@ -151,6 +155,7 @@ fn cyclic_schema_degrades_gracefully() {
         DataParams {
             tuples_per_relation: 8,
             domain: 3,
+            skew: 0.0,
         },
         1,
     );
@@ -173,6 +178,7 @@ fn declarative_queries_end_to_end() {
         DataParams {
             tuples_per_relation: 18,
             domain: 6,
+            skew: 0.0,
         },
         21,
     );

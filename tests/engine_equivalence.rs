@@ -12,28 +12,48 @@ use acyclic_hypergraphs::hypergraph::{Hypergraph, NodeSet};
 use acyclic_hypergraphs::reldb::reference::{
     naive_full_reduce, naive_yannakakis_join, NaiveRelation,
 };
-use acyclic_hypergraphs::reldb::{full_reduce, yannakakis_join, Database, Relation, Tuple, Value};
-use acyclic_hypergraphs::workload::{chain, random_database, snowflake, star, DataParams};
+use acyclic_hypergraphs::reldb::{
+    full_reduce, full_reduce_with, yannakakis_join, yannakakis_join_with, Database, ExecPolicy,
+    JoinStrategy, Relation, Tuple, Value,
+};
+use acyclic_hypergraphs::workload::{
+    chain, random_database, snowflake, snowflake_tree, star, DataParams,
+};
 use proptest::prelude::*;
 
 /// One of the acyclic benchmark schema families, scaled by `shape`.
 fn schema(family: usize, shape: usize) -> Hypergraph {
-    match family % 3 {
+    match family % 4 {
         0 => chain(2 + shape % 4, 2 + shape % 2, 1),
         1 => star(2 + shape % 4, 2),
-        _ => snowflake(2 + shape % 2, 2, 2),
+        2 => snowflake(2 + shape % 2, 2, 2),
+        // The fanout-tree snowflake: multi-edge join-tree levels, the shape
+        // that exercises the parallel reducer's target-sharding.
+        _ => snowflake_tree(1 + shape % 2, 2, 2 + shape % 2),
     }
 }
 
-fn db_for(family: usize, shape: usize, tuples: usize, domain: i64, seed: u64) -> Database {
+fn db_for_skewed(
+    family: usize,
+    shape: usize,
+    tuples: usize,
+    domain: i64,
+    skew: f64,
+    seed: u64,
+) -> Database {
     random_database(
         &schema(family, shape),
         DataParams {
             tuples_per_relation: tuples,
             domain,
+            skew,
         },
         seed,
     )
+}
+
+fn db_for(family: usize, shape: usize, tuples: usize, domain: i64, seed: u64) -> Database {
+    db_for_skewed(family, shape, tuples, domain, 0.0, seed)
 }
 
 proptest! {
@@ -43,7 +63,7 @@ proptest! {
     /// relations of a random acyclic database.
     #[test]
     fn join_and_semijoin_match_reference(
-        family in 0usize..3,
+        family in 0usize..4,
         shape in 0usize..4,
         tuples in 1usize..24,
         domain in 1i64..6,
@@ -70,7 +90,7 @@ proptest! {
     /// including the empty projection.
     #[test]
     fn projection_matches_reference(
-        family in 0usize..3,
+        family in 0usize..4,
         shape in 0usize..4,
         tuples in 1usize..24,
         domain in 1i64..6,
@@ -100,7 +120,7 @@ proptest! {
     /// reducer removes — same counts, same survivors.
     #[test]
     fn full_reduce_matches_reference(
-        family in 0usize..3,
+        family in 0usize..4,
         shape in 0usize..4,
         tuples in 1usize..24,
         domain in 1i64..6,
@@ -120,7 +140,7 @@ proptest! {
     /// random output attribute sets.
     #[test]
     fn yannakakis_join_matches_reference(
-        family in 0usize..3,
+        family in 0usize..4,
         shape in 0usize..4,
         tuples in 1usize..16,
         domain in 1i64..5,
@@ -176,7 +196,110 @@ proptest! {
         prop_assert!(s_own.same_contents(&s_shared));
         prop_assert!(r.join(&s_own).same_contents(&r.join(&s_shared)));
         prop_assert!(r.semijoin(&s_own).same_contents(&r.semijoin(&s_shared)));
+        // The sort-merge kernels translate handles exactly like the hash
+        // kernels do.
+        prop_assert!(r
+            .join_with(&s_own, JoinStrategy::SortMerge)
+            .same_contents(&r.join(&s_shared)));
+        prop_assert!(r
+            .semijoin_with(&s_own, JoinStrategy::SortMerge)
+            .same_contents(&r.semijoin(&s_shared)));
         prop_assert_eq!(r.semijoin_count(&s_own), r.semijoin_count(&s_shared));
+    }
+
+    /// The level-synchronous parallel reducer is tuple-for-tuple identical
+    /// to the sequential pass and to the reference oracle, across schema
+    /// families (chains stress probe-sharding, fanout trees stress
+    /// target-sharding) and Zipf-skewed data.
+    #[test]
+    fn parallel_full_reduce_matches_sequential_and_reference(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..32,
+        domain in 1i64..8,
+        skew_tenths in 0usize..16,
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+    ) {
+        let db = db_for_skewed(family, shape, tuples, domain, skew_tenths as f64 / 10.0, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let sequential = full_reduce_with(&db, &tree, &ExecPolicy::sequential(JoinStrategy::Hash));
+        let parallel = full_reduce_with(&db, &tree, &ExecPolicy::parallel(JoinStrategy::Hash, threads));
+        prop_assert_eq!(&sequential.removed, &parallel.removed, "removed counts diverged");
+        for (s, p) in sequential.relations.iter().zip(&parallel.relations) {
+            prop_assert!(s.same_contents(p), "parallel reducer diverged from sequential");
+        }
+        let (naive_rels, naive_removed) = naive_full_reduce(&db, &tree);
+        prop_assert_eq!(&parallel.removed, &naive_removed, "removed counts diverged from oracle");
+        for (n, p) in naive_rels.iter().zip(&parallel.relations) {
+            prop_assert!(n.agrees_with(p), "parallel reducer diverged from oracle");
+        }
+    }
+
+    /// The sort-merge kernels and the auto cost-pick agree with the hash
+    /// kernels and the reference oracle on joins and semijoins, including
+    /// Zipf-skewed (high-duplicate) data.
+    #[test]
+    fn sort_merge_kernels_match_hash_and_reference(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..24,
+        domain in 1i64..6,
+        skew_tenths in 0usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let db = db_for_skewed(family, shape, tuples, domain, skew_tenths as f64 / 10.0, seed);
+        let rels = db.relations();
+        let naive: Vec<NaiveRelation> = rels.iter().map(NaiveRelation::from_relation).collect();
+        for i in 0..rels.len() {
+            for j in 0..rels.len() {
+                let naive_join = naive[i].join(&naive[j]);
+                let naive_semi = naive[i].semijoin(&naive[j]);
+                for strategy in [JoinStrategy::SortMerge, JoinStrategy::Auto] {
+                    prop_assert!(
+                        naive_join.agrees_with(&rels[i].join_with(&rels[j], strategy)),
+                        "{strategy:?} join diverged on relations {i}×{j}"
+                    );
+                    prop_assert!(
+                        naive_semi.agrees_with(&rels[i].semijoin_with(&rels[j], strategy)),
+                        "{strategy:?} semijoin diverged on relations {i}⋉{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The full Yannakakis pipeline agrees with the reference under every
+    /// policy combination (strategy × parallelism) on skewed data.
+    #[test]
+    fn yannakakis_policies_match_reference_on_skewed_data(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        skew_tenths in 0usize..14,
+        seed in 0u64..1_000,
+        pick in 0usize..64,
+    ) {
+        let db = db_for_skewed(family, shape, tuples, domain, skew_tenths as f64 / 10.0, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let output: NodeSet = db
+            .schema()
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick & (1 << (i % 6)) != 0)
+            .map(|(_, n)| n)
+            .collect();
+        let slow = naive_yannakakis_join(&db, &tree, &output);
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::SortMerge),
+            ExecPolicy::sequential(JoinStrategy::Auto),
+            ExecPolicy::parallel(JoinStrategy::Auto, 3),
+        ] {
+            let fast = yannakakis_join_with(&db, &tree, &output, &policy);
+            prop_assert!(slow.agrees_with(&fast), "yannakakis diverged under {:?}", policy);
+        }
     }
 }
 
