@@ -98,6 +98,22 @@ impl JoinTree {
         levels
     }
 
+    /// The depth levels in bottom-up order: deepest level first, the root
+    /// level last — [`JoinTree::levels`] reversed.
+    ///
+    /// This is the iteration order of both parallel Yannakakis phases.  The
+    /// upward reducer pass walks it directly (parents semijoin children one
+    /// level deeper), and so does the bottom-up join: when a level is
+    /// processed, every child's subtree result already exists, and sibling
+    /// subtrees within the level are independent — the level-synchronous
+    /// counterpart of [`JoinTree::bottom_up_order`], which linearizes the
+    /// same partial order one edge at a time.
+    pub fn levels_bottom_up(&self) -> Vec<Vec<EdgeId>> {
+        let mut levels = self.levels();
+        levels.reverse();
+        levels
+    }
+
     /// The tree edges as `(child, parent)` pairs.
     pub fn tree_edges(&self) -> Vec<(EdgeId, EdgeId)> {
         self.parent
@@ -369,6 +385,34 @@ mod tests {
                     Some(p) => assert!(levels[d - 1].contains(&p)),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bottom_up_levels_refine_bottom_up_order() {
+        for h in [
+            fig1(),
+            Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["C", "D"]]).unwrap(),
+        ] {
+            let t = join_tree(&h).unwrap();
+            let levels = t.levels_bottom_up();
+            let mut reversed = t.levels();
+            reversed.reverse();
+            assert_eq!(levels, reversed);
+            // Walking levels bottom-up visits every child before its parent,
+            // exactly like bottom_up_order does edge-by-edge.
+            let mut seen = vec![false; t.len()];
+            for level in &levels {
+                for &e in level {
+                    for &c in t.children(e) {
+                        assert!(seen[c.index()], "child {c} must precede parent {e}");
+                    }
+                }
+                for &e in level {
+                    seen[e.index()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
         }
     }
 

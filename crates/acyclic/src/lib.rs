@@ -20,6 +20,20 @@
 //!   path certificate);
 //! * the **acyclicity-degree hierarchy** (Berge / β / α) as an extension.
 //!
+//! # Module map
+//!
+//! | Module | Paper concept |
+//! |---|---|
+//! | `graham` | Graham reduction with sacred nodes `GR(H, X)` and GYO reduction, with step traces (§2) |
+//! | `confluence` | empirical Church–Rosser check for Graham reduction rule orders (Lemma 2.1) |
+//! | `acyclicity` | acyclicity tests: GYO-reduces-to-empty, plus the definition-based baseline (§2) |
+//! | `mcs` | maximum-cardinality-search test: chordality + conformality of the primal graph (the classical equivalent) |
+//! | `jointree` | join trees by ear decomposition, running-intersection verification, depth levels — what the `reldb` Yannakakis engine consumes (§4) |
+//! | `connection` | canonical connections `CC_H(X) = TR(H, X)`, computable by Graham reduction on acyclic inputs (§5, Theorem 3.5) |
+//! | `independent` | connecting/independent trees and paths — the cyclicity certificates (§5) |
+//! | `theorem` | the constructive Theorem 6.1 dichotomy: join tree xor verified independent path (§6) |
+//! | `hierarchy` | Berge / β / α acyclicity degrees (extension beyond the paper) |
+//!
 //! # Example
 //!
 //! ```

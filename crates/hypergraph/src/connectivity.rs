@@ -66,7 +66,7 @@ impl Hypergraph {
     /// This is connectivity of `n` through whole edges of `self`, which is
     /// how the paper uses the term when defining articulation sets.  (To ask
     /// whether `n` is connected as a node-generated hypergraph, use
-    /// [`Hypergraph::induced`](crate::induced) and then `is_connected`.)
+    /// [`Hypergraph::induced`] and then `is_connected`.)
     pub fn is_node_set_connected(&self, n: &NodeSet) -> bool {
         let Some(start) = n.first() else {
             return true;

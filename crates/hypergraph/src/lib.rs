@@ -18,6 +18,20 @@
 //! canonical connections, independent paths, Theorem 6.1) live in the
 //! `acyclic` and `tableau` crates, which build on this one.
 //!
+//! # Module map
+//!
+//! | Module | Paper concept |
+//! |---|---|
+//! | `interner`, `nodeset` | node universe `N` and node sets `X ⊆ N` (§1); sets are bit vectors over interned ids |
+//! | `edge`, `hypergraph` | hyperedges and hypergraphs `H = (N, E)`, reduction by subsumed-edge removal (§1) |
+//! | `connectivity` | connectedness and components of a hypergraph (§1) |
+//! | `induced` | node-generated partial-edge hypergraphs `H(X)` (§2) |
+//! | `articulation` | articulation sets — the hypergraph generalization of articulation points (§4) |
+//! | `graph` | ordinary graphs, articulation points, biconnected components — the classical theory being generalized |
+//! | `primal` | primal ("2-section") and line-graph views used by the MCS acyclicity test |
+//! | `dot` | Graphviz/ASCII rendering of the bipartite incidence structure (presentation only) |
+//! | `error` | shared error type for malformed inputs |
+//!
 //! # Example
 //!
 //! ```

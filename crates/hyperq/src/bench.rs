@@ -5,7 +5,8 @@
 //! columnar engine and the retained naive reference engine, and writes the
 //! results as `BENCH_results.json` so the perf trajectory accumulates in
 //! CI artifacts.  With `--check <baseline.json>` it additionally compares
-//! the measured columnar `full_reduce` numbers against a checked-in
+//! the measured columnar `full_reduce` and `yannakakis_join` numbers (the
+//! sequential and pool-leased parallel engines) against a checked-in
 //! baseline and fails on a regression beyond `--max-regression` (default
 //! 2×, deliberately generous to tolerate runner noise).
 
@@ -103,6 +104,11 @@ struct QueryWorkload {
 
 /// The strategy/parallelism engine variants measured alongside the default
 /// columnar hash engine.  The engine label is what lands in the JSON rows.
+///
+/// `columnar-parallel` leases long-lived workers from the shared
+/// `WorkerPool` (the production parallel path); `columnar-parallel-spawn`
+/// runs the identical level-synchronous engine but spawns fresh threads per
+/// batch — the pair isolates what pool reuse saves in per-level overhead.
 fn engine_policies(threads: usize) -> Vec<(&'static str, ExecPolicy)> {
     vec![
         (
@@ -112,6 +118,13 @@ fn engine_policies(threads: usize) -> Vec<(&'static str, ExecPolicy)> {
         (
             "columnar-parallel",
             ExecPolicy::parallel(JoinStrategy::Hash, threads),
+        ),
+        (
+            "columnar-parallel-spawn",
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Hash, threads)
+            },
         ),
     ]
 }
@@ -312,9 +325,10 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     line[start..end].parse().ok()
 }
 
-/// Compares measured columnar `full_reduce` records against a baseline
-/// document (the format written by [`to_json`]).  Returns a summary, or an
-/// error naming every regression beyond `max_regression`.
+/// Compares measured columnar `full_reduce` and `yannakakis_join` records
+/// against a baseline document (the format written by [`to_json`]).
+/// Returns a summary, or an error naming every regression beyond
+/// `max_regression`.
 pub fn check_baseline(
     records: &[BenchRecord],
     baseline: &str,
@@ -324,9 +338,12 @@ pub fn check_baseline(
     let mut failures = Vec::new();
     let mut out = String::new();
     for r in records {
-        // Guard the sequential hash engine and the parallel reducer alike:
-        // a regression in either is a regression in the production path.
-        if r.op != "full_reduce" || (r.engine != "columnar" && r.engine != "columnar-parallel") {
+        // Guard the sequential hash engine and the parallel (pool-leased)
+        // engine alike, on both the reducer and the full join pipeline: a
+        // regression in any of them is a regression in the production path.
+        if (r.op != "full_reduce" && r.op != "yannakakis_join")
+            || (r.engine != "columnar" && r.engine != "columnar-parallel")
+        {
             continue;
         }
         let base = baseline.lines().find_map(|line| {
@@ -367,7 +384,9 @@ pub fn check_baseline(
         }
     }
     if compared == 0 {
-        return Err("baseline contains no matching columnar full_reduce records".to_owned());
+        return Err(
+            "baseline contains no matching columnar full_reduce/yannakakis_join records".to_owned(),
+        );
     }
     if !failures.is_empty() {
         return Err(format!("bench regression: {}", failures.join("; ")));
@@ -481,6 +500,53 @@ mod tests {
             10.0,
         )];
         assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
+    }
+
+    #[test]
+    fn baseline_check_covers_yannakakis_join() {
+        let baseline = to_json(&[
+            record("full_reduce", "columnar", "chain-6", 200, 1000.0),
+            record("yannakakis_join", "columnar", "chain-6", 200, 1000.0),
+            record(
+                "yannakakis_join",
+                "columnar-parallel",
+                "chain-6",
+                200,
+                1000.0,
+            ),
+        ]);
+        let ok = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 900.0),
+            record("yannakakis_join", "columnar", "chain-6", 200, 1100.0),
+            record(
+                "yannakakis_join",
+                "columnar-parallel",
+                "chain-6",
+                200,
+                1200.0,
+            ),
+        ];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        // A regressed join pipeline trips the guard even when the reducer
+        // is fine.
+        let slow_join = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 900.0),
+            record("yannakakis_join", "columnar", "chain-6", 200, 5000.0),
+        ];
+        let err = check_baseline(&slow_join, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("yannakakis_join"), "err: {err}");
+        // The spawn-mode comparison rows are informational, not guarded.
+        let spawn_only = vec![
+            record("full_reduce", "columnar", "chain-6", 200, 900.0),
+            record(
+                "yannakakis_join",
+                "columnar-parallel-spawn",
+                "chain-6",
+                200,
+                1e9,
+            ),
+        ];
+        assert!(check_baseline(&spawn_only, &baseline, 2.0).is_ok());
     }
 
     #[test]

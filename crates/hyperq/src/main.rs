@@ -10,7 +10,14 @@
 //! hyperq query    <schema> <data> --select A,B[,..] [--engine connection|yannakakis|naive]
 //! hyperq dot      <schema> [--name G]
 //! hyperq stats    <schema>
+//! hyperq bench    [--out FILE] [--check BASELINE] [--threads N]
 //! ```
+//!
+//! Module map: `load` parses the edge-list/tuple file formats into
+//! `hypergraph`/`reldb` values; `commands` implements classify (the
+//! Theorem 6.1 dichotomy with certificates), query (§7 universal-relation
+//! answering), dot and stats; `bench` is the machine-readable perf harness
+//! behind `BENCH_results.json` and the CI regression guard.
 
 #![forbid(unsafe_code)]
 
@@ -46,8 +53,9 @@ COMMANDS:
                readable JSON, --check fails on a columnar full_reduce
                regression beyond --max-regression (default 2.0) against a
                baseline JSON, --quick trims the workload sizes for CI,
-               --threads pins the parallel-engine worker count (default 4)
-               so CI runs are reproducible across runners
+               --threads pins the parallel-engine worker count (default 4;
+               0 = auto-detect the machine's parallelism) so CI runs are
+               reproducible across runners
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
@@ -141,9 +149,16 @@ fn run() -> Result<String, String> {
                 None => 2.0,
             };
             let threads = match take_flag(&mut args, "--threads")? {
+                // `--threads 0` means "use whatever the machine has" —
+                // the same auto-detect convention as ExecPolicy.threads.
                 Some(s) => match s.parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
-                    _ => return Err(format!("--threads: not a positive integer: {s:?}")),
+                    Ok(0) => std::thread::available_parallelism().map_or(1, usize::from),
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Err(format!(
+                            "--threads: expected a worker count (0 = auto-detect), got {s:?}"
+                        ))
+                    }
                 },
                 None => 4,
             };

@@ -129,6 +129,7 @@ fn bench_writes_json_and_guards_against_regressions() {
     assert!(json.contains("\"engine\": \"reference\""));
     assert!(json.contains("\"engine\": \"columnar-sortmerge\""));
     assert!(json.contains("\"engine\": \"columnar-parallel\""));
+    assert!(json.contains("\"engine\": \"columnar-parallel-spawn\""));
     assert!(json.contains("\"workload\": \"snowflake-2x2\""));
     assert!(json.contains("\"workload\": \"chain-6-zipf\""));
     assert!(json.contains("\"op\": \"join_pair\""));
@@ -161,6 +162,28 @@ fn regression_baseline(json: &str) -> String {
             }
         })
         .collect()
+}
+
+#[test]
+fn bench_threads_zero_means_auto_detect() {
+    // `--threads 0` used to be rejected as "not a positive integer"; it now
+    // maps to the machine's available parallelism (the ExecPolicy
+    // convention), so the bench still runs and produces the parallel rows.
+    let out = hyperq(&["bench", "--tiny", "--threads", "0"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("columnar-parallel"), "summary: {text}");
+
+    // Garbage worker counts are still rejected, with a hint about 0.
+    for bad in ["banana", "-1", "1.5"] {
+        let out = hyperq(&["bench", "--tiny", "--threads", bad]);
+        assert!(!out.status.success(), "--threads {bad} must fail");
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            err.contains("--threads") && err.contains("auto-detect"),
+            "unclear error for --threads {bad}: {err}"
+        );
+    }
 }
 
 #[test]

@@ -1,4 +1,6 @@
-//! Execution policy: join-strategy selection and parallelism knobs.
+//! Execution policy and worker pool: join-strategy selection, parallelism
+//! knobs, and the leased worker threads behind the level-synchronous
+//! Yannakakis engine.
 //!
 //! The columnar kernels come in two physical flavors — hash (build the
 //! smaller side, probe the larger) and sort-merge (sort row-id permutations
@@ -11,19 +13,51 @@
 //! measures genuine key skew).
 //!
 //! [`ExecPolicy`] bundles the strategy with the parallelism knobs used by
-//! the level-synchronous Yannakakis reducer
-//! ([`full_reduce_with`](crate::full_reduce_with)): how many scoped worker
-//! threads to use and the total-tuple threshold below which spawning threads
-//! costs more than it saves.
+//! the level-synchronous Yannakakis reducer and bottom-up join
+//! ([`full_reduce_with`](crate::full_reduce_with),
+//! [`yannakakis_join_with`](crate::yannakakis_join_with)): how many worker
+//! threads to use, the total-tuple threshold below which parallel execution
+//! costs more than it saves, whether workers are leased from the shared
+//! [`WorkerPool`] or spawned fresh, and the [`JoinStrategy::Auto`]
+//! distinct-key-ratio threshold.
+//!
+//! # The worker pool
+//!
+//! Per-level `std::thread::scope` spawning dominates small tree levels (the
+//! common case: a chain's levels are singletons and a star has exactly two),
+//! so the parallel engine does not spawn per level.  Instead it leases
+//! workers once per reducer/join call from a process-wide [`WorkerPool`] of
+//! long-lived threads, feeds every level's jobs to them through channels,
+//! and returns the workers when the call ends ([`WorkerLease`] returns them
+//! on drop).  Jobs own their data (`'static` closures), which is what lets
+//! safe Rust hand them to threads that outlive any one call.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
 
 /// Which physical join/semijoin kernel to run.
+///
+/// # Examples
+///
+/// ```
+/// use reldb::JoinStrategy;
+///
+/// // The CLI spellings round-trip; `Auto` is the default cost-pick planner.
+/// assert_eq!(JoinStrategy::parse("sort-merge"), Ok(JoinStrategy::SortMerge));
+/// assert_eq!(JoinStrategy::default(), JoinStrategy::Auto);
+/// assert!(JoinStrategy::parse("quantum").is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
     /// Hash build + probe (the columnar default).
     Hash,
     /// Sort row-id permutations by the key columns and merge.
     SortMerge,
-    /// Pick per operation from the estimated distinct-key ratio.
+    /// Pick per operation from the estimated distinct-key ratio: sort-merge
+    /// below [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`] (overridable via
+    /// [`ExecPolicy::auto_sortmerge_max_distinct_ratio`]), hash otherwise.
     #[default]
     Auto,
 }
@@ -42,22 +76,60 @@ impl JoinStrategy {
     }
 }
 
-/// Keys with a distinct-key ratio at or below this are considered skewed
-/// enough for sort-merge under [`JoinStrategy::Auto`].
-pub(crate) const AUTO_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.05;
+/// Keys with an estimated distinct-key ratio at or below this are considered
+/// skewed enough for sort-merge under [`JoinStrategy::Auto`].
+///
+/// The ratio is sampled from up to 128 evenly spaced rows of the larger
+/// side; `0.05` (at most one distinct key per twenty rows) is where the
+/// measured sort-merge/hash crossover sat for the skewed-chain and
+/// snowflake benchmark workloads on the authoring machine.  It is a single
+/// fixed default, not a per-operation calibration — override it per query
+/// via [`ExecPolicy::auto_sortmerge_max_distinct_ratio`]; calibrating the
+/// crossover per operation (join vs. semijoin, both sides' ratios) is a
+/// tracked ROADMAP follow-on.
+pub const AUTO_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.05;
 
 /// How the Yannakakis reducer and join execute: join strategy plus the
-/// scoped-thread parallelism knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// worker-thread parallelism knobs.
+///
+/// # Examples
+///
+/// ```
+/// use reldb::{ExecPolicy, JoinStrategy};
+///
+/// // The default policy: auto strategy, auto-detected worker count,
+/// // sequential below the tuple threshold, leased pool workers.
+/// let policy = ExecPolicy::default();
+/// assert_eq!(policy.strategy, JoinStrategy::Auto);
+/// assert!(policy.reuse_pool);
+/// assert_eq!(policy.effective_threads(16), 1); // small input stays sequential
+///
+/// // A pinned policy for reproducible measurements, with the Auto
+/// // sort-merge threshold overridden.
+/// let pinned = ExecPolicy {
+///     auto_sortmerge_max_distinct_ratio: 0.2,
+///     ..ExecPolicy::parallel(JoinStrategy::Auto, 2)
+/// };
+/// assert_eq!(pinned.effective_threads(1_000_000), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecPolicy {
     /// Physical kernel selection for every join/semijoin.
     pub strategy: JoinStrategy,
-    /// Worker threads for the level-synchronous reducer passes; `0` means
-    /// auto-detect ([`std::thread::available_parallelism`]).
+    /// Worker threads for the level-synchronous reducer and join passes;
+    /// `0` means auto-detect ([`std::thread::available_parallelism`]).
     pub threads: usize,
-    /// Total database tuples below which the reducer stays sequential even
-    /// when `threads > 1` (thread spawning would dominate).
+    /// Total database tuples below which execution stays sequential even
+    /// when `threads > 1` (worker hand-off would dominate).
     pub parallel_threshold: usize,
+    /// Distinct-key-ratio threshold at or below which [`JoinStrategy::Auto`]
+    /// picks sort-merge.  Defaults to
+    /// [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`].
+    pub auto_sortmerge_max_distinct_ratio: f64,
+    /// Lease long-lived workers from the shared [`WorkerPool`] (`true`, the
+    /// default) instead of spawning fresh threads per call (`false`, kept
+    /// for benchmarking the pool against the spawn overhead it removes).
+    pub reuse_pool: bool,
 }
 
 impl Default for ExecPolicy {
@@ -66,6 +138,8 @@ impl Default for ExecPolicy {
             strategy: JoinStrategy::Auto,
             threads: 0,
             parallel_threshold: 4096,
+            auto_sortmerge_max_distinct_ratio: AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            reuse_pool: true,
         }
     }
 }
@@ -78,17 +152,19 @@ impl ExecPolicy {
             strategy,
             threads: 1,
             parallel_threshold: usize::MAX,
+            ..Self::default()
         }
     }
 
-    /// A parallel policy pinned to `threads` workers that always engages
-    /// (no tuple threshold) — what the benchmarks and CI use for
+    /// A parallel policy pinned to `threads` pool workers that always
+    /// engages (no tuple threshold) — what the benchmarks and CI use for
     /// reproducible worker counts.
     pub fn parallel(strategy: JoinStrategy, threads: usize) -> Self {
         Self {
             strategy,
             threads: threads.max(1),
             parallel_threshold: 0,
+            ..Self::default()
         }
     }
 
@@ -104,11 +180,232 @@ impl ExecPolicy {
             t => t,
         }
     }
+
+    /// Acquires the workers this policy wants for a workload of
+    /// `total_tuples`: an inline (sequential) lease below the threshold,
+    /// leased [`WorkerPool`] threads when `reuse_pool` is set, fresh
+    /// spawn-per-batch threads otherwise.
+    pub fn lease(&self, total_tuples: usize) -> WorkerLease {
+        let threads = self.effective_threads(total_tuples);
+        if threads <= 1 {
+            WorkerLease::inline()
+        } else if self.reuse_pool {
+            WorkerPool::lease(threads)
+        } else {
+            WorkerLease::spawning(threads)
+        }
+    }
+}
+
+/// A unit of work handed to a worker thread: an owned closure.  Jobs carry
+/// their data (`'static`) so they can outlive the call that created them —
+/// results travel back through channels the job captures.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What one job's completion reports back: `Ok` on success, or the caught
+/// panic payload so the lease can re-raise it verbatim on the caller.
+type JobResult = Result<(), Box<dyn Any + Send>>;
+
+/// What a pool worker receives: a job plus the completion channel for the
+/// batch it belongs to.
+type WorkerMsg = (Job, Sender<JobResult>);
+
+/// One long-lived pool thread, addressed by its private job channel.
+struct PoolWorker {
+    tx: Sender<WorkerMsg>,
+}
+
+impl PoolWorker {
+    fn spawn() -> Self {
+        let (tx, rx) = channel::<WorkerMsg>();
+        std::thread::Builder::new()
+            .name("reldb-worker".to_owned())
+            .spawn(move || Self::work(rx))
+            .expect("spawn pool worker");
+        Self { tx }
+    }
+
+    /// The worker loop: run jobs until the pool drops the channel.  A
+    /// panicking job is caught and its payload shipped through the batch's
+    /// completion channel so the lease can re-raise it on the caller's
+    /// thread instead of deadlocking the batch.
+    fn work(rx: Receiver<WorkerMsg>) {
+        while let Ok((job, done)) = rx.recv() {
+            let _ = done.send(catch_unwind(AssertUnwindSafe(job)));
+        }
+    }
+}
+
+/// The process-wide pool of long-lived worker threads behind the parallel
+/// Yannakakis engine.
+///
+/// Threads are created lazily on first lease, handed out in batches
+/// ([`WorkerPool::lease`]), and returned to the free list when the
+/// [`WorkerLease`] drops — so repeated reducer/join calls (and every level
+/// within one call) reuse the same threads instead of paying a spawn per
+/// level.  Idle workers block on their channel and cost nothing.
+pub struct WorkerPool;
+
+fn free_workers() -> &'static Mutex<Vec<PoolWorker>> {
+    static FREE: OnceLock<Mutex<Vec<PoolWorker>>> = OnceLock::new();
+    FREE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl WorkerPool {
+    /// Leases `threads` workers from the pool, spawning new threads only if
+    /// the free list cannot cover the request.  The workers are returned
+    /// when the lease drops.
+    pub fn lease(threads: usize) -> WorkerLease {
+        if threads <= 1 {
+            return WorkerLease::inline();
+        }
+        let mut workers = {
+            let mut free = free_workers().lock().expect("worker pool lock");
+            let at = free.len() - free.len().min(threads);
+            free.split_off(at)
+        };
+        while workers.len() < threads {
+            workers.push(PoolWorker::spawn());
+        }
+        WorkerLease {
+            mode: LeaseMode::Pooled(workers),
+        }
+    }
+
+    /// Number of idle workers currently parked in the pool — observability
+    /// for the lease/return cycle (tests assert workers come back).
+    pub fn idle_workers() -> usize {
+        free_workers().lock().expect("worker pool lock").len()
+    }
+}
+
+enum LeaseMode {
+    /// No workers: run batches inline on the caller thread.
+    Inline,
+    /// Spawn fresh threads per batch (the pre-pool behavior, kept so the
+    /// benchmarks can measure what the pool saves).
+    Spawn(usize),
+    /// Leased long-lived pool threads.
+    Pooled(Vec<PoolWorker>),
+}
+
+/// A batch executor over some worker threads, handed out by
+/// [`WorkerPool::lease`] (or the spawn/inline constructors via
+/// [`ExecPolicy::lease`]).  Dropping a pooled lease returns its workers to
+/// the pool.
+pub struct WorkerLease {
+    mode: LeaseMode,
+}
+
+impl WorkerLease {
+    /// A lease with no workers: [`WorkerLease::run`] executes inline.
+    pub fn inline() -> Self {
+        Self {
+            mode: LeaseMode::Inline,
+        }
+    }
+
+    /// A lease that spawns `threads` fresh threads per batch instead of
+    /// using pool workers.
+    pub fn spawning(threads: usize) -> Self {
+        if threads <= 1 {
+            return Self::inline();
+        }
+        Self {
+            mode: LeaseMode::Spawn(threads),
+        }
+    }
+
+    /// How many workers batches are spread across (`1` = inline).
+    pub fn threads(&self) -> usize {
+        match &self.mode {
+            LeaseMode::Inline => 1,
+            LeaseMode::Spawn(t) => *t,
+            LeaseMode::Pooled(w) => w.len(),
+        }
+    }
+
+    /// Runs a batch of jobs to completion.  Jobs are distributed round-robin
+    /// across the leased workers; the call returns only after every job has
+    /// finished, so borrow-free batches can be sequenced safely.
+    ///
+    /// # Panics
+    /// If a job panicked, its payload is re-raised on the calling thread —
+    /// after the whole batch has finished, so no job is left running
+    /// through the caller's unwind.
+    pub fn run(&self, jobs: Vec<Job>) {
+        match &self.mode {
+            LeaseMode::Inline => {
+                for job in jobs {
+                    job();
+                }
+            }
+            LeaseMode::Spawn(threads) => {
+                let per = jobs.len().div_ceil(*threads).max(1);
+                let mut jobs = jobs;
+                let mut handles = Vec::new();
+                while !jobs.is_empty() {
+                    let batch: Vec<Job> = jobs.drain(..per.min(jobs.len())).collect();
+                    handles.push(std::thread::spawn(move || {
+                        for job in batch {
+                            job();
+                        }
+                    }));
+                }
+                // Join every handle before re-raising, preserving the first
+                // panic's payload.
+                let mut first_panic = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    resume_unwind(payload);
+                }
+            }
+            LeaseMode::Pooled(workers) => {
+                let (done_tx, done_rx) = channel();
+                let n = jobs.len();
+                for (i, job) in jobs.into_iter().enumerate() {
+                    workers[i % workers.len()]
+                        .tx
+                        .send((job, done_tx.clone()))
+                        .expect("pool worker alive");
+                }
+                drop(done_tx);
+                // Drain the whole batch before re-raising, preserving the
+                // first panic's payload.
+                let mut first_panic = None;
+                for _ in 0..n {
+                    if let Err(payload) = done_rx.recv().expect("pool worker alive") {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        if let LeaseMode::Pooled(workers) = &mut self.mode {
+            free_workers()
+                .lock()
+                .expect("worker pool lock")
+                .append(workers);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn strategy_parses_cli_spellings() {
@@ -139,5 +436,111 @@ mod tests {
             "below threshold stays sequential"
         );
         assert!(auto.effective_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn policy_carries_auto_ratio_override() {
+        let d = ExecPolicy::default();
+        assert!(
+            (d.auto_sortmerge_max_distinct_ratio - AUTO_SORTMERGE_MAX_DISTINCT_RATIO).abs() < 1e-12
+        );
+        let p = ExecPolicy {
+            auto_sortmerge_max_distinct_ratio: 0.5,
+            ..ExecPolicy::sequential(JoinStrategy::Auto)
+        };
+        assert!(p.auto_sortmerge_max_distinct_ratio > d.auto_sortmerge_max_distinct_ratio);
+    }
+
+    /// Every lease mode runs every job exactly once and waits for all of
+    /// them before returning.
+    #[test]
+    fn leases_run_all_jobs_to_completion() {
+        for lease in [
+            WorkerLease::inline(),
+            WorkerLease::spawning(3),
+            WorkerPool::lease(3),
+        ] {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let jobs: Vec<Job> = (0..17)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            lease.run(jobs);
+            assert_eq!(counter.load(Ordering::SeqCst), 17);
+            // A second batch on the same lease works too (reuse in one call).
+            let c = Arc::clone(&counter);
+            lease.run(vec![Box::new(move || {
+                c.fetch_add(10, Ordering::SeqCst);
+            })]);
+            assert_eq!(counter.load(Ordering::SeqCst), 27);
+        }
+    }
+
+    /// Dropping a pooled lease returns its workers: a subsequent lease can
+    /// be served and the free list refills.
+    #[test]
+    fn pooled_workers_are_returned_on_drop() {
+        // Two overlapping leases force distinct worker sets to exist.
+        let a = WorkerPool::lease(3);
+        let b = WorkerPool::lease(2);
+        assert_eq!(a.threads(), 3);
+        assert_eq!(b.threads(), 2);
+        drop(a);
+        drop(b);
+        // The free list is process-wide and other tests lease from it
+        // concurrently, so poll instead of asserting a snapshot: the five
+        // returned workers cannot all stay leased-out forever.
+        for _ in 0..200 {
+            if WorkerPool::idle_workers() >= 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("dropped lease never returned workers to the pool");
+    }
+
+    #[test]
+    fn policy_lease_respects_threshold_mode_and_pool_flag() {
+        let seq = ExecPolicy::sequential(JoinStrategy::Hash);
+        assert_eq!(seq.lease(1_000_000).threads(), 1);
+        let pooled = ExecPolicy::parallel(JoinStrategy::Hash, 2);
+        assert_eq!(pooled.lease(0).threads(), 2);
+        let spawn = ExecPolicy {
+            reuse_pool: false,
+            ..ExecPolicy::parallel(JoinStrategy::Hash, 2)
+        };
+        assert_eq!(spawn.lease(0).threads(), 2);
+        // Below the threshold every mode degrades to inline.
+        let auto = ExecPolicy::default();
+        assert_eq!(auto.lease(1).threads(), 1);
+    }
+
+    /// A panicking job surfaces as a panic on the calling thread for both
+    /// thread-backed modes (the pool must not deadlock on a lost job), and
+    /// the original payload survives the trip — a parallel-only failure
+    /// must be as debuggable as a sequential one.
+    #[test]
+    fn panicking_jobs_propagate_with_payload() {
+        for lease in [WorkerLease::spawning(2), WorkerPool::lease(2)] {
+            let boom = catch_unwind(AssertUnwindSafe(|| {
+                lease.run(vec![
+                    Box::new(|| {}) as Job,
+                    Box::new(|| panic!("boom in job")) as Job,
+                ]);
+            }));
+            let payload = boom.expect_err("job panic must propagate");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            assert_eq!(msg.as_deref(), Some("boom in job"));
+            // The lease stays usable afterwards.
+            lease.run(vec![Box::new(|| {}) as Job]);
+        }
     }
 }

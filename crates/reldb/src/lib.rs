@@ -19,6 +19,20 @@
 //! * pairwise vs. global consistency, the semantic face of acyclicity
 //!   ([`is_pairwise_consistent`], [`is_globally_consistent`]).
 //!
+//! # Module map
+//!
+//! | Module | Paper concept / engine role |
+//! |---|---|
+//! | `value`, `pool` | attribute values and the interning dictionary behind the columnar `u32`-handle rows |
+//! | `relation` | one stored *object* (hyperedge) as a relation: flat interned rows, hash and sort-merge join/semijoin kernels (§7) |
+//! | `database` | a database bound to a schema hypergraph — one relation per object (§7) |
+//! | `universal` | universal-relation queries `π_X(⋈ CC(X))` over canonical connections (§5, §7) |
+//! | `query` | the declarative [`Query`] layer: tableau-expressible output + equality selections, selection pushdown |
+//! | `yannakakis` | the Yannakakis full reducer and bottom-up join over a join tree, level-synchronous in both phases (§7's efficiency payoff) |
+//! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, and the leased [`WorkerPool`] the parallel engine runs on |
+//! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
+//! | [`mod@reference`] | the pre-rewrite naive engine, kept as the equivalence-test oracle and benchmark baseline |
+//!
 //! # Example
 //!
 //! ```
@@ -41,7 +55,7 @@
 
 mod consistency;
 mod database;
-mod exec;
+pub mod exec;
 mod pool;
 mod query;
 pub mod reference;
@@ -54,7 +68,9 @@ pub use consistency::{
     dangling_report, is_globally_consistent, is_pairwise_consistent, make_globally_consistent,
 };
 pub use database::{Database, DbError};
-pub use exec::{ExecPolicy, JoinStrategy};
+pub use exec::{
+    ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};

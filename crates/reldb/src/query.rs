@@ -29,11 +29,37 @@ pub struct Selection {
 }
 
 /// A universal-relation query: output attributes plus equality selections.
+///
+/// # Examples
+///
+/// ```
+/// use hypergraph::{EdgeId, Hypergraph};
+/// use reldb::{Database, Query, Tuple};
+///
+/// let schema = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+/// let (a, b, c) = (
+///     schema.node("A").unwrap(),
+///     schema.node("B").unwrap(),
+///     schema.node("C").unwrap(),
+/// );
+/// let mut db = Database::empty(schema);
+/// db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+/// db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 3)]));
+/// db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 4)]));
+///
+/// // π_A σ_{C=3}: plan over the canonical connection, push the selection
+/// // below the join, project.
+/// let q = Query::new().select(a).filter_eq(c, 3);
+/// let answer = q.execute(&db);
+/// assert_eq!(answer.len(), 1);
+/// // The Yannakakis engine answers the same query over the join tree.
+/// assert!(q.execute_yannakakis(&db).unwrap().same_contents(&answer));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Query {
     output: Vec<NodeId>,
     selections: Vec<Selection>,
-    strategy: JoinStrategy,
+    policy: ExecPolicy,
 }
 
 impl Query {
@@ -72,13 +98,26 @@ impl Query {
     /// planner).  The explicit override exists for benchmarking and for
     /// workloads whose skew the sampler cannot see.
     pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
-        self.strategy = strategy;
+        self.policy.strategy = strategy;
+        self
+    }
+
+    /// Replaces the whole execution policy — strategy, worker threads,
+    /// sequential-fallback threshold, and the [`JoinStrategy::Auto`]
+    /// distinct-key-ratio override — for every engine this query runs.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
     /// The query's join strategy.
     pub fn strategy(&self) -> JoinStrategy {
-        self.strategy
+        self.policy.strategy
+    }
+
+    /// The query's execution policy.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
     }
 
     /// The output attributes as a node set.
@@ -142,7 +181,7 @@ impl Query {
             let filtered = self.filtered(&db.relations()[i]);
             acc = Some(match acc {
                 None => filtered,
-                Some(a) => a.join_with(&filtered, self.strategy),
+                Some(a) => a.join_with_exec(&filtered, &self.policy),
             });
         }
         let joined = acc.unwrap_or_else(|| Relation::new("∅", self.mentioned()));
@@ -159,11 +198,7 @@ impl Query {
         })?;
         let filtered: Vec<Relation> = db.relations().iter().map(|r| self.filtered(r)).collect();
         let filtered_db = Database::new(db.schema().clone(), filtered)?;
-        let policy = ExecPolicy {
-            strategy: self.strategy,
-            ..ExecPolicy::default()
-        };
-        let joined = yannakakis_join_with(&filtered_db, &tree, &self.mentioned(), &policy);
+        let joined = yannakakis_join_with(&filtered_db, &tree, &self.mentioned(), &self.policy);
         Ok(self.finish(joined))
     }
 

@@ -20,7 +20,7 @@
 //! [`Tuple`] remains the boundary type for building and reading individual
 //! tuples; it is decoded from / encoded into rows only at the edges.
 
-use crate::exec::{JoinStrategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO};
+use crate::exec::{ExecPolicy, JoinStrategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO};
 use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
 use hypergraph::{NodeId, NodeSet, Universe};
@@ -707,8 +707,24 @@ impl Relation {
     /// and probes with the larger; `SortMerge` sorts row-id permutations of
     /// both sides by the key columns (never the row buffers themselves) and
     /// merges equal-key runs; `Auto` picks by the estimated distinct-key
-    /// ratio of the larger side (heavy key duplication favors sort-merge).
+    /// ratio of the larger side (heavy key duplication favors sort-merge),
+    /// against the default [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`] threshold.
     pub fn join_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
+        self.join_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO)
+    }
+
+    /// Natural join under an [`ExecPolicy`]: the policy picks the strategy
+    /// and the [`JoinStrategy::Auto`] distinct-key-ratio threshold (its
+    /// thread knobs do not apply to a single binary join).
+    pub fn join_with_exec(&self, other: &Relation, policy: &ExecPolicy) -> Relation {
+        self.join_impl(
+            other,
+            policy.strategy,
+            policy.auto_sortmerge_max_distinct_ratio,
+        )
+    }
+
+    fn join_impl(&self, other: &Relation, strategy: JoinStrategy, auto_ratio: f64) -> Relation {
         let attrs = self.attributes.union(&other.attributes);
         let name = format!("({}⋈{})", self.name, other.name);
         let out = Relation::with_pool(name, attrs, self.pool.clone());
@@ -730,7 +746,7 @@ impl Relation {
             JoinStrategy::Hash
         } else {
             let larger = if self.len >= other.len { self } else { other };
-            larger.resolve_strategy(strategy, &positions(&shared, &larger.cols))
+            larger.resolve_strategy(strategy, &positions(&shared, &larger.cols), auto_ratio)
         };
         match strategy {
             JoinStrategy::SortMerge => self.sort_merge_join_into(other, &shared, out),
@@ -867,12 +883,17 @@ impl Relation {
     }
 
     /// Resolves [`JoinStrategy::Auto`] for a key over this relation's
-    /// `pos` columns: heavy key duplication (low distinct-key ratio)
-    /// favors sort-merge, anything else stays with hash.
-    fn resolve_strategy(&self, strategy: JoinStrategy, pos: &[usize]) -> JoinStrategy {
+    /// `pos` columns: heavy key duplication (distinct-key ratio at or below
+    /// `max_ratio`) favors sort-merge, anything else stays with hash.
+    fn resolve_strategy(
+        &self,
+        strategy: JoinStrategy,
+        pos: &[usize],
+        max_ratio: f64,
+    ) -> JoinStrategy {
         match strategy {
             JoinStrategy::Auto => {
-                if self.estimate_distinct_key_ratio(pos) <= AUTO_SORTMERGE_MAX_DISTINCT_RATIO {
+                if self.estimate_distinct_key_ratio(pos) <= max_ratio {
                     JoinStrategy::SortMerge
                 } else {
                     JoinStrategy::Hash
@@ -914,14 +935,20 @@ impl Relation {
     /// For each row of `self`, whether some row of `other` matches it on the
     /// shared attributes — the common kernel behind the semijoin family,
     /// parameterized by strategy and probe-shard worker count.
-    fn semijoin_mask(&self, other: &Relation, strategy: JoinStrategy, threads: usize) -> Vec<bool> {
+    fn semijoin_mask(
+        &self,
+        other: &Relation,
+        strategy: JoinStrategy,
+        auto_ratio: f64,
+        threads: usize,
+    ) -> Vec<bool> {
         let Some(keys) = JoinKeys::new(self, other) else {
             // π_∅(other) is {()} iff other is nonempty; every tuple matches.
             return vec![!other.is_empty(); self.len];
         };
         // Gather the (translated) key columns of `other` into one buffer.
         let other_keys = keys.gather_translated(other);
-        match self.resolve_strategy(strategy, &keys.left_pos) {
+        match self.resolve_strategy(strategy, &keys.left_pos, auto_ratio) {
             JoinStrategy::SortMerge => self.sort_merge_mask(&keys, &other_keys),
             _ => self.hash_mask(&keys, &other_keys, threads),
         }
@@ -1028,7 +1055,7 @@ impl Relation {
     /// Semijoin under an explicit [`JoinStrategy`] — see
     /// [`Relation::join_with`] for the strategy semantics.
     pub fn semijoin_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        let mask = self.semijoin_mask(other, strategy, 1);
+        let mask = self.semijoin_mask(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 1);
         let mut out = Relation::with_pool(
             self.name.clone(),
             self.attributes.clone(),
@@ -1045,10 +1072,15 @@ impl Relation {
     /// Number of tuples the semijoin with `other` would keep, without
     /// materializing it.
     pub fn semijoin_count(&self, other: &Relation) -> usize {
-        self.semijoin_mask(other, JoinStrategy::Hash, 1)
-            .iter()
-            .filter(|&&b| b)
-            .count()
+        self.semijoin_mask(
+            other,
+            JoinStrategy::Hash,
+            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            1,
+        )
+        .iter()
+        .filter(|&&b| b)
+        .count()
     }
 
     /// In-place semijoin with the default kernel — see
@@ -1072,7 +1104,36 @@ impl Relation {
         strategy: JoinStrategy,
         threads: usize,
     ) -> usize {
-        let mask = self.semijoin_mask(other, strategy, threads);
+        self.retain_semijoin_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, threads)
+    }
+
+    /// In-place semijoin under an [`ExecPolicy`] — like
+    /// [`Relation::retain_semijoin_with`], with the policy supplying the
+    /// strategy and the [`JoinStrategy::Auto`] threshold.  `probe_threads`
+    /// shards the hash probe loop (the policy's own thread count governs
+    /// level sharding in the reducer, not this intra-operator knob).
+    pub fn retain_semijoin_exec(
+        &mut self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        probe_threads: usize,
+    ) -> usize {
+        self.retain_semijoin_impl(
+            other,
+            policy.strategy,
+            policy.auto_sortmerge_max_distinct_ratio,
+            probe_threads,
+        )
+    }
+
+    fn retain_semijoin_impl(
+        &mut self,
+        other: &Relation,
+        strategy: JoinStrategy,
+        auto_ratio: f64,
+        threads: usize,
+    ) -> usize {
+        let mask = self.semijoin_mask(other, strategy, auto_ratio, threads);
         let removed = mask.iter().filter(|&&b| !b).count();
         if removed == 0 {
             return 0;
@@ -1549,14 +1610,27 @@ mod tests {
         assert!(uniq.estimate_distinct_key_ratio(&[0]) > 0.9);
         // Whole-row keys are distinct by construction.
         assert_eq!(dup.estimate_distinct_key_ratio(&[0, 1]), 1.0);
-        // Auto resolves accordingly.
+        // Auto resolves accordingly, against the default threshold.
         assert_eq!(
-            dup.resolve_strategy(JoinStrategy::Auto, &[0]),
+            dup.resolve_strategy(JoinStrategy::Auto, &[0], AUTO_SORTMERGE_MAX_DISTINCT_RATIO),
             JoinStrategy::SortMerge
         );
         assert_eq!(
-            uniq.resolve_strategy(JoinStrategy::Auto, &[0]),
+            uniq.resolve_strategy(JoinStrategy::Auto, &[0], AUTO_SORTMERGE_MAX_DISTINCT_RATIO),
             JoinStrategy::Hash
+        );
+        // An ExecPolicy override moves the crossover: with a threshold of
+        // 1.0 even unique keys resolve to sort-merge.
+        let lenient = ExecPolicy {
+            auto_sortmerge_max_distinct_ratio: 1.0,
+            ..ExecPolicy::sequential(JoinStrategy::Auto)
+        };
+        assert!(uniq
+            .join_with_exec(&dup, &lenient)
+            .same_contents(&uniq.join(&dup)));
+        assert_eq!(
+            uniq.resolve_strategy(JoinStrategy::Auto, &[0], 1.0),
+            JoinStrategy::SortMerge
         );
     }
 
@@ -1577,8 +1651,8 @@ mod tests {
                 s.insert(Tuple::from_pairs([(b, i % 101), (c, i)]));
             }
         }
-        let seq = r.semijoin_mask(&s, JoinStrategy::Hash, 1);
-        let par = r.semijoin_mask(&s, JoinStrategy::Hash, 4);
+        let seq = r.semijoin_mask(&s, JoinStrategy::Hash, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 1);
+        let par = r.semijoin_mask(&s, JoinStrategy::Hash, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 4);
         assert_eq!(seq, par);
         let mut r2 = r.clone();
         let removed_seq = r.retain_semijoin_with(&s, JoinStrategy::Hash, 1);

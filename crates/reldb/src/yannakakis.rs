@@ -7,12 +7,21 @@
 //! polynomial in input + output, whereas the naive join can build huge
 //! intermediate results.  This is the practical payoff of acyclicity that
 //! the paper's §7 interpretation points at, and the subject of benchmark B4.
+//!
+//! Both phases are *level-synchronous*: the join tree is partitioned into
+//! depth levels ([`JoinTree::levels`]), and within one level the reducer's
+//! semijoins write pairwise-distinct targets while the join phase's subtree
+//! jobs write disjoint partial-result slots — so each level's work runs
+//! concurrently on workers leased once per call from the shared
+//! [`WorkerPool`](crate::exec::WorkerPool) (no per-level thread spawning).
 
 use crate::database::Database;
-use crate::exec::{ExecPolicy, JoinStrategy};
+use crate::exec::{ExecPolicy, Job, WorkerLease};
 use crate::relation::Relation;
 use acyclic::JoinTree;
 use hypergraph::{EdgeId, NodeSet};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 
 /// The result of running a full reducer: the reduced relations (in schema
 /// order) and the number of tuples removed from each.
@@ -53,62 +62,79 @@ struct LevelJob {
     sources: Vec<usize>,
 }
 
-/// Runs one level of jobs, sequentially or across scoped worker threads.
+/// An empty throwaway relation left in a slot whose real relation has been
+/// moved into a worker job.  Never read: within a level no job's sources
+/// intersect the level's targets.
+fn placeholder() -> Relation {
+    Relation::new("·", NodeSet::new())
+}
+
+/// Runs one level of reducer jobs, sequentially or across leased workers.
 ///
 /// Within a level the targets are pairwise distinct and never appear among
 /// any job's sources (upward: targets are parents at depth `d`, sources
 /// their children at `d+1`; downward: targets at depth `d`, sources their
-/// parents at `d-1`), so target relations can be taken out of the slice and
-/// mutated concurrently while the sources are read shared.  When a level
-/// has fewer targets than workers (chains: every level is a singleton) the
+/// parents at `d-1`), so target relations can be taken out of the vector
+/// and mutated concurrently while the remainder is shared read-only behind
+/// an [`Arc`] (moved in and out — never cloned).  When a level has fewer
+/// targets than workers (chains: every level is a singleton) the
 /// parallelism drops *inside* the semijoin instead: the hash probe loop is
-/// sharded across threads ([`Relation::retain_semijoin_with`]).
+/// sharded across scoped threads ([`Relation::retain_semijoin_with`]).
 fn run_level(
-    relations: &mut [Relation],
+    relations: &mut Vec<Relation>,
     removed: &mut [usize],
-    jobs: &[LevelJob],
-    strategy: JoinStrategy,
-    threads: usize,
+    jobs: Vec<LevelJob>,
+    policy: &ExecPolicy,
+    lease: &WorkerLease,
 ) {
     if jobs.is_empty() {
         return;
     }
+    let threads = lease.threads();
     if threads <= 1 || jobs.len() == 1 {
         let probe_threads = if jobs.len() == 1 { threads } else { 1 };
-        for job in jobs {
+        for job in &jobs {
             for &s in &job.sources {
                 let (t, src) = pair_mut(relations, job.target, s);
-                removed[job.target] += t.retain_semijoin_with(src, strategy, probe_threads);
+                removed[job.target] += t.retain_semijoin_exec(src, policy, probe_threads);
             }
         }
         return;
     }
-    // Take the targets out of the slice (placeholders are never read: no
-    // job's sources intersect the level's targets), shard the jobs across
-    // scoped workers, then put the reduced targets back.
-    let mut taken: Vec<(Relation, usize)> = jobs
+    // Take the targets out, move the remaining relations into an Arc the
+    // jobs share, run one owned job per target on the lease, then
+    // reassemble.  Jobs drop their Arc handle *before* signalling their
+    // result so the unwrap below cannot race a worker still holding one.
+    let targets: Vec<Relation> = jobs
         .iter()
-        .map(|j| {
-            let placeholder = Relation::new("·", NodeSet::new());
-            (std::mem::replace(&mut relations[j.target], placeholder), 0)
+        .map(|j| std::mem::replace(&mut relations[j.target], placeholder()))
+        .collect();
+    let shared = Arc::new(std::mem::take(relations));
+    let (tx, rx) = channel();
+    let work: Vec<Job> = jobs
+        .into_iter()
+        .zip(targets)
+        .map(|(job, mut target)| {
+            let shared = Arc::clone(&shared);
+            let policy = policy.clone();
+            let tx = tx.clone();
+            Box::new(move || {
+                let mut removed_here = 0usize;
+                for &s in &job.sources {
+                    removed_here += target.retain_semijoin_exec(&shared[s], &policy, 1);
+                }
+                drop(shared);
+                let _ = tx.send((job.target, target, removed_here));
+            }) as Job
         })
         .collect();
-    let shared: &[Relation] = relations;
-    let per_worker = jobs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (taken_chunk, job_chunk) in taken.chunks_mut(per_worker).zip(jobs.chunks(per_worker)) {
-            scope.spawn(move || {
-                for ((target, removed_here), job) in taken_chunk.iter_mut().zip(job_chunk) {
-                    for &s in &job.sources {
-                        *removed_here += target.retain_semijoin_with(&shared[s], strategy, 1);
-                    }
-                }
-            });
-        }
-    });
-    for ((rel, rem), job) in taken.into_iter().zip(jobs) {
-        relations[job.target] = rel;
-        removed[job.target] += rem;
+    drop(tx);
+    lease.run(work);
+    *relations = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| unreachable!("level jobs returned their shared handles"));
+    for (t, rel, rem) in rx.try_iter() {
+        relations[t] = rel;
+        removed[t] += rem;
     }
 }
 
@@ -132,16 +158,29 @@ pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
 ///
 /// Parallelism is level-synchronous: within one tree level the semijoins
 /// write pairwise-distinct target relations and only read relations from
-/// the adjacent level, so each level shards across
-/// [`std::thread::scope`] workers (`policy.threads`, with a sequential
-/// fallback below `policy.parallel_threshold` total tuples).  The result is
-/// tuple-for-tuple identical to the sequential pass: surviving rows depend
-/// only on the *set* of semijoins applied, and within one target they are
-/// applied in the same child order as the sequential bottom-up walk.
+/// the adjacent level, so each level's jobs run concurrently on workers
+/// leased once per call (`policy.threads` of them, from the shared
+/// [`WorkerPool`](crate::exec::WorkerPool) unless `policy.reuse_pool` is
+/// off, with a sequential fallback below `policy.parallel_threshold` total
+/// tuples).  The result is tuple-for-tuple identical to the sequential
+/// pass: surviving rows depend only on the *set* of semijoins applied, and
+/// within one target they are applied in the same child order as the
+/// sequential bottom-up walk.
 pub fn full_reduce_with(db: &Database, tree: &JoinTree, policy: &ExecPolicy) -> Reduced {
+    full_reduce_leased(db, tree, policy, &policy.lease(db.tuple_count()))
+}
+
+/// The reducer body, on an already-acquired lease — shared by
+/// [`full_reduce_with`] and [`yannakakis_join_with`] so the join pipeline
+/// leases its workers exactly once for both phases.
+fn full_reduce_leased(
+    db: &Database,
+    tree: &JoinTree,
+    policy: &ExecPolicy,
+    lease: &WorkerLease,
+) -> Reduced {
     let mut relations: Vec<Relation> = db.relations().to_vec();
     let mut removed: Vec<usize> = vec![0; relations.len()];
-    let threads = policy.effective_threads(db.tuple_count());
     let levels = tree.levels();
 
     // Upward pass: parent ⋉ each child, deepest parent level first.
@@ -154,13 +193,7 @@ pub fn full_reduce_with(db: &Database, tree: &JoinTree, policy: &ExecPolicy) -> 
                 sources: tree.children(e).iter().map(|c| c.index()).collect(),
             })
             .collect();
-        run_level(
-            &mut relations,
-            &mut removed,
-            &jobs,
-            policy.strategy,
-            threads,
-        );
+        run_level(&mut relations, &mut removed, jobs, policy, lease);
     }
     // Downward pass: child ⋉ parent, top-down.
     for level in levels.iter().skip(1) {
@@ -171,13 +204,7 @@ pub fn full_reduce_with(db: &Database, tree: &JoinTree, policy: &ExecPolicy) -> 
                 sources: vec![tree.parent(e).expect("non-root level").index()],
             })
             .collect();
-        run_level(
-            &mut relations,
-            &mut removed,
-            &jobs,
-            policy.strategy,
-            threads,
-        );
+        run_level(&mut relations, &mut removed, jobs, policy, lease);
     }
 
     Reduced { relations, removed }
@@ -192,16 +219,51 @@ pub fn yannakakis_join(db: &Database, tree: &JoinTree, output: &NodeSet) -> Rela
 /// Computes the projection of the full join onto `output` by the Yannakakis
 /// algorithm: full-reduce, then join bottom-up along the tree, projecting
 /// intermediate results onto (needed separator ∪ output) attributes to keep
-/// them small.  The policy picks the reducer parallelism and the physical
-/// join strategy ([`crate::JoinStrategy`]) for every semijoin and join.
+/// them small.  The policy picks the physical join strategy
+/// ([`crate::JoinStrategy`]) for every semijoin and join, and the worker
+/// parallelism of *both* phases: sibling subtrees at one tree level are
+/// independent, so their joins run concurrently on the same workers the
+/// reducer leased, merging each subtree's partial result into its own slot
+/// (disjoint writes).  The output is tuple-for-tuple identical to the
+/// sequential engine: every subtree job computes exactly the sequential
+/// walk's intermediate relation, and sibling subtrees never read each
+/// other.
+///
+/// # Examples
+///
+/// ```
+/// use hypergraph::{EdgeId, Hypergraph};
+/// use reldb::{yannakakis_join_with, Database, ExecPolicy, JoinStrategy, Tuple};
+/// use acyclic::join_tree;
+///
+/// let schema = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+/// let (a, b, c) = (
+///     schema.node("A").unwrap(),
+///     schema.node("B").unwrap(),
+///     schema.node("C").unwrap(),
+/// );
+/// let mut db = Database::empty(schema);
+/// db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+/// db.insert(EdgeId(0), Tuple::from_pairs([(a, 7), (b, 9)])); // dangling
+/// db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 3)]));
+///
+/// let tree = join_tree(db.schema()).expect("chain schemas are acyclic");
+/// let output = db.attributes(["A", "C"]).unwrap();
+/// // Two leased workers; the sequential default policy gives the same rows.
+/// let policy = ExecPolicy::parallel(JoinStrategy::Auto, 2);
+/// let answer = yannakakis_join_with(&db, &tree, &output, &policy);
+/// assert_eq!(answer.len(), 1);
+/// ```
 pub fn yannakakis_join_with(
     db: &Database,
     tree: &JoinTree,
     output: &NodeSet,
     policy: &ExecPolicy,
 ) -> Relation {
-    let reduced = full_reduce_with(db, tree, policy);
-    let relations = reduced.relations;
+    // One lease serves the reducer passes and the join levels alike.
+    let lease = policy.lease(db.tuple_count());
+    let reduced = full_reduce_leased(db, tree, policy, &lease);
+    let mut relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
     // attributes plus anything shared with the edge's parent.
@@ -214,27 +276,78 @@ pub fn yannakakis_join_with(
         keep
     };
 
-    // Bottom-up join: each edge accumulates the join of its subtree,
-    // projected onto the attributes still needed above it.
+    // Bottom-up join, level-synchronous: each edge accumulates the join of
+    // its subtree, projected onto the attributes still needed above it.
+    // Within a level the jobs consume their own reduced relation and their
+    // children's partials and write disjoint `partial` slots, so a
+    // multi-edge level fans out across the leased workers.
     let mut partial: Vec<Option<Relation>> = vec![None; relations.len()];
-    for e in tree.bottom_up_order() {
-        let mut acc = relations[e.index()].clone();
-        for c in tree.children(e) {
-            let child_rel = partial[c.index()].take().expect("children processed first");
-            acc = acc.join_with(&child_rel, policy.strategy);
+    let levels = tree.levels_bottom_up();
+    let threads = lease.threads();
+    for level in &levels {
+        if threads <= 1 || level.len() <= 1 {
+            for &e in level {
+                let base = std::mem::replace(&mut relations[e.index()], placeholder());
+                let children = take_children(tree, e, &mut partial);
+                partial[e.index()] =
+                    Some(join_subtree(base, &children, keep_for(e), output, policy));
+            }
+            continue;
         }
-        // Keep this subtree's contribution small: only output attributes
-        // (including those surfaced by children) and the separator towards
-        // the parent are needed further up.
-        let mut keep = keep_for(e);
-        keep.union_with(&acc.attributes().intersection(output));
-        acc = acc.project(&keep);
-        partial[e.index()] = Some(acc);
+        let (tx, rx) = channel();
+        let work: Vec<Job> = level
+            .iter()
+            .map(|&e| {
+                let base = std::mem::replace(&mut relations[e.index()], placeholder());
+                let children = take_children(tree, e, &mut partial);
+                let keep = keep_for(e);
+                let output = output.clone();
+                let policy = policy.clone();
+                let tx = tx.clone();
+                let idx = e.index();
+                Box::new(move || {
+                    let _ = tx.send((idx, join_subtree(base, &children, keep, &output, &policy)));
+                }) as Job
+            })
+            .collect();
+        drop(tx);
+        lease.run(work);
+        for (idx, rel) in rx.try_iter() {
+            partial[idx] = Some(rel);
+        }
     }
     let root_result = partial[tree.root().index()]
         .take()
         .expect("root processed last");
     root_result.project(output)
+}
+
+/// Takes edge `e`'s children's partial results out of their slots (they are
+/// each consumed exactly once, by their parent).
+fn take_children(tree: &JoinTree, e: EdgeId, partial: &mut [Option<Relation>]) -> Vec<Relation> {
+    tree.children(e)
+        .iter()
+        .map(|c| partial[c.index()].take().expect("children processed first"))
+        .collect()
+}
+
+/// One bottom-up join job: joins an edge's reduced relation with its
+/// children's subtree results (in child order, matching the sequential
+/// walk) and projects onto the attributes still needed above it — the
+/// output attributes surfaced so far plus the separator towards the parent.
+fn join_subtree(
+    base: Relation,
+    children: &[Relation],
+    mut keep: NodeSet,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+) -> Relation {
+    let mut acc = base;
+    for child in children {
+        acc = acc.join_with_exec(child, policy);
+    }
+    keep.union_with(&acc.attributes().intersection(output));
+    acc.project(&keep)
 }
 
 /// The same projection computed naively: join every relation, then project.
@@ -401,6 +514,11 @@ mod tests {
             ExecPolicy::parallel(JoinStrategy::Hash, 4),
             ExecPolicy::parallel(JoinStrategy::SortMerge, 3),
             ExecPolicy::parallel(JoinStrategy::Auto, 2),
+            // Spawn-per-batch workers (no pool reuse) must agree too.
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Hash, 3)
+            },
         ] {
             let got = full_reduce_with(&db, &tree, &policy);
             assert_eq!(
@@ -411,18 +529,53 @@ mod tests {
                 assert!(b.same_contents(g), "relations diverged under {policy:?}");
             }
         }
-        // The full pipeline agrees with the naive join on every policy.
+        // The full pipeline agrees with the naive join on every policy; the
+        // parallel rows exercise the level-synchronous bottom-up join (the
+        // snowflake tree has multi-edge levels, so sibling subtree jobs run
+        // on the leased workers).
         let all = db.schema().nodes();
         let naive = naive_join_project(&db, &all);
         for policy in [
             ExecPolicy::sequential(JoinStrategy::SortMerge),
             ExecPolicy::parallel(JoinStrategy::Auto, 4),
+            ExecPolicy::parallel(JoinStrategy::Hash, 2),
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Auto, 3)
+            },
         ] {
             let fast = yannakakis_join_with(&db, &tree, &all, &policy);
             assert!(
                 fast.same_contents(&naive),
                 "pipeline diverged under {policy:?}"
             );
+        }
+    }
+
+    /// The parallel join phase produces tuple-for-tuple the sequential
+    /// engine's projections, not just the full output (projection decisions
+    /// happen inside the per-subtree jobs).
+    #[test]
+    fn parallel_join_matches_sequential_on_projections() {
+        use crate::exec::{ExecPolicy, JoinStrategy};
+        let db = snowflake_db();
+        let tree = join_tree(db.schema()).unwrap();
+        let sequential = ExecPolicy::sequential(JoinStrategy::Hash);
+        for attrs in [vec!["K0", "D10"], vec!["D0", "D1"], vec!["K0"]] {
+            let output = db.attributes(attrs.iter().copied()).unwrap();
+            let want = yannakakis_join_with(&db, &tree, &output, &sequential);
+            for threads in [2, 4] {
+                let got = yannakakis_join_with(
+                    &db,
+                    &tree,
+                    &output,
+                    &ExecPolicy::parallel(JoinStrategy::Hash, threads),
+                );
+                assert!(
+                    want.same_contents(&got),
+                    "projection {attrs:?} diverged at {threads} threads"
+                );
+            }
         }
     }
 

@@ -214,7 +214,7 @@ pub mod collection {
     use std::collections::BTreeSet;
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

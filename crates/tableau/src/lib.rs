@@ -10,6 +10,17 @@
 //! reading the surviving partial edges off that subset yields `TR(H, X)` —
 //! the *canonical connection* of `X` in `H`.
 //!
+//! # Module map
+//!
+//! | Module | Paper concept |
+//! |---|---|
+//! | `symbol` | distinguished / nondistinguished symbols and row ids (§3) |
+//! | `tableau` | the tableau `T(H, X)` built from a hypergraph and sacred nodes (§3) |
+//! | `mapping` | row mappings (containment homomorphisms) that fold rows (§3) |
+//! | `minimize` | Church–Rosser minimization to the unique minimal row subset (Lemma 3.1) |
+//! | `reduce` | tableau reduction `TR(H, X)` — reading canonical connections off the minimal tableau (§3) |
+//! | `equivalence` | tableau containment / equivalence via homomorphisms (the chase-style check) |
+//!
 //! # Example
 //!
 //! ```

@@ -269,6 +269,106 @@ proptest! {
         }
     }
 
+    /// The level-synchronous parallel bottom-up join is tuple-for-tuple
+    /// identical to the sequential join and the reference oracle, across
+    /// schema families (fanout snowflake trees have multi-edge levels, so
+    /// sibling subtree jobs genuinely fan out; chains degrade to the
+    /// sequential per-level path), Zipf-skewed data, random projections,
+    /// and both worker modes (leased pool and spawn-per-batch).
+    #[test]
+    fn parallel_bottom_up_join_matches_sequential_and_reference(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..24,
+        domain in 1i64..6,
+        skew_tenths in 0usize..16,
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+        pick in 0usize..64,
+    ) {
+        let db = db_for_skewed(family, shape, tuples, domain, skew_tenths as f64 / 10.0, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let output: NodeSet = db
+            .schema()
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick & (1 << (i % 6)) != 0)
+            .map(|(_, n)| n)
+            .collect();
+        let sequential =
+            yannakakis_join_with(&db, &tree, &output, &ExecPolicy::sequential(JoinStrategy::Hash));
+        for policy in [
+            ExecPolicy::parallel(JoinStrategy::Hash, threads),
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Hash, threads)
+            },
+            ExecPolicy::parallel(JoinStrategy::Auto, threads),
+        ] {
+            let parallel = yannakakis_join_with(&db, &tree, &output, &policy);
+            prop_assert!(
+                sequential.same_contents(&parallel),
+                "parallel join diverged from sequential under {:?}",
+                policy
+            );
+        }
+        let slow = naive_yannakakis_join(&db, &tree, &output);
+        prop_assert!(slow.agrees_with(&sequential), "sequential diverged from oracle");
+    }
+
+    /// The parallel pipeline also holds when the database's relations were
+    /// built independently (one value pool each): every semijoin and join
+    /// in both phases pays the cross-pool handle translation, and the
+    /// result still matches the oracle and the sequential engine.
+    #[test]
+    fn parallel_pipeline_matches_on_cross_pool_relations(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        seed in 0u64..1_000,
+        threads in 2usize..5,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        // Rebuild every relation into its own private pool.
+        let split: Vec<Relation> = db
+            .relations()
+            .iter()
+            .map(|r| {
+                let mut own = Relation::new(r.name().to_owned(), r.attributes().clone());
+                for t in r.tuples() {
+                    own.insert(t);
+                }
+                own
+            })
+            .collect();
+        for (a, b) in split.iter().zip(split.iter().skip(1)) {
+            prop_assert!(!a.pool().same_pool(b.pool()));
+        }
+        let split_db = Database::new(db.schema().clone(), split).expect("same schema");
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let output = db.schema().nodes();
+        let want = yannakakis_join_with(&db, &tree, &output, &ExecPolicy::sequential(JoinStrategy::Hash));
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::Hash),
+            ExecPolicy::parallel(JoinStrategy::Hash, threads),
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Auto, threads)
+            },
+        ] {
+            let got = yannakakis_join_with(&split_db, &tree, &output, &policy);
+            prop_assert!(
+                want.same_contents(&got),
+                "cross-pool pipeline diverged under {:?}",
+                policy
+            );
+        }
+        let slow = naive_yannakakis_join(&split_db, &tree, &output);
+        prop_assert!(slow.agrees_with(&want), "cross-pool oracle diverged");
+    }
+
     /// The full Yannakakis pipeline agrees with the reference under every
     /// policy combination (strategy × parallelism) on skewed data.
     #[test]
