@@ -24,6 +24,7 @@ fn make_db(schema: &Hypergraph, tuples: usize, domain: i64, seed: u64) -> Databa
             tuples_per_relation: tuples,
             domain,
             skew: 0.0,
+            key_cap: 0,
         },
         seed,
     )

@@ -299,6 +299,56 @@ impl Graph {
         comps
     }
 
+    /// Removes a node and every edge incident to it (idempotent).  Costs
+    /// `O(deg(n))`: only the former neighbours' adjacency sets are touched.
+    pub fn remove_node(&mut self, n: NodeId) {
+        if let Some(nbrs) = self.adjacency.remove(&n) {
+            for m in nbrs.iter() {
+                if let Some(s) = self.adjacency.get_mut(&m) {
+                    s.remove(n);
+                }
+            }
+        }
+    }
+
+    /// The number of *fill edges* eliminating `n` would add: pairs of
+    /// neighbours of `n` that are not themselves adjacent.  This is the
+    /// quantity the min-fill triangulation heuristic minimizes — a node with
+    /// fill-in zero is *simplicial* (its neighbourhood is already a clique),
+    /// and a graph is chordal iff it admits an elimination order of
+    /// simplicial nodes.
+    pub fn fill_in_count(&self, n: NodeId) -> usize {
+        let Some(nbrs) = self.adjacency.get(&n) else {
+            return 0;
+        };
+        let mut missing = 0usize;
+        for a in nbrs.iter() {
+            // Neighbours of n that are not adjacent to a (and are not a).
+            let adjacent = &self.adjacency[&a];
+            let mut non_adjacent = nbrs.difference(adjacent);
+            non_adjacent.remove(a);
+            missing += non_adjacent.len();
+        }
+        missing / 2
+    }
+
+    /// *Eliminates* `n`: connects its neighbours into a clique (adding the
+    /// fill edges counted by [`Graph::fill_in_count`]) and removes `n`.
+    /// Returns the neighbourhood of `n` at elimination time — together with
+    /// `n` itself this is the *bag* the triangulation-based hypertree
+    /// decomposition records for this step.
+    pub fn eliminate(&mut self, n: NodeId) -> NodeSet {
+        let nbrs = self.neighbors(n);
+        let members: Vec<NodeId> = nbrs.iter().collect();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                self.add_edge(a, b);
+            }
+        }
+        self.remove_node(n);
+        nbrs
+    }
+
     /// A spanning tree of the component containing `root`, as parent links.
     pub fn spanning_tree(&self, root: NodeId) -> HashMap<NodeId, NodeId> {
         let mut parent = HashMap::new();
@@ -451,6 +501,50 @@ mod tests {
         for (&child, &parent) in &t {
             assert!(g.has_edge(child, parent));
         }
+    }
+
+    #[test]
+    fn fill_in_counts_follow_the_neighbourhood_clique() {
+        // On a cycle every node has two non-adjacent neighbours: fill-in 1.
+        let g = cycle(5);
+        for i in 0..5 {
+            assert_eq!(g.fill_in_count(n(i)), 1);
+        }
+        // Path endpoints are simplicial (single neighbour, no fill).
+        let p = path(4);
+        assert_eq!(p.fill_in_count(n(0)), 0);
+        assert_eq!(p.fill_in_count(n(1)), 1);
+        // A complete graph is all-simplicial.
+        let mut k4 = Graph::new();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                k4.add_edge(n(i), n(j));
+            }
+        }
+        for i in 0..4 {
+            assert_eq!(k4.fill_in_count(n(i)), 0);
+        }
+        // Unknown nodes have no neighbourhood to fill.
+        assert_eq!(g.fill_in_count(n(99)), 0);
+    }
+
+    #[test]
+    fn eliminate_adds_fill_edges_and_removes_the_node() {
+        let mut g = cycle(4);
+        let bag = g.eliminate(n(0));
+        assert_eq!(bag, NodeSet::from_ids([n(1), n(3)]));
+        assert!(!g.nodes().contains(n(0)));
+        // The fill edge {1, 3} closes the neighbourhood.
+        assert!(g.has_edge(n(1), n(3)));
+        // The remaining triangle is now all-simplicial.
+        for i in 1..4 {
+            assert_eq!(g.fill_in_count(n(i)), 0);
+        }
+        // remove_node is idempotent and prunes incident edges.
+        g.remove_node(n(1));
+        g.remove_node(n(1));
+        assert!(!g.has_edge(n(1), n(2)));
+        assert_eq!(g.node_count(), 2);
     }
 
     #[test]

@@ -11,11 +11,18 @@
 //! 2×, deliberately generous to tolerate runner noise).
 
 use acyclic::{is_acyclic_mcs, join_tree, AcyclicityExt};
+use decomp::{decompose, Heuristic};
 use hypergraph::Hypergraph;
 use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
-use reldb::{full_reduce_with, yannakakis_join_with, Database, ExecPolicy, JoinStrategy};
+use reldb::{
+    full_reduce_with, naive_join_project, yannakakis_join_any, yannakakis_join_with, Database,
+    ExecPolicy, JoinStrategy,
+};
 use std::time::Instant;
-use workload::{chain, far_apart, random_database, snowflake_tree, star, DataParams};
+use workload::{
+    chain, far_apart, hyper_ring, pair_clique, random_database, ring, snowflake_tree, star,
+    DataParams,
+};
 
 /// One measured data point.
 #[derive(Debug, Clone)]
@@ -95,6 +102,9 @@ struct QueryWorkload {
     /// Divisor mapping tuples/relation to the value domain: small divisors
     /// mean more distinct keys.
     domain_div: i64,
+    /// Per-join-column value cap (`0` = unbounded): the output-bounded
+    /// skewed regime that isolates kernel cost from join-output size.
+    key_cap: usize,
     /// Measure the naive reference engine (slow; kept for the original
     /// chain/star trajectory rows).
     reference: bool,
@@ -141,6 +151,7 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
             schema: chain(6, 2, 1),
             skew: 0.0,
             domain_div: 2,
+            key_cap: 0,
             reference: true,
             variants: true,
         },
@@ -149,6 +160,7 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
             schema: star(6, 2),
             skew: 0.0,
             domain_div: 2,
+            key_cap: 0,
             reference: true,
             variants: false,
         },
@@ -157,6 +169,7 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
             schema: snowflake_tree(2, 2, 3),
             skew: 0.0,
             domain_div: 2,
+            key_cap: 0,
             reference: false,
             variants: true,
         },
@@ -165,6 +178,19 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
             schema: chain(6, 2, 1),
             skew: 1.1,
             domain_div: 1,
+            key_cap: 0,
+            reference: false,
+            variants: true,
+        },
+        // The output-bounded skewed regime: same Zipf draw, but join-column
+        // values are capped so join outputs stay proportional to the input
+        // and the row measures kernel cost, not output materialization.
+        QueryWorkload {
+            name: "chain-6-zipf-capped",
+            schema: chain(6, 2, 1),
+            skew: 1.1,
+            domain_div: 1,
+            key_cap: 8,
             reference: false,
             variants: true,
         },
@@ -180,6 +206,7 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
                     tuples_per_relation: size,
                     domain: (size as i64 / w.domain_div).max(2),
                     skew: w.skew,
+                    key_cap: w.key_cap,
                 },
                 9,
             );
@@ -255,6 +282,82 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
     }
 }
 
+/// The cyclic workload family: rings, hyper-rings and pair-cliques have no
+/// join tree, so they exercise the full decompose → materialize → reduce →
+/// join pipeline (`yannakakis_join_any` routes them through the hypertree
+/// path).  The op rows are
+///
+/// * `decompose` — structural cost only (min-fill triangulation, bag tree);
+/// * `cyclic_join` / `columnar-decomp` — the sequential pipeline;
+/// * `cyclic_join` / `columnar-decomp-parallel` — bag materialization and
+///   both Yannakakis phases on leased pool workers;
+/// * `cyclic_join` / `naive` — join-everything-then-project baseline.
+fn cyclic_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord>) {
+    let sizes: &[usize] = match profile {
+        Profile::Full => &[200, 1000],
+        Profile::Quick => &[200],
+        Profile::Tiny => &[60],
+    };
+    let workloads = [
+        ("ring-8", ring(8)),
+        ("hyper-ring-5x3", hyper_ring(5, 3)),
+        ("clique-5", pair_clique(5)),
+    ];
+    let seq = ExecPolicy::sequential(JoinStrategy::Hash);
+    let par = ExecPolicy::parallel(JoinStrategy::Hash, threads);
+    for (name, schema) in workloads {
+        assert!(
+            join_tree(&schema).is_none(),
+            "cyclic bench workloads must be cyclic"
+        );
+        let x = far_apart(&schema);
+        for &size in sizes {
+            let db: Database = random_database(
+                &schema,
+                DataParams {
+                    tuples_per_relation: size,
+                    domain: (size as i64 / 2).max(2),
+                    skew: 0.0,
+                    key_cap: 0,
+                },
+                9,
+            );
+            let units = db.tuple_count();
+            let mut push = |op: &str, engine: &str, (iters, ns): (usize, f64)| {
+                records.push(BenchRecord {
+                    op: op.to_owned(),
+                    engine: engine.to_owned(),
+                    workload: name.to_owned(),
+                    size,
+                    units,
+                    iters,
+                    ns_per_iter: ns,
+                });
+            };
+            push(
+                "decompose",
+                "columnar",
+                measure(|| decompose(&schema, Heuristic::MinFill).expect("nonempty schema")),
+            );
+            push(
+                "cyclic_join",
+                "columnar-decomp",
+                measure(|| yannakakis_join_any(&db, &x, &seq).expect("decomposable")),
+            );
+            push(
+                "cyclic_join",
+                "columnar-decomp-parallel",
+                measure(|| yannakakis_join_any(&db, &x, &par).expect("decomposable")),
+            );
+            push(
+                "cyclic_join",
+                "naive",
+                measure(|| naive_join_project(&db, &x)),
+            );
+        }
+    }
+}
+
 fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
     let sizes: &[usize] = match profile {
         Profile::Full => &[64, 256],
@@ -286,6 +389,7 @@ fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
 pub fn run_all(profile: Profile, threads: usize) -> Vec<BenchRecord> {
     let mut records = Vec::new();
     query_records(profile, threads, &mut records);
+    cyclic_records(profile, threads, &mut records);
     acyclicity_records(profile, &mut records);
     records
 }
@@ -339,11 +443,20 @@ pub fn check_baseline(
     let mut out = String::new();
     for r in records {
         // Guard the sequential hash engine and the parallel (pool-leased)
-        // engine alike, on both the reducer and the full join pipeline: a
-        // regression in any of them is a regression in the production path.
-        if (r.op != "full_reduce" && r.op != "yannakakis_join")
-            || (r.engine != "columnar" && r.engine != "columnar-parallel")
-        {
+        // engine alike, on the reducer, the full join pipeline, *and* the
+        // cyclic decomposition pipeline: a regression in any of them is a
+        // regression in a production path.
+        let guarded = matches!(
+            (r.op.as_str(), r.engine.as_str()),
+            (
+                "full_reduce" | "yannakakis_join",
+                "columnar" | "columnar-parallel"
+            ) | (
+                "cyclic_join",
+                "columnar-decomp" | "columnar-decomp-parallel"
+            )
+        );
+        if !guarded {
             continue;
         }
         let base = baseline.lines().find_map(|line| {
@@ -385,7 +498,8 @@ pub fn check_baseline(
     }
     if compared == 0 {
         return Err(
-            "baseline contains no matching columnar full_reduce/yannakakis_join records".to_owned(),
+            "baseline contains no matching columnar full_reduce/yannakakis_join/cyclic_join records"
+                .to_owned(),
         );
     }
     if !failures.is_empty() {
@@ -547,6 +661,78 @@ mod tests {
             ),
         ];
         assert!(check_baseline(&spawn_only, &baseline, 2.0).is_ok());
+    }
+
+    #[test]
+    fn baseline_check_covers_cyclic_join() {
+        let baseline = to_json(&[
+            record("cyclic_join", "columnar-decomp", "ring-8", 200, 1000.0),
+            record(
+                "cyclic_join",
+                "columnar-decomp-parallel",
+                "ring-8",
+                200,
+                1000.0,
+            ),
+        ]);
+        let ok = vec![
+            record("cyclic_join", "columnar-decomp", "ring-8", 200, 1100.0),
+            record(
+                "cyclic_join",
+                "columnar-decomp-parallel",
+                "ring-8",
+                200,
+                900.0,
+            ),
+        ];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        // A regressed cyclic pipeline trips the guard.
+        let slow = vec![record(
+            "cyclic_join",
+            "columnar-decomp",
+            "ring-8",
+            200,
+            5000.0,
+        )];
+        let err = check_baseline(&slow, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("cyclic_join"), "err: {err}");
+        // A cyclic row missing from the baseline is flagged, not skipped.
+        let unknown = vec![record(
+            "cyclic_join",
+            "columnar-decomp",
+            "clique-5",
+            200,
+            10.0,
+        )];
+        assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
+        // The naive cyclic baseline rows are informational, not guarded.
+        let naive_only = vec![
+            record("cyclic_join", "columnar-decomp", "ring-8", 200, 1000.0),
+            record("cyclic_join", "naive", "ring-8", 200, 1e9),
+        ];
+        assert!(check_baseline(&naive_only, &baseline, 2.0).is_ok());
+    }
+
+    #[test]
+    fn cyclic_records_cover_the_decomposition_pipeline() {
+        let mut records = Vec::new();
+        cyclic_records(Profile::Tiny, 2, &mut records);
+        for workload in ["ring-8", "hyper-ring-5x3", "clique-5"] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.workload == workload && r.op == "decompose"),
+                "missing decompose row for {workload}"
+            );
+            for engine in ["columnar-decomp", "columnar-decomp-parallel", "naive"] {
+                assert!(
+                    records.iter().any(|r| r.workload == workload
+                        && r.op == "cyclic_join"
+                        && r.engine == engine),
+                    "missing cyclic_join/{engine} row for {workload}"
+                );
+            }
+        }
     }
 
     #[test]

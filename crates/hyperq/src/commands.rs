@@ -1,8 +1,9 @@
-//! The `hyperq` subcommands: classify, query, dot, stats.
+//! The `hyperq` subcommands: classify, query, decompose, dot, stats.
 
 use acyclic::{
-    classify, degree, is_acyclic_mcs, join_tree_with_separators, Classification, Degree,
+    classify, degree, is_acyclic_mcs, join_tree, join_tree_with_separators, Classification, Degree,
 };
+use decomp::{decompose, Heuristic};
 use hypergraph::{Hypergraph, NodeSet};
 use reldb::{
     is_globally_consistent, is_pairwise_consistent, plan_connection, query_via_connection,
@@ -148,6 +149,80 @@ pub fn run_dot(h: &Hypergraph, name: &str) -> String {
     h.to_dot(name)
 }
 
+/// `hyperq decompose`: hypertree-decomposes a (typically cyclic) schema and
+/// reports the bags, width, fill count and verification result — or, with
+/// `dot`, renders the bag tree as Graphviz DOT.
+pub fn run_decompose(h: &Hypergraph, heuristic: Heuristic, dot: bool) -> Result<String, String> {
+    let d = decompose(h, heuristic).map_err(|e| e.to_string())?;
+    if dot {
+        return Ok(d.to_dot("decomposition", h));
+    }
+    let u = h.universe();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "hypergraph: {} nodes, {} edges, {}\n",
+        h.node_count(),
+        h.edge_count(),
+        if join_tree(h).is_some() {
+            "acyclic (a join tree exists; decomposition is optional)"
+        } else {
+            "cyclic (no join tree; queries run through this decomposition)"
+        },
+    ));
+    out.push_str(&format!(
+        "heuristic: {heuristic:?}, fill edges added: {}\n",
+        d.fill_edges()
+    ));
+    out.push_str(&format!(
+        "decomposition: {} bags, width {}\n",
+        d.bag_count(),
+        d.width()
+    ));
+    out.push_str(&format!(
+        "verified (edge coverage + running intersection): {}\n",
+        d.verify(h)
+    ));
+    for (b, bag) in d.bags().edges().iter().enumerate() {
+        let assigned: Vec<&str> = d
+            .assigned(b)
+            .iter()
+            .map(|&e| h.edges()[e.index()].label.as_str())
+            .collect();
+        let extra: Vec<&str> = d
+            .extra_cover(b)
+            .iter()
+            .map(|&e| h.edges()[e.index()].label.as_str())
+            .collect();
+        out.push_str(&format!(
+            "  {} {{{}}}  covers: {}{}\n",
+            bag.label,
+            bag.nodes.names(u).join(", "),
+            if assigned.is_empty() {
+                "-".to_owned()
+            } else {
+                assigned.join(", ")
+            },
+            if extra.is_empty() {
+                String::new()
+            } else {
+                format!("  (projected: {})", extra.join(", "))
+            },
+        ));
+    }
+    for (c, p) in d.tree().tree_edges() {
+        let sep = d.bags().edges()[c.index()]
+            .nodes
+            .intersection(&d.bags().edges()[p.index()].nodes);
+        out.push_str(&format!(
+            "  {} -- {}   separator {}\n",
+            d.bags().edges()[c.index()].label,
+            d.bags().edges()[p.index()].label,
+            sep.display(u),
+        ));
+    }
+    Ok(out)
+}
+
 /// `hyperq stats`: structural summary of a schema.
 pub fn run_stats(h: &Hypergraph) -> String {
     let u = h.universe();
@@ -215,6 +290,45 @@ mod tests {
         let h = fig1();
         let db = parse_database(&h, "").unwrap();
         assert!(run_query(&db, &["Z"], Engine::Connection).is_err());
+    }
+
+    #[test]
+    fn decompose_reports_ring_bags_and_width() {
+        let ring = parse_schema("E0: A B\nE1: B C\nE2: C D\nE3: D A\n").unwrap();
+        let report = run_decompose(&ring, Heuristic::MinFill, false).unwrap();
+        assert!(report.contains("cyclic (no join tree"), "report: {report}");
+        assert!(report.contains("2 bags, width 2"), "report: {report}");
+        assert!(report.contains("verified (edge coverage + running intersection): true"));
+        assert!(report.contains("separator"));
+        // The DOT flavor renders the bag tree.
+        let dot = run_decompose(&ring, Heuristic::MinDegree, true).unwrap();
+        assert!(dot.starts_with("graph decomposition {"));
+        assert!(dot.contains("covers:"));
+    }
+
+    #[test]
+    fn decompose_notes_acyclic_inputs() {
+        let report = run_decompose(&fig1(), Heuristic::MinFill, false).unwrap();
+        assert!(report.contains("acyclic (a join tree exists"));
+        assert!(report.contains("width 2"));
+    }
+
+    #[test]
+    fn query_yannakakis_answers_cyclic_schemas() {
+        // A 4-ring instance whose cycle closes for x=1 only; the yannakakis
+        // engine must route through the decomposition and agree with naive.
+        let ring = parse_schema("E0: A B\nE1: B C\nE2: C D\nE3: D A\n").unwrap();
+        let db = parse_database(
+            &ring,
+            "E0: A=1 B=1\nE1: B=1 C=1\nE2: C=1 D=1\nE3: D=1 A=1\n\
+             E0: A=2 B=2\nE1: B=2 C=2\nE2: C=2 D=2\nE3: D=2 A=9\n",
+        )
+        .unwrap();
+        let yann = run_query(&db, &["A", "C"], Engine::Yannakakis).unwrap();
+        let naive = run_query(&db, &["A", "C"], Engine::Naive).unwrap();
+        for report in [&yann, &naive] {
+            assert!(report.contains("answer (1 tuples):"), "report: {report}");
+        }
     }
 
     #[test]

@@ -6,18 +6,21 @@
 //! queries over canonical connections, and renders Graphviz DOT.
 //!
 //! ```text
-//! hyperq classify <schema>
-//! hyperq query    <schema> <data> --select A,B[,..] [--engine connection|yannakakis|naive]
-//! hyperq dot      <schema> [--name G]
-//! hyperq stats    <schema>
-//! hyperq bench    [--out FILE] [--check BASELINE] [--threads N]
+//! hyperq classify  <schema>
+//! hyperq query     <schema> <data> --select A,B[,..] [--engine connection|yannakakis|naive]
+//! hyperq decompose <schema> [--heuristic min-fill|min-degree] [--dot]
+//! hyperq dot       <schema> [--name G]
+//! hyperq stats     <schema>
+//! hyperq bench     [--out FILE] [--check BASELINE] [--threads N]
 //! ```
 //!
 //! Module map: `load` parses the edge-list/tuple file formats into
 //! `hypergraph`/`reldb` values; `commands` implements classify (the
 //! Theorem 6.1 dichotomy with certificates), query (§7 universal-relation
-//! answering), dot and stats; `bench` is the machine-readable perf harness
-//! behind `BENCH_results.json` and the CI regression guard.
+//! answering, cyclic schemas routed through hypertree decomposition),
+//! decompose (bag-tree stats/DOT for cyclic schemas), dot and stats;
+//! `bench` is the machine-readable perf harness behind
+//! `BENCH_results.json` and the CI regression guard.
 
 #![forbid(unsafe_code)]
 
@@ -32,19 +35,25 @@ const USAGE: &str = "\
 hyperq — acyclic-hypergraph schema tool (Maier & Ullman, PODS '82)
 
 USAGE:
-    hyperq classify <schema>
-    hyperq query    <schema> <data> --select A,B[,..] [--engine ENGINE]
-    hyperq dot      <schema> [--name NAME]
-    hyperq stats    <schema>
-    hyperq bench    [--out FILE] [--check BASELINE] [--max-regression F]
-                    [--threads N] [--quick | --tiny]
+    hyperq classify  <schema>
+    hyperq query     <schema> <data> --select A,B[,..] [--engine ENGINE]
+    hyperq decompose <schema> [--heuristic HEURISTIC] [--dot]
+    hyperq dot       <schema> [--name NAME]
+    hyperq stats     <schema>
+    hyperq bench     [--out FILE] [--check BASELINE] [--max-regression F]
+                     [--threads N] [--quick | --tiny]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
                certificate (join tree / independent path)
     query      Answer the universal-relation query pi_X over the canonical
                connection CC(X); ENGINE is connection (default),
-               yannakakis or naive
+               yannakakis or naive.  The yannakakis engine handles cyclic
+               schemas transparently via hypertree decomposition
+    decompose  Hypertree-decompose the schema: triangulate the primal graph
+               (HEURISTIC is min-fill, the default, or min-degree), report
+               bags, width, fill edges and verification, and with --dot
+               render the bag tree as Graphviz DOT
     dot        Emit the schema as Graphviz DOT (bipartite incidence view)
     stats      Print a structural summary (degree hierarchy, articulation
                sets, incidence table)
@@ -114,6 +123,19 @@ fn run() -> Result<String, String> {
                 "dot" => commands::run_dot(&schema, &name),
                 _ => commands::run_stats(&schema),
             })
+        }
+        "decompose" => {
+            let heuristic = match take_flag(&mut args, "--heuristic")? {
+                Some(s) => decomp::Heuristic::parse(&s)?,
+                None => decomp::Heuristic::MinFill,
+            };
+            let dot = take_switch(&mut args, "--dot");
+            let [schema_path] = args.as_slice() else {
+                return Err("decompose expects exactly one <schema> file".to_owned());
+            };
+            let schema = load::parse_schema(&read(schema_path)?)
+                .map_err(|e| format!("{schema_path}: {e}"))?;
+            commands::run_decompose(&schema, heuristic, dot)
         }
         "query" => {
             let select =

@@ -92,6 +92,66 @@ fn query_connection_joins_only_the_canonical_connection() {
 }
 
 #[test]
+fn decompose_ring4_reports_bags_and_width() {
+    let out = hyperq(&["decompose", &fixture("ring4.hg")]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("cyclic (no join tree"), "got: {text}");
+    assert!(text.contains("2 bags, width 2"), "got: {text}");
+    assert!(
+        text.contains("verified (edge coverage + running intersection): true"),
+        "got: {text}"
+    );
+
+    // The min-degree heuristic and the DOT rendering work too.
+    let out = hyperq(&[
+        "decompose",
+        &fixture("ring4.hg"),
+        "--heuristic",
+        "min-degree",
+        "--dot",
+    ]);
+    assert!(out.status.success());
+    let dot = stdout(&out);
+    assert!(dot.starts_with("graph decomposition {"));
+    assert!(dot.contains("covers:"));
+
+    // Unknown heuristics are rejected with a hint.
+    let out = hyperq(&["decompose", &fixture("ring4.hg"), "--heuristic", "magic"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("min-fill"));
+}
+
+#[test]
+fn query_yannakakis_executes_cyclic_ring_end_to_end() {
+    // The 4-ring is cyclic, so the yannakakis engine must route through
+    // decompose -> materialize -> reduce -> join; the closed cycles (values
+    // 1 and 2) survive, the dangling A=3 chain does not.
+    for (engine, select) in [
+        ("yannakakis", "A,C"),
+        ("naive", "A,C"),
+        ("yannakakis", "A,B,C,D"),
+        ("naive", "A,B,C,D"),
+    ] {
+        let out = hyperq(&[
+            "query",
+            &fixture("ring4.hg"),
+            &fixture("ring4.data"),
+            "--select",
+            select,
+            "--engine",
+            engine,
+        ]);
+        assert!(out.status.success(), "engine {engine}: {:?}", out.stderr);
+        let text = stdout(&out);
+        assert!(
+            text.contains("answer (2 tuples):"),
+            "engine {engine}, select {select}: {text}"
+        );
+    }
+}
+
+#[test]
 fn dot_output_is_wellformed_graphviz() {
     let out = hyperq(&["dot", &fixture("fig1.hg"), "--name", "fig1"]);
     assert!(out.status.success());
@@ -132,8 +192,20 @@ fn bench_writes_json_and_guards_against_regressions() {
     assert!(json.contains("\"engine\": \"columnar-parallel-spawn\""));
     assert!(json.contains("\"workload\": \"snowflake-2x2\""));
     assert!(json.contains("\"workload\": \"chain-6-zipf\""));
+    assert!(json.contains("\"workload\": \"chain-6-zipf-capped\""));
     assert!(json.contains("\"op\": \"join_pair\""));
     assert!(json.contains("\"op\": \"acyclicity_mcs\""));
+    // The cyclic decomposition pipeline rows.
+    assert!(json.contains("\"op\": \"decompose\""));
+    assert!(json.contains("\"op\": \"cyclic_join\""));
+    assert!(json.contains("\"engine\": \"columnar-decomp\""));
+    assert!(json.contains("\"engine\": \"columnar-decomp-parallel\""));
+    for workload in ["ring-8", "hyper-ring-5x3", "clique-5"] {
+        assert!(
+            json.contains(&format!("\"workload\": \"{workload}\"")),
+            "missing {workload} rows"
+        );
+    }
 
     // Checking against the run we just wrote passes (ratios ~1x).
     let out = hyperq(&["bench", "--tiny", "--check", out_path]);

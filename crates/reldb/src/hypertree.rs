@@ -1,0 +1,361 @@
+//! Cyclic-schema execution: materialize the bags of a hypertree
+//! decomposition, then run the ordinary Yannakakis pipeline over the bag
+//! tree.
+//!
+//! A cyclic schema has no join tree, so [`yannakakis_join_with`] cannot run
+//! on it directly.  The remedy is the classic reduction to the acyclic
+//! case, with the structural half supplied by the [`decomp`] crate:
+//!
+//! 1. **decompose** — triangulate the schema's primal graph into maximal-
+//!    clique *bags* with a running-intersection tree
+//!    ([`decompose()`](decomp::decompose()));
+//! 2. **materialize** — each bag becomes one relation: the join of the
+//!    original relations in its cover (assigned edges joined whole, extra
+//!    overlapping edges joined and projected down), projected onto the bag's
+//!    nodes ([`materialize_bags`]).  Bags are independent, so they
+//!    materialize in parallel on workers leased from the shared
+//!    [`WorkerPool`](crate::exec::WorkerPool) under the caller's
+//!    [`ExecPolicy`];
+//! 3. **reduce + join** — the bag database is an ordinary acyclic database
+//!    over the bag hypergraph, so the existing full reducer and bottom-up
+//!    join run on it unchanged.
+//!
+//! The result is tuple-for-tuple the projection of the full join: every
+//! original edge is wholly contained in the bag it is assigned to, so the
+//! join of all bag relations equals the join of all original relations
+//! (extra cover edges only shrink bags further — they can never add a tuple
+//! the original join would not produce, and Yannakakis handles the rest).
+//!
+//! [`yannakakis_join_any`] is the transparent entry point: acyclic schemas
+//! take the direct join-tree path, cyclic schemas the decomposition path.
+
+use crate::database::{Database, DbError};
+use crate::exec::{ExecPolicy, Job};
+use crate::relation::Relation;
+use crate::yannakakis::yannakakis_join_with;
+use acyclic::join_tree;
+use decomp::{decompose, Decomposition, Heuristic};
+use hypergraph::NodeSet;
+use std::borrow::Cow;
+use std::sync::mpsc::channel;
+
+/// Materializes one bag: joins its cover relations (assigned edges first,
+/// then the overlapping extras) and projects onto the bag's nodes.
+///
+/// Extra-cover relations are projected onto their in-bag attributes
+/// *before* joining.  This may lose join constraints those extras carried
+/// on out-of-bag attributes, making the bag relation a superset of
+/// `π_bag(⋈ cover)` on the extra part — which is harmless: a bag relation
+/// only needs to (a) contain the bag's projection of the full join
+/// (supersets qualify) and (b) enforce its *assigned* edges exactly, and
+/// assigned relations always enter the join whole.  The payoff is that an
+/// extra edge overlapping the bag in one attribute contributes its few
+/// hundred distinct values instead of its full tuple count to the
+/// (inherently width-bounded) bag cross product.
+fn materialize_one(
+    d: &Decomposition,
+    bag: usize,
+    relations: &[Relation],
+    policy: &ExecPolicy,
+) -> Relation {
+    let bag_edge = &d.bags().edges()[bag];
+    join_cover(
+        d.cover(bag)
+            .map(|e| trim_to_bag(&relations[e.index()], &bag_edge.nodes)),
+        &bag_edge.nodes,
+        &bag_edge.label,
+        policy,
+    )
+}
+
+/// Trims one cover relation for a bag: relations already inside the bag
+/// pass through (borrowed), overlapping extras are projected onto their
+/// in-bag attributes (owned).
+fn trim_to_bag<'a>(r: &'a Relation, bag_nodes: &NodeSet) -> Cow<'a, Relation> {
+    if r.attributes().is_subset(bag_nodes) {
+        Cow::Borrowed(r)
+    } else {
+        Cow::Owned(r.project(bag_nodes))
+    }
+}
+
+/// The single bag-join fold both materialization paths run: joins the
+/// (already trimmed) cover relations in cover order and projects onto the
+/// bag's nodes.
+fn join_cover<'a>(
+    cover: impl IntoIterator<Item = Cow<'a, Relation>>,
+    bag_nodes: &NodeSet,
+    name: &str,
+    policy: &ExecPolicy,
+) -> Relation {
+    let mut acc: Option<Relation> = None;
+    for r in cover {
+        acc = Some(match acc {
+            None => r.into_owned(),
+            Some(a) => a.join_with_exec(&r, policy),
+        });
+    }
+    let joined = acc.expect("every nonempty bag has a cover");
+    joined.project(bag_nodes).with_name(name.to_owned())
+}
+
+/// Materializes every bag of `d` against `db`, producing a database over
+/// the bag hypergraph.
+///
+/// Bags only read the original relations and write their own slot, so with
+/// a parallel [`ExecPolicy`] the bag joins fan out across leased
+/// [`WorkerPool`](crate::exec::WorkerPool) workers (subject to the policy's
+/// sequential-fallback tuple threshold).  Bigger bags are dispatched first
+/// so a single wide bag does not serialize the tail of the batch.
+pub fn materialize_bags(db: &Database, d: &Decomposition, policy: &ExecPolicy) -> Database {
+    let nbags = d.bag_count();
+    let lease = policy.lease(db.tuple_count());
+    let relations: Vec<Relation> = if lease.threads() <= 1 || nbags <= 1 {
+        (0..nbags)
+            .map(|b| materialize_one(d, b, db.relations(), policy))
+            .collect()
+    } else {
+        // Estimated cost of a bag: total tuples of its cover relations.
+        // Dispatching big bags first keeps the round-robin balanced.
+        let mut order: Vec<usize> = (0..nbags).collect();
+        let cost = |b: usize| -> usize {
+            d.cover(b)
+                .map(|e| db.relations()[e.index()].len())
+                .sum::<usize>()
+        };
+        order.sort_by_key(|&b| std::cmp::Reverse(cost(b)));
+        // Each job owns exactly its bag's cover: assigned relations are
+        // cloned (every original edge is assigned to one bag, so the whole
+        // database is copied at most once in total) and extras are
+        // projected down to their in-bag attributes here on the caller —
+        // usually a small fraction of the relation they come from.
+        let (tx, rx) = channel();
+        let jobs: Vec<Job> = order
+            .into_iter()
+            .map(|b| {
+                let bag_edge = &d.bags().edges()[b];
+                let cover: Vec<Relation> = d
+                    .cover(b)
+                    .map(|e| trim_to_bag(&db.relations()[e.index()], &bag_edge.nodes).into_owned())
+                    .collect();
+                let bag_nodes = bag_edge.nodes.clone();
+                let name = bag_edge.label.clone();
+                let policy = policy.clone();
+                let tx = tx.clone();
+                Box::new(move || {
+                    let rel = join_cover(
+                        cover.into_iter().map(Cow::Owned),
+                        &bag_nodes,
+                        &name,
+                        &policy,
+                    );
+                    let _ = tx.send((b, rel));
+                }) as Job
+            })
+            .collect();
+        drop(tx);
+        lease.run(jobs);
+        let mut out: Vec<Option<Relation>> = vec![None; nbags];
+        for (b, r) in rx.try_iter() {
+            out[b] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every bag job completed"))
+            .collect()
+    };
+    Database::new(d.bags().clone(), relations).expect("bag relations match the bag schema")
+}
+
+/// Runs the full cyclic pipeline over an already-computed decomposition:
+/// materialize the bags, then full-reduce and join bottom-up along the bag
+/// tree, projecting onto `output`.
+pub fn yannakakis_join_decomposed(
+    db: &Database,
+    d: &Decomposition,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+) -> Relation {
+    let bag_db = materialize_bags(db, d, policy);
+    yannakakis_join_with(&bag_db, d.tree(), output, policy)
+}
+
+/// Computes the projection of the full join onto `output` for **any**
+/// schema: acyclic schemas route to the direct join-tree pipeline
+/// ([`yannakakis_join_with`]), cyclic schemas through
+/// decompose → materialize → reduce → join.  Fails only when the schema has
+/// no edges at all.
+///
+/// # Examples
+///
+/// ```
+/// use hypergraph::{EdgeId, Hypergraph};
+/// use reldb::{yannakakis_join_any, Database, ExecPolicy, Tuple};
+///
+/// // A triangle: cyclic, so no join tree exists — the decomposition path
+/// // still answers the query.
+/// let schema =
+///     Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap();
+/// let (a, b, c) = (
+///     schema.node("A").unwrap(),
+///     schema.node("B").unwrap(),
+///     schema.node("C").unwrap(),
+/// );
+/// let mut db = Database::empty(schema);
+/// db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+/// db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 3)]));
+/// db.insert(EdgeId(2), Tuple::from_pairs([(a, 1), (c, 3)]));
+/// db.insert(EdgeId(2), Tuple::from_pairs([(a, 9), (c, 9)])); // dangling
+///
+/// let out = db.attributes(["A", "C"]).unwrap();
+/// let answer = yannakakis_join_any(&db, &out, &ExecPolicy::default()).unwrap();
+/// assert_eq!(answer.len(), 1);
+/// ```
+pub fn yannakakis_join_any(
+    db: &Database,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+) -> Result<Relation, DbError> {
+    match join_tree(db.schema()) {
+        Some(tree) => Ok(yannakakis_join_with(db, &tree, output, policy)),
+        None => {
+            let d = decompose(db.schema(), Heuristic::MinFill)
+                .map_err(|e| DbError::SchemaMismatch(format!("cannot decompose schema: {e}")))?;
+            Ok(yannakakis_join_decomposed(db, &d, output, policy))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::JoinStrategy;
+    use crate::relation::Tuple;
+    use crate::yannakakis::naive_join_project;
+    use hypergraph::{EdgeId, Hypergraph};
+
+    /// A 4-ring of binary edges with data whose cycle closes for some
+    /// values only (and contains dangling tuples).
+    fn ring4_db() -> Database {
+        let h = Hypergraph::from_edges([
+            vec!["A", "B"],
+            vec!["B", "C"],
+            vec!["C", "D"],
+            vec!["D", "A"],
+        ])
+        .unwrap();
+        let ids: Vec<_> = ["A", "B", "C", "D"]
+            .iter()
+            .map(|n| h.node(n).unwrap())
+            .collect();
+        let mut db = Database::empty(h);
+        for (ei, (x, y)) in [(0, 1), (1, 2), (2, 3), (3, 0)].into_iter().enumerate() {
+            for v in 0..4i64 {
+                // Edge i relates v to v for v < 3; the cycle closes there.
+                let w = if v < 3 { v } else { v + ei as i64 };
+                db.insert(
+                    EdgeId(ei as u32),
+                    Tuple::from_pairs([(ids[x], v), (ids[y], w)]),
+                );
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn cyclic_ring_matches_naive_join() {
+        let db = ring4_db();
+        let all = db.schema().nodes();
+        let naive = naive_join_project(&db, &all);
+        assert!(!naive.is_empty(), "the instance must close the cycle");
+        let fast = yannakakis_join_any(&db, &all, &ExecPolicy::default()).unwrap();
+        assert!(fast.same_contents(&naive), "decomposed pipeline diverged");
+        // Projections agree too.
+        for attrs in [vec!["A"], vec!["A", "C"], vec!["B", "D"]] {
+            let out = db.attributes(attrs.iter().copied()).unwrap();
+            let fast = yannakakis_join_any(&db, &out, &ExecPolicy::default()).unwrap();
+            assert!(
+                fast.same_contents(&naive_join_project(&db, &out)),
+                "projection {attrs:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn policies_agree_on_the_cyclic_path() {
+        let db = ring4_db();
+        let all = db.schema().nodes();
+        let want =
+            yannakakis_join_any(&db, &all, &ExecPolicy::sequential(JoinStrategy::Hash)).unwrap();
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::SortMerge),
+            ExecPolicy::sequential(JoinStrategy::Auto),
+            ExecPolicy::parallel(JoinStrategy::Hash, 3),
+            ExecPolicy {
+                reuse_pool: false,
+                ..ExecPolicy::parallel(JoinStrategy::Auto, 2)
+            },
+        ] {
+            let got = yannakakis_join_any(&db, &all, &policy).unwrap();
+            assert!(got.same_contents(&want), "diverged under {policy:?}");
+        }
+    }
+
+    #[test]
+    fn acyclic_schemas_take_the_direct_path() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+        db.insert(EdgeId(1), Tuple::from_pairs([(b, 2), (c, 3)]));
+        let out = db.attributes(["A", "C"]).unwrap();
+        let got = yannakakis_join_any(&db, &out, &ExecPolicy::default()).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got.same_contents(&naive_join_project(&db, &out)));
+    }
+
+    #[test]
+    fn bag_database_matches_the_bag_schema() {
+        let db = ring4_db();
+        let d = decompose(db.schema(), Heuristic::MinFill).unwrap();
+        assert!(d.verify(db.schema()));
+        for policy in [
+            ExecPolicy::sequential(JoinStrategy::Hash),
+            ExecPolicy::parallel(JoinStrategy::Hash, 3),
+        ] {
+            let bag_db = materialize_bags(&db, &d, &policy);
+            assert_eq!(bag_db.relations().len(), d.bag_count());
+            for (bag, rel) in d.bags().edges().iter().zip(bag_db.relations()) {
+                assert_eq!(rel.attributes(), &bag.nodes);
+                assert_eq!(rel.name(), bag.label);
+            }
+            // The bag join equals the original full join.
+            let all = db.schema().nodes();
+            assert!(bag_db
+                .full_join()
+                .project(&all)
+                .same_contents(&db.full_join().project(&all)));
+        }
+    }
+
+    #[test]
+    fn empty_cyclic_relations_propagate() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap();
+        let db = Database::empty(h);
+        let out = db.schema().nodes();
+        let got = yannakakis_join_any(&db, &out, &ExecPolicy::default()).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn min_degree_heuristic_agrees() {
+        let db = ring4_db();
+        let d = decompose(db.schema(), Heuristic::MinDegree).unwrap();
+        let all = db.schema().nodes();
+        let got = yannakakis_join_decomposed(&db, &d, &all, &ExecPolicy::default());
+        assert!(got.same_contents(&naive_join_project(&db, &all)));
+    }
+}

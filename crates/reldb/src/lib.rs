@@ -16,6 +16,10 @@
 //! * the Yannakakis full reducer and join over a join tree
 //!   ([`full_reduce`], [`yannakakis_join`]) — the production query path for
 //!   acyclic schemas;
+//! * cyclic-schema execution by hypertree decomposition: bag
+//!   materialization over a [`decomp::Decomposition`] and transparent
+//!   routing ([`yannakakis_join_any`]) so *any* connected schema — ring,
+//!   clique, grid — answers through the same engine;
 //! * pairwise vs. global consistency, the semantic face of acyclicity
 //!   ([`is_pairwise_consistent`], [`is_globally_consistent`]).
 //!
@@ -29,6 +33,7 @@
 //! | `universal` | universal-relation queries `π_X(⋈ CC(X))` over canonical connections (§5, §7) |
 //! | `query` | the declarative [`Query`] layer: tableau-expressible output + equality selections, selection pushdown |
 //! | `yannakakis` | the Yannakakis full reducer and bottom-up join over a join tree, level-synchronous in both phases (§7's efficiency payoff) |
+//! | [`hypertree`] | cyclic schemas: bag materialization over a hypertree decomposition (`decomp` crate) and the acyclic-vs-cyclic router [`yannakakis_join_any`] |
 //! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, and the leased [`WorkerPool`] the parallel engine runs on |
 //! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
 //! | [`mod@reference`] | the pre-rewrite naive engine, kept as the equivalence-test oracle and benchmark baseline |
@@ -56,6 +61,7 @@
 mod consistency;
 mod database;
 pub mod exec;
+pub mod hypertree;
 mod pool;
 mod query;
 pub mod reference;
@@ -71,6 +77,7 @@ pub use database::{Database, DbError};
 pub use exec::{
     ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
 };
+pub use hypertree::{materialize_bags, yannakakis_join_any, yannakakis_join_decomposed};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
@@ -89,7 +96,7 @@ pub mod prelude {
     pub use crate::{
         full_reduce, full_reduce_with, is_globally_consistent, is_pairwise_consistent,
         plan_connection, query_via_connection, query_via_full_join, query_yannakakis,
-        yannakakis_join, yannakakis_join_with, Database, DbError, ExecPolicy, JoinStrategy, Query,
-        Relation, Tuple, Value,
+        yannakakis_join, yannakakis_join_any, yannakakis_join_with, Database, DbError, ExecPolicy,
+        JoinStrategy, Query, Relation, Tuple, Value,
     };
 }

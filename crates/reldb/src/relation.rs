@@ -20,11 +20,15 @@
 //! [`Tuple`] remains the boundary type for building and reading individual
 //! tuples; it is decoded from / encoded into rows only at the edges.
 
-use crate::exec::{ExecPolicy, JoinStrategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO};
+use crate::exec::{
+    ExecPolicy, Job, JoinStrategy, WorkerLease, WorkerPool, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+};
 use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
 use hypergraph::{NodeId, NodeSet, Universe};
 use std::fmt;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 
 /// Rows below which a semijoin probe loop is never sharded across threads
 /// (thread spawning would dominate the probes themselves).
@@ -247,6 +251,17 @@ fn row_of(buf: &[u32], width: usize, id: u32) -> &[u32] {
     &buf[id as usize * width..(id as usize + 1) * width]
 }
 
+/// The probe step of the hash semijoin mask, shared verbatim by the
+/// sequential loop and every parallel shard so the two paths cannot drift
+/// apart: is `key` present in `table` (which indexes the `k`-wide keys of
+/// `other_keys`)?
+#[inline]
+fn probe_key(table: &RowTable, other_keys: &[u32], k: usize, key: &[u32]) -> bool {
+    table
+        .find(hash_row(key), |id| row_of(other_keys, k, id) == key)
+        .is_some()
+}
+
 /// Positions (column indices) of the attributes of `of` within `cols`.
 /// Both are in ascending attribute order, so position sequences computed for
 /// the same `of` against two relations align column-for-column.
@@ -340,26 +355,94 @@ impl JoinKeys {
 }
 
 /// Sorts the ids `0..n` by their flattened `k`-wide keys, returning the
-/// permutation.  Single-column keys pack `(key, id)` into one `u64` so the
-/// sort runs on a primitive; wider keys compare key slices.  The row
+/// permutation.  Single-column keys go through a counting/radix pass
+/// ([`sort_ids_single_key`]); wider keys compare key slices.  The row
 /// buffers themselves are never reordered.
 fn sort_ids_by_key(keys: &[u32], k: usize, n: usize) -> Vec<u32> {
     debug_assert_eq!(keys.len(), n * k);
     if k == 1 {
-        let mut packed: Vec<u64> = (0..n)
-            .map(|i| (u64::from(keys[i]) << 32) | i as u64)
-            .collect();
-        packed.sort_unstable();
-        return packed
-            .into_iter()
-            .map(|p| (p & 0xffff_ffff) as u32)
-            .collect();
+        return sort_ids_single_key(keys, n);
     }
     let mut ids: Vec<u32> = (0..n as u32).collect();
     ids.sort_unstable_by(|&a, &b| {
         keys[a as usize * k..(a as usize + 1) * k].cmp(&keys[b as usize * k..(b as usize + 1) * k])
     });
     ids
+}
+
+/// Inputs below which [`sort_ids_single_key`] keeps the packed comparison
+/// sort: count-array setup would dominate the handful of comparisons.
+const SORT_COUNTING_MIN_ROWS: usize = 64;
+
+/// Inputs below which sparse (non-counting) keys keep the packed comparison
+/// sort: the radix passes touch two 64Ki-entry count arrays regardless of
+/// `n`, so they only pay off once `n log n` comparisons outweigh ~128Ki of
+/// fixed bookkeeping.
+const SORT_RADIX_MIN_ROWS: usize = 4096;
+
+/// Sorts the ids `0..n` by a single `u32` key column, exploiting that keys
+/// are interned [`ValuePool`] handles — dense small integers:
+///
+/// * **counting sort** when the largest key is within a small factor of the
+///   row count: one `O(n + max)` pass instead of `O(n log n)` comparisons;
+/// * **LSD radix sort** (two stable 16-bit passes) when the key space is
+///   sparse and the input is large enough to amortize the fixed count
+///   arrays;
+/// * the original packed `(key, id)` comparison sort otherwise.
+///
+/// All three paths order equal keys by ascending id (the packed sort's tie
+/// rule), so callers observe identical permutations regardless of path.
+fn sort_ids_single_key(keys: &[u32], n: usize) -> Vec<u32> {
+    if n >= SORT_COUNTING_MIN_ROWS {
+        let max = keys.iter().copied().max().unwrap_or(0) as usize;
+        if max <= 4 * n {
+            // Dense handles: one stable counting pass.
+            let mut counts = vec![0u32; max + 2];
+            for &key in keys {
+                counts[key as usize + 1] += 1;
+            }
+            for i in 1..counts.len() {
+                counts[i] += counts[i - 1];
+            }
+            let mut out = vec![0u32; n];
+            for (id, &key) in keys.iter().enumerate() {
+                let slot = &mut counts[key as usize];
+                out[*slot as usize] = id as u32;
+                *slot += 1;
+            }
+            return out;
+        }
+        if n >= SORT_RADIX_MIN_ROWS {
+            // Sparse keys: two stable 16-bit LSD radix passes over
+            // (key → id).
+            let mut cur: Vec<u32> = (0..n as u32).collect();
+            let mut next = vec![0u32; n];
+            for shift in [0u32, 16] {
+                let mut counts = vec![0u32; (1 << 16) + 1];
+                for &id in &cur {
+                    counts[((keys[id as usize] >> shift) & 0xffff) as usize + 1] += 1;
+                }
+                for i in 1..counts.len() {
+                    counts[i] += counts[i - 1];
+                }
+                for &id in &cur {
+                    let d = ((keys[id as usize] >> shift) & 0xffff) as usize;
+                    next[counts[d] as usize] = id;
+                    counts[d] += 1;
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            return cur;
+        }
+    }
+    let mut packed: Vec<u64> = (0..n)
+        .map(|i| (u64::from(keys[i]) << 32) | i as u64)
+        .collect();
+    packed.sort_unstable();
+    packed
+        .into_iter()
+        .map(|p| (p & 0xffff_ffff) as u32)
+        .collect()
 }
 
 /// The end (exclusive) of the equal-key run starting at `start` in a
@@ -934,13 +1017,13 @@ impl Relation {
 
     /// For each row of `self`, whether some row of `other` matches it on the
     /// shared attributes — the common kernel behind the semijoin family,
-    /// parameterized by strategy and probe-shard worker count.
+    /// parameterized by strategy and the probe-shard workers.
     fn semijoin_mask(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
-        threads: usize,
+        probe: &WorkerLease,
     ) -> Vec<bool> {
         let Some(keys) = JoinKeys::new(self, other) else {
             // π_∅(other) is {()} iff other is nonempty; every tuple matches.
@@ -950,20 +1033,24 @@ impl Relation {
         let other_keys = keys.gather_translated(other);
         match self.resolve_strategy(strategy, &keys.left_pos, auto_ratio) {
             JoinStrategy::SortMerge => self.sort_merge_mask(&keys, &other_keys),
-            _ => self.hash_mask(&keys, &other_keys, threads),
+            _ => self.hash_mask(&keys, other_keys, probe),
         }
     }
 
     /// Hash flavor of the semijoin mask: index `other`'s distinct keys,
-    /// probe every row of `self`.  With `threads > 1` and enough rows the
-    /// probe loop (embarrassingly parallel, read-only) is sharded across
-    /// scoped threads — the intra-operator parallelism the level-synchronous
-    /// reducer falls back to when a tree level has fewer targets than
-    /// workers (e.g. chain schemas, whose levels are singletons).
-    fn hash_mask(&self, keys: &JoinKeys, other_keys: &[u32], threads: usize) -> Vec<bool> {
+    /// probe every row of `self`.  With a multi-worker `probe` lease and
+    /// enough rows the probe loop (embarrassingly parallel, read-only) is
+    /// sharded across the leased [`WorkerPool`] workers — the
+    /// intra-operator parallelism the level-synchronous reducer falls back
+    /// to when a tree level has fewer targets than workers (e.g. chain
+    /// schemas, whose levels are singletons).  Shards own their chunk
+    /// bounds and a handle on the shared probe state (key table + gathered
+    /// key columns behind an [`Arc`]), so they run as ordinary owned pool
+    /// jobs rather than scoped borrows.
+    fn hash_mask(&self, keys: &JoinKeys, other_keys: Vec<u32>, probe: &WorkerLease) -> Vec<bool> {
         let k = keys.k();
         let nkeys = other_keys.len() / k;
-        let key_at = |id: u32| &other_keys[id as usize * k..(id as usize + 1) * k];
+        let key_at = |id: u32| row_of(&other_keys, k, id);
         let mut table = RowTable::default();
         let mut distinct = 0usize;
         for i in 0..nkeys as u32 {
@@ -975,38 +1062,48 @@ impl Relation {
                 distinct += 1;
             }
         }
-        // The probe step shared verbatim by the sequential loop and every
-        // parallel shard, so the two paths cannot drift apart.
-        let probe = |row: &[u32], keybuf: &mut [u32]| -> bool {
-            for (j, &p) in keys.left_pos.iter().enumerate() {
-                keybuf[j] = row[p];
-            }
-            table
-                .find(hash_row(keybuf), |id| {
-                    other_keys[id as usize * k..(id as usize + 1) * k] == keybuf[..]
-                })
-                .is_some()
-        };
+        let threads = probe.threads();
         if threads <= 1 || self.len < PAR_MASK_MIN_ROWS {
             let mut keybuf = vec![0u32; k];
             return self
                 .rows_iter()
-                .map(|row| probe(row, &mut keybuf))
+                .map(|row| {
+                    for (j, &p) in keys.left_pos.iter().enumerate() {
+                        keybuf[j] = row[p];
+                    }
+                    probe_key(&table, &other_keys, k, &keybuf)
+                })
                 .collect();
         }
-        let mut mask = vec![false; self.len];
+        // Shard the probe loop across the leased workers.  Each shard owns
+        // its row range and probes the gathered key columns (shared
+        // read-only behind one Arc with the table), sending its chunk of
+        // the mask back tagged with the range start.
+        let my_keys = keys.gather(self, &keys.left_pos);
+        let shared = Arc::new((table, other_keys, my_keys));
         let chunk_rows = self.len.div_ceil(threads);
-        let probe = &probe;
-        std::thread::scope(|scope| {
-            for (w, mchunk) in mask.chunks_mut(chunk_rows).enumerate() {
-                scope.spawn(move || {
-                    let mut keybuf = vec![0u32; k];
-                    for (j, m) in mchunk.iter_mut().enumerate() {
-                        *m = probe(self.row(w * chunk_rows + j), &mut keybuf);
-                    }
-                });
-            }
-        });
+        let (tx, rx) = channel();
+        let jobs: Vec<Job> = (0..self.len)
+            .step_by(chunk_rows)
+            .map(|start| {
+                let end = (start + chunk_rows).min(self.len);
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                Box::new(move || {
+                    let (table, other_keys, my_keys) = &*shared;
+                    let bits: Vec<bool> = (start..end)
+                        .map(|i| probe_key(table, other_keys, k, row_of(my_keys, k, i as u32)))
+                        .collect();
+                    let _ = tx.send((start, bits));
+                }) as Job
+            })
+            .collect();
+        drop(tx);
+        probe.run(jobs);
+        let mut mask = vec![false; self.len];
+        for (start, bits) in rx.try_iter() {
+            mask[start..start + bits.len()].copy_from_slice(&bits);
+        }
         mask
     }
 
@@ -1055,7 +1152,12 @@ impl Relation {
     /// Semijoin under an explicit [`JoinStrategy`] — see
     /// [`Relation::join_with`] for the strategy semantics.
     pub fn semijoin_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        let mask = self.semijoin_mask(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 1);
+        let mask = self.semijoin_mask(
+            other,
+            strategy,
+            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            &WorkerLease::inline(),
+        );
         let mut out = Relation::with_pool(
             self.name.clone(),
             self.attributes.clone(),
@@ -1076,7 +1178,7 @@ impl Relation {
             other,
             JoinStrategy::Hash,
             AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
-            1,
+            &WorkerLease::inline(),
         )
         .iter()
         .filter(|&&b| b)
@@ -1097,32 +1199,39 @@ impl Relation {
     /// eagerly: the Yannakakis reducer semijoins the same relation several
     /// times in a row and never consults the index in between, so eager
     /// rebuilds were pure waste.  With `threads > 1` the hash probe loop is
-    /// sharded across scoped threads.
+    /// sharded across workers leased from the shared [`WorkerPool`].
     pub fn retain_semijoin_with(
         &mut self,
         other: &Relation,
         strategy: JoinStrategy,
         threads: usize,
     ) -> usize {
-        self.retain_semijoin_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, threads)
+        let probe = if threads <= 1 {
+            WorkerLease::inline()
+        } else {
+            WorkerPool::lease(threads)
+        };
+        self.retain_semijoin_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, &probe)
     }
 
     /// In-place semijoin under an [`ExecPolicy`] — like
     /// [`Relation::retain_semijoin_with`], with the policy supplying the
-    /// strategy and the [`JoinStrategy::Auto`] threshold.  `probe_threads`
-    /// shards the hash probe loop (the policy's own thread count governs
-    /// level sharding in the reducer, not this intra-operator knob).
+    /// strategy and the [`JoinStrategy::Auto`] threshold.  `probe` supplies
+    /// the workers the hash probe loop is sharded across (the policy's own
+    /// thread count governs level sharding in the reducer, not this
+    /// intra-operator knob); pass [`WorkerLease::inline`] for a sequential
+    /// probe.
     pub fn retain_semijoin_exec(
         &mut self,
         other: &Relation,
         policy: &ExecPolicy,
-        probe_threads: usize,
+        probe: &WorkerLease,
     ) -> usize {
         self.retain_semijoin_impl(
             other,
             policy.strategy,
             policy.auto_sortmerge_max_distinct_ratio,
-            probe_threads,
+            probe,
         )
     }
 
@@ -1131,9 +1240,9 @@ impl Relation {
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
-        threads: usize,
+        probe: &WorkerLease,
     ) -> usize {
-        let mask = self.semijoin_mask(other, strategy, auto_ratio, threads);
+        let mask = self.semijoin_mask(other, strategy, auto_ratio, probe);
         let removed = mask.iter().filter(|&&b| !b).count();
         if removed == 0 {
             return 0;
@@ -1651,8 +1760,18 @@ mod tests {
                 s.insert(Tuple::from_pairs([(b, i % 101), (c, i)]));
             }
         }
-        let seq = r.semijoin_mask(&s, JoinStrategy::Hash, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 1);
-        let par = r.semijoin_mask(&s, JoinStrategy::Hash, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, 4);
+        let seq = r.semijoin_mask(
+            &s,
+            JoinStrategy::Hash,
+            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            &WorkerLease::inline(),
+        );
+        let par = r.semijoin_mask(
+            &s,
+            JoinStrategy::Hash,
+            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            &WorkerPool::lease(4),
+        );
         assert_eq!(seq, par);
         let mut r2 = r.clone();
         let removed_seq = r.retain_semijoin_with(&s, JoinStrategy::Hash, 1);
@@ -1673,5 +1792,96 @@ mod tests {
             assert!(!r.insert(Tuple::from_pairs([(a, i), (b, i % 7)])));
         }
         assert_eq!(r.len(), 1000);
+    }
+
+    /// The reference permutation the counting/radix single-key sort must
+    /// reproduce bit-for-bit: the packed `(key, id)` comparison sort.
+    fn packed_comparison_sort(keys: &[u32]) -> Vec<u32> {
+        let mut packed: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| (u64::from(key) << 32) | i as u64)
+            .collect();
+        packed.sort_unstable();
+        packed
+            .into_iter()
+            .map(|p| (p & 0xffff_ffff) as u32)
+            .collect()
+    }
+
+    mod sort_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Dense keys (the counting-sort regime: handles smaller than a
+            /// few times the row count) sort exactly like the comparison
+            /// sort, including the ascending-id tie rule.
+            #[test]
+            fn counting_sort_matches_comparison_sort(
+                keys in proptest::collection::vec(0u32..200, 0..400),
+            ) {
+                let n = keys.len();
+                prop_assert_eq!(sort_ids_by_key(&keys, 1, n), packed_comparison_sort(&keys));
+            }
+
+            /// Sparse keys below the radix floor (the packed fallback)
+            /// agree with the comparison sort too.
+            #[test]
+            fn sparse_small_sort_matches_comparison_sort(
+                keys in proptest::collection::vec(0u32..u32::MAX, 0..300),
+            ) {
+                let n = keys.len();
+                prop_assert_eq!(sort_ids_by_key(&keys, 1, n), packed_comparison_sort(&keys));
+            }
+
+            /// The radix regime proper: sparse keys on inputs past the
+            /// radix floor (seed-expanded so the case stays cheap to
+            /// generate) match the comparison sort.
+            #[test]
+            fn radix_sort_matches_comparison_sort(seed in 0u64..5_000) {
+                let n = SORT_RADIX_MIN_ROWS + (seed as usize % 100);
+                let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                let keys: Vec<u32> = (0..n)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        (x >> 32) as u32
+                    })
+                    .collect();
+                prop_assert_eq!(sort_ids_by_key(&keys, 1, n), packed_comparison_sort(&keys));
+            }
+        }
+    }
+
+    #[test]
+    fn single_key_sort_covers_all_three_paths() {
+        // Tiny input: packed comparison path.
+        let tiny = [5u32, 1, 5, 0];
+        assert_eq!(sort_ids_by_key(&tiny, 1, 4), vec![3, 1, 0, 2]);
+        // Dense input past the tiny threshold: counting path.
+        let dense: Vec<u32> = (0..200u32).map(|i| i % 9).collect();
+        assert_eq!(
+            sort_ids_by_key(&dense, 1, 200),
+            packed_comparison_sort(&dense)
+        );
+        // Sparse input past the radix floor: radix path.
+        let n = SORT_RADIX_MIN_ROWS + 13;
+        let sparse: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        assert_eq!(
+            sort_ids_by_key(&sparse, 1, n),
+            packed_comparison_sort(&sparse)
+        );
+        // Sparse input below the radix floor: packed comparison path.
+        let small_sparse: Vec<u32> = sparse[..200].to_vec();
+        assert_eq!(
+            sort_ids_by_key(&small_sparse, 1, 200),
+            packed_comparison_sort(&small_sparse)
+        );
+        // Empty input.
+        assert!(sort_ids_by_key(&[], 1, 0).is_empty());
     }
 }

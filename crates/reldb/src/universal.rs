@@ -17,9 +17,11 @@
 //!   (the naive baseline).
 
 use crate::database::{Database, DbError};
+use crate::exec::ExecPolicy;
+use crate::hypertree::yannakakis_join_any;
 use crate::relation::Relation;
-use crate::yannakakis::{naive_join_project, yannakakis_join};
-use acyclic::{canonical_connection, join_tree};
+use crate::yannakakis::naive_join_project;
+use acyclic::canonical_connection;
 use hypergraph::{Hypergraph, NodeSet};
 
 /// The objects (schema edges, by label) chosen by the canonical connection
@@ -85,13 +87,12 @@ pub fn query_via_full_join(db: &Database, x: &NodeSet) -> Relation {
     naive_join_project(db, x)
 }
 
-/// Answers the query with the Yannakakis algorithm over a join tree of the
-/// whole schema.  Requires an acyclic schema.
+/// Answers the query with the Yannakakis algorithm: over the schema's join
+/// tree when it is acyclic, or through the hypertree-decomposition pipeline
+/// ([`yannakakis_join_any`]) when it is cyclic.  Fails only on an edgeless
+/// schema.
 pub fn query_yannakakis(db: &Database, x: &NodeSet) -> Result<Relation, DbError> {
-    let tree = join_tree(db.schema()).ok_or_else(|| {
-        DbError::SchemaMismatch("schema is cyclic: no join tree exists".to_owned())
-    })?;
-    Ok(yannakakis_join(db, &tree, x))
+    yannakakis_join_any(db, x, &ExecPolicy::default())
 }
 
 /// Convenience: answer a query given attribute names.
@@ -228,11 +229,29 @@ mod tests {
     }
 
     #[test]
-    fn cyclic_schema_is_rejected_by_yannakakis() {
+    fn cyclic_schema_routes_through_decomposition() {
         let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"], vec!["A", "C"]]).unwrap();
-        let db = Database::empty(h);
-        let x = db.attributes(["A"]).unwrap();
-        assert!(query_yannakakis(&db, &x).is_err());
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        for v in 0..3i64 {
+            db.insert(EdgeId(0), Tuple::from_pairs([(a, v), (b, v)]));
+            db.insert(EdgeId(1), Tuple::from_pairs([(b, v), (c, v)]));
+            // The triangle only closes for v < 2.
+            db.insert(EdgeId(2), Tuple::from_pairs([(a, v), (c, v % 2)]));
+        }
+        for names in [vec!["A"], vec!["A", "C"], vec!["A", "B", "C"]] {
+            let x = db.attributes(names.iter().copied()).unwrap();
+            let yann = query_yannakakis(&db, &x).expect("cyclic schemas now execute");
+            let naive = query_via_full_join(&db, &x);
+            assert!(
+                yann.same_contents(&naive),
+                "decomposed Yannakakis differs from full join for {names:?}"
+            );
+        }
     }
 
     #[test]

@@ -79,11 +79,19 @@ fn placeholder() -> Relation {
 /// an [`Arc`] (moved in and out — never cloned).  When a level has fewer
 /// targets than workers (chains: every level is a singleton) the
 /// parallelism drops *inside* the semijoin instead: the hash probe loop is
-/// sharded across scoped threads ([`Relation::retain_semijoin_with`]).
+/// sharded across the same leased workers
+/// ([`Relation::retain_semijoin_exec`]).
+///
+/// Jobs are dispatched **biggest first**: the lease hands jobs out
+/// round-robin, so a skewed level (a snowflake's fact relation next to its
+/// dimensions) would otherwise park the fat job behind small ones on one
+/// worker while the rest idle.  Sorting by estimated cost (target tuples
+/// plus source tuples) approximates longest-processing-time scheduling
+/// without a work queue.
 fn run_level(
     relations: &mut Vec<Relation>,
     removed: &mut [usize],
-    jobs: Vec<LevelJob>,
+    mut jobs: Vec<LevelJob>,
     policy: &ExecPolicy,
     lease: &WorkerLease,
 ) {
@@ -92,15 +100,20 @@ fn run_level(
     }
     let threads = lease.threads();
     if threads <= 1 || jobs.len() == 1 {
-        let probe_threads = if jobs.len() == 1 { threads } else { 1 };
+        let inline = WorkerLease::inline();
+        let probe = if jobs.len() == 1 { lease } else { &inline };
         for job in &jobs {
             for &s in &job.sources {
                 let (t, src) = pair_mut(relations, job.target, s);
-                removed[job.target] += t.retain_semijoin_exec(src, policy, probe_threads);
+                removed[job.target] += t.retain_semijoin_exec(src, policy, probe);
             }
         }
         return;
     }
+    let cost = |j: &LevelJob| -> usize {
+        relations[j.target].len() + j.sources.iter().map(|&s| relations[s].len()).sum::<usize>()
+    };
+    jobs.sort_by_key(|j| std::cmp::Reverse(cost(j)));
     // Take the targets out, move the remaining relations into an Arc the
     // jobs share, run one owned job per target on the lease, then
     // reassemble.  Jobs drop their Arc handle *before* signalling their
@@ -121,7 +134,8 @@ fn run_level(
             Box::new(move || {
                 let mut removed_here = 0usize;
                 for &s in &job.sources {
-                    removed_here += target.retain_semijoin_exec(&shared[s], &policy, 1);
+                    removed_here +=
+                        target.retain_semijoin_exec(&shared[s], &policy, &WorkerLease::inline());
                 }
                 drop(shared);
                 let _ = tx.send((job.target, target, removed_here));
@@ -294,8 +308,21 @@ pub fn yannakakis_join_with(
             }
             continue;
         }
+        // Biggest subtree jobs first, for the same longest-processing-time
+        // reason as the reducer levels: round-robin dispatch over the
+        // leased workers balances best when the fat job leads the batch.
+        let mut order: Vec<EdgeId> = level.clone();
+        let cost = |e: EdgeId| -> usize {
+            relations[e.index()].len()
+                + tree
+                    .children(e)
+                    .iter()
+                    .map(|c| partial[c.index()].as_ref().map_or(0, Relation::len))
+                    .sum::<usize>()
+        };
+        order.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
         let (tx, rx) = channel();
-        let work: Vec<Job> = level
+        let work: Vec<Job> = order
             .iter()
             .map(|&e| {
                 let base = std::mem::replace(&mut relations[e.index()], placeholder());

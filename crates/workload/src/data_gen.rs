@@ -45,6 +45,16 @@ pub struct DataParams {
     /// large `s` concentrates the mass on a few hot keys — the
     /// high-duplicate regime where sort-merge kernels beat hash builds.
     pub skew: f64,
+    /// Output bound for skewed workloads: with `key_cap > 0`, a value may
+    /// occur at most `key_cap` times per *join column* (an attribute shared
+    /// by two or more schema edges) of each relation — a draw that would
+    /// exceed the cap deterministically spills to the next under-cap value.
+    /// A binary join then emits at most `key_cap²` tuples per key, so the
+    /// output stays proportional to the input even under heavy Zipf skew
+    /// and the benchmark isolates kernel cost from output size.  `0` (the
+    /// default) leaves draws unbounded.  Non-join columns always keep their
+    /// raw (skewed) draws.
+    pub key_cap: usize,
 }
 
 impl Default for DataParams {
@@ -53,6 +63,7 @@ impl Default for DataParams {
             tuples_per_relation: 64,
             domain: 8,
             skew: 0.0,
+            key_cap: 0,
         }
     }
 }
@@ -99,16 +110,54 @@ pub fn random_database(schema: &Hypergraph, params: DataParams, seed: u64) -> Da
     let mut rng = StdRng::seed_from_u64(seed);
     let zipf = (params.skew > 0.0).then(|| ZipfSampler::new(params.domain, params.skew));
     let mut db = Database::empty(schema.clone());
+    let mut row: Vec<i64> = Vec::new();
     for (i, e) in schema.edges().iter().enumerate() {
-        let arity = e.nodes.len();
+        // Join columns (attributes shared with another edge) are the ones
+        // whose duplication multiplies join outputs; with `key_cap` set,
+        // their per-value occurrence counts are tracked and capped.
+        let capped: Vec<bool> = e
+            .nodes
+            .iter()
+            .map(|n| params.key_cap > 0 && schema.degree(n) >= 2)
+            .collect();
+        let mut counts: Vec<Vec<u32>> = capped
+            .iter()
+            .map(|&c| {
+                if c {
+                    vec![0u32; params.domain as usize]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
         for _ in 0..params.tuples_per_relation {
-            db.insert_values(
-                EdgeId(i as u32),
-                (0..arity).map(|_| match &zipf {
+            row.clear();
+            for (col, &cap_col) in capped.iter().enumerate() {
+                let mut v = match &zipf {
                     None => rng.gen_range(0..params.domain),
                     Some(z) => z.sample(&mut rng),
-                }),
-            );
+                };
+                if cap_col {
+                    let counts = &mut counts[col];
+                    if counts[v as usize] >= params.key_cap as u32 {
+                        // Deterministic spill: walk to the next value still
+                        // under the cap (wrapping).  If every value is at
+                        // the cap the raw draw stands — the cap is a bound
+                        // on skew, not on the total row count.
+                        let mut probe = v;
+                        for _ in 0..params.domain {
+                            probe = (probe + 1) % params.domain;
+                            if counts[probe as usize] < params.key_cap as u32 {
+                                v = probe;
+                                break;
+                            }
+                        }
+                    }
+                    counts[v as usize] += 1;
+                }
+                row.push(v);
+            }
+            db.insert_values(EdgeId(i as u32), row.iter().copied());
         }
     }
     db
@@ -176,6 +225,7 @@ mod tests {
                 tuples_per_relation: 20,
                 domain: 3,
                 skew: 0.0,
+                key_cap: 0,
             },
             42,
         );
@@ -206,6 +256,7 @@ mod tests {
             tuples_per_relation: 400,
             domain: 64,
             skew: 1.5,
+            key_cap: 0,
         };
         let skewed = random_database(&schema, params, 3);
         let uniform = random_database(
@@ -240,6 +291,63 @@ mod tests {
     }
 
     #[test]
+    fn key_cap_bounds_join_column_duplication() {
+        let schema = chain(3, 2, 1);
+        let params = DataParams {
+            tuples_per_relation: 300,
+            domain: 128,
+            skew: 1.5,
+            key_cap: 4,
+        };
+        let capped = random_database(&schema, params, 11);
+        let uncapped = random_database(
+            &schema,
+            DataParams {
+                key_cap: 0,
+                ..params
+            },
+            11,
+        );
+        // Every join-column value occurs at most key_cap times per relation.
+        let max_dup = |db: &Database| {
+            db.relations()
+                .iter()
+                .flat_map(|r| {
+                    r.attributes()
+                        .iter()
+                        .filter(|&n| schema.degree(n) >= 2)
+                        .map(|n| {
+                            let mut counts = std::collections::HashMap::new();
+                            for t in r.tuples() {
+                                *counts.entry(t.get(n).cloned()).or_insert(0usize) += 1;
+                            }
+                            counts.into_values().max().unwrap_or(0)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max_dup(&capped) <= 4,
+            "cap violated: {} > 4",
+            max_dup(&capped)
+        );
+        assert!(
+            max_dup(&uncapped) > 8,
+            "uncapped Zipf draws must concentrate: {}",
+            max_dup(&uncapped)
+        );
+        // Bounded key duplication bounds the join output.
+        assert!(capped.full_join().len() < uncapped.full_join().len());
+        // Determinism per seed holds for the capped path.
+        assert_eq!(
+            random_database(&schema, params, 11).tuple_count(),
+            capped.tuple_count()
+        );
+    }
+
+    #[test]
     fn zipf_sampler_covers_and_bounds_domain() {
         let z = ZipfSampler::new(5, 1.0);
         let mut rng = StdRng::seed_from_u64(9);
@@ -263,6 +371,7 @@ mod tests {
                 tuples_per_relation: 30,
                 domain: 2,
                 skew: 0.0,
+                key_cap: 0,
             },
             7,
         );

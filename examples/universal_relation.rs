@@ -32,6 +32,7 @@ fn main() {
             tuples_per_relation: 40,
             domain: 24,
             skew: 0.0,
+            key_cap: 0,
         },
         2024,
     );

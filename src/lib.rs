@@ -9,14 +9,19 @@
 //! * [`acyclic`] — the paper's core: Graham (GYO) reduction with sacred
 //!   nodes, acyclicity tests, join trees, canonical connections,
 //!   independent paths and Theorem 6.1.
+//! * [`decomp`] — hypertree decomposition: triangulation-based elimination
+//!   orders, maximal-clique bags and running-intersection bag trees, the
+//!   bridge that lets cyclic schemas run on the acyclic engine.
 //! * [`reldb`] — relational database substrate: universal-relation queries
-//!   over canonical connections and the Yannakakis algorithm.
+//!   over canonical connections and the Yannakakis algorithm, including the
+//!   decompose→materialize→reduce→join path for cyclic schemas.
 //! * [`workload`] — synthetic hypergraph/relation generators and the paper's
 //!   figures as fixtures.
 
 #![forbid(unsafe_code)]
 
 pub use acyclic;
+pub use decomp;
 pub use hypergraph;
 pub use reldb;
 pub use tableau;
@@ -25,6 +30,7 @@ pub use workload;
 /// Everything a quickstart needs, re-exported flat.
 pub mod prelude {
     pub use acyclic::prelude::*;
+    pub use decomp::prelude::*;
     pub use hypergraph::prelude::*;
     pub use reldb::prelude::*;
     pub use tableau::prelude::*;

@@ -47,6 +47,7 @@ fn db_for_skewed(
             tuples_per_relation: tuples,
             domain,
             skew,
+            key_cap: 0,
         },
         seed,
     )

@@ -187,7 +187,7 @@ proptest! {
     #[test]
     fn yannakakis_matches_naive(edges in 2usize..6, seed in any::<u64>(), selector in any::<u64>()) {
         let schema = chain(edges, 3, 1);
-        let db = random_database(&schema, DataParams { tuples_per_relation: 24, domain: 4, skew: 0.0 }, seed);
+        let db = random_database(&schema, DataParams { tuples_per_relation: 24, domain: 4, skew: 0.0, key_cap: 0 }, seed);
         let tree = join_tree(&schema).expect("chains are acyclic");
         let x = sacred_subset(&schema, selector);
         let fast = yannakakis_join(&db, &tree, &x);
@@ -203,7 +203,7 @@ proptest! {
         let schema = star(satellites, 3);
         let x = sacred_subset(&schema, selector);
 
-        let raw = random_database(&schema, DataParams { tuples_per_relation: 16, domain: 3, skew: 0.0 }, seed);
+        let raw = random_database(&schema, DataParams { tuples_per_relation: 16, domain: 3, skew: 0.0, key_cap: 0 }, seed);
         let via_cc = query_via_connection(&raw, &x);
         let naive = query_via_full_join(&raw, &x);
         for t in naive.tuples() {
@@ -223,7 +223,7 @@ proptest! {
     #[test]
     fn consistency_implication(edges in 2usize..5, seed in any::<u64>()) {
         let schema = chain(edges, 2, 1);
-        let db = consistent_database(&schema, DataParams { tuples_per_relation: 12, domain: 3, skew: 0.0 }, seed);
+        let db = consistent_database(&schema, DataParams { tuples_per_relation: 12, domain: 3, skew: 0.0, key_cap: 0 }, seed);
         prop_assert!(is_globally_consistent(&db));
         prop_assert!(is_pairwise_consistent(&db));
     }
