@@ -12,17 +12,52 @@
 
 use acyclic::{is_acyclic_mcs, join_tree, AcyclicityExt};
 use decomp::{decompose, Heuristic};
+use hypergraph::EdgeId;
 use hypergraph::Hypergraph;
 use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
 use reldb::{
-    full_reduce_with, naive_join_project, yannakakis_join_any, yannakakis_join_with, Database,
-    ExecPolicy, JoinStrategy,
+    full_reduce_metered, full_reduce_with, naive_join_project, yannakakis_join_any,
+    yannakakis_join_any_metered, yannakakis_join_metered, yannakakis_join_with, CollectingSink,
+    Database, ExecPolicy, JoinStrategy, Relation, WorkerLease,
+    AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
 };
 use std::time::Instant;
 use workload::{
     chain, far_apart, hyper_ring, pair_clique, random_database, ring, snowflake_tree, star,
     DataParams,
 };
+
+/// Engine counters for one benchmark row, captured by running the measured
+/// operation once under a [`CollectingSink`] (outside the timed loop, so
+/// metering never contaminates the timing).  Rows without a metered path
+/// (the naive reference engine, the structural acyclicity/decompose ops)
+/// carry none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMetrics {
+    /// Total rows probed across all join/semijoin operations.
+    pub probed: u64,
+    /// Total rows kept (join output + semijoin survivors).
+    pub kept: u64,
+    /// Join operations executed.
+    pub join_ops: u64,
+    /// Semijoin operations executed.
+    pub semijoin_ops: u64,
+}
+
+impl RowMetrics {
+    fn capture(f: impl FnOnce(&CollectingSink)) -> Self {
+        let sink = CollectingSink::new();
+        f(&sink);
+        let m = sink.snapshot();
+        Self {
+            probed: m.total_probed(),
+            kept: m.total_kept(),
+            join_ops: m.joins.ops,
+            semijoin_ops: m.semijoins.ops,
+        }
+    }
+}
 
 /// One measured data point.
 #[derive(Debug, Clone)]
@@ -41,6 +76,8 @@ pub struct BenchRecord {
     pub iters: usize,
     /// Mean nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Engine counters for the row's operation, when it has a metered path.
+    pub metrics: Option<RowMetrics>,
 }
 
 impl BenchRecord {
@@ -52,8 +89,14 @@ impl BenchRecord {
     }
 
     fn to_json_line(&self) -> String {
+        let metrics = self.metrics.map_or(String::new(), |m| {
+            format!(
+                ", \"probed\": {}, \"kept\": {}, \"join_ops\": {}, \"semijoin_ops\": {}",
+                m.probed, m.kept, m.join_ops, m.semijoin_ops
+            )
+        });
         format!(
-            "    {{\"op\": \"{}\", \"engine\": \"{}\", \"workload\": \"{}\", \"size\": {}, \"units\": {}, \"iters\": {}, \"ns_per_iter\": {:.0}, \"units_per_sec\": {:.0}}}",
+            "    {{\"op\": \"{}\", \"engine\": \"{}\", \"workload\": \"{}\", \"size\": {}, \"units\": {}, \"iters\": {}, \"ns_per_iter\": {:.0}, \"units_per_sec\": {:.0}{}}}",
             self.op,
             self.engine,
             self.workload,
@@ -62,6 +105,7 @@ impl BenchRecord {
             self.iters,
             self.ns_per_iter,
             self.units_per_sec(),
+            metrics,
         )
     }
 }
@@ -119,11 +163,25 @@ struct QueryWorkload {
 /// `WorkerPool` (the production parallel path); `columnar-parallel-spawn`
 /// runs the identical level-synchronous engine but spawns fresh threads per
 /// batch — the pair isolates what pool reuse saves in per-level overhead.
+///
+/// `columnar-auto` runs the Auto planner with its calibrated per-operator
+/// crossovers; `columnar-auto-guess` pins both crossovers back to the
+/// original one-size-fits-all 0.05 guess — the pair shows what per-operator
+/// calibration buys (informational rows, not regression-guarded).
 fn engine_policies(threads: usize) -> Vec<(&'static str, ExecPolicy)> {
     vec![
         (
             "columnar-sortmerge",
             ExecPolicy::sequential(JoinStrategy::SortMerge),
+        ),
+        ("columnar-auto", ExecPolicy::sequential(JoinStrategy::Auto)),
+        (
+            "columnar-auto-guess",
+            ExecPolicy {
+                auto_sortmerge_max_distinct_ratio: AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+                auto_semijoin_sortmerge_max_distinct_ratio: AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+                ..ExecPolicy::sequential(JoinStrategy::Auto)
+            },
         ),
         (
             "columnar-parallel",
@@ -211,37 +269,47 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
                 9,
             );
             let units = db.tuple_count();
-            let mut push = |op: &str, engine: &str, (iters, ns): (usize, f64)| {
-                records.push(BenchRecord {
-                    op: op.to_owned(),
-                    engine: engine.to_owned(),
-                    workload: w.name.to_owned(),
-                    size,
-                    units,
-                    iters,
-                    ns_per_iter: ns,
-                });
-            };
+            let mut push =
+                |op: &str, engine: &str, (iters, ns): (usize, f64), metrics: Option<RowMetrics>| {
+                    records.push(BenchRecord {
+                        op: op.to_owned(),
+                        engine: engine.to_owned(),
+                        workload: w.name.to_owned(),
+                        size,
+                        units,
+                        iters,
+                        ns_per_iter: ns,
+                        metrics,
+                    });
+                };
             push(
                 "full_reduce",
                 "columnar",
                 measure(|| full_reduce_with(&db, &tree, &hash_seq)),
+                Some(RowMetrics::capture(|s| {
+                    full_reduce_metered(&db, &tree, &hash_seq, s);
+                })),
             );
             push(
                 "yannakakis_join",
                 "columnar",
                 measure(|| yannakakis_join_with(&db, &tree, &x, &hash_seq)),
+                Some(RowMetrics::capture(|s| {
+                    yannakakis_join_metered(&db, &tree, &x, &hash_seq, s);
+                })),
             );
             if w.reference {
                 push(
                     "full_reduce",
                     "reference",
                     measure(|| naive_full_reduce(&db, &tree)),
+                    None,
                 );
                 push(
                     "yannakakis_join",
                     "reference",
                     measure(|| naive_yannakakis_join(&db, &tree, &x)),
+                    None,
                 );
             }
             if w.variants {
@@ -250,11 +318,17 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
                         "full_reduce",
                         engine,
                         measure(|| full_reduce_with(&db, &tree, &policy)),
+                        Some(RowMetrics::capture(|s| {
+                            full_reduce_metered(&db, &tree, &policy, s);
+                        })),
                     );
                     push(
                         "yannakakis_join",
                         engine,
                         measure(|| yannakakis_join_with(&db, &tree, &x, &policy)),
+                        Some(RowMetrics::capture(|s| {
+                            yannakakis_join_metered(&db, &tree, &x, &policy, s);
+                        })),
                     );
                 }
                 // A single binary join of the schema's first two relations,
@@ -271,11 +345,17 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
                     "join_pair",
                     "columnar",
                     measure(|| r0.join_with(r1, JoinStrategy::Hash)),
+                    Some(RowMetrics::capture(|s| {
+                        r0.join_metered(r1, &ExecPolicy::sequential(JoinStrategy::Hash), s);
+                    })),
                 );
                 push(
                     "join_pair",
                     "columnar-sortmerge",
                     measure(|| r0.join_with(r1, JoinStrategy::SortMerge)),
+                    Some(RowMetrics::capture(|s| {
+                        r0.join_metered(r1, &ExecPolicy::sequential(JoinStrategy::SortMerge), s);
+                    })),
                 );
             }
         }
@@ -323,36 +403,46 @@ fn cyclic_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecor
                 9,
             );
             let units = db.tuple_count();
-            let mut push = |op: &str, engine: &str, (iters, ns): (usize, f64)| {
-                records.push(BenchRecord {
-                    op: op.to_owned(),
-                    engine: engine.to_owned(),
-                    workload: name.to_owned(),
-                    size,
-                    units,
-                    iters,
-                    ns_per_iter: ns,
-                });
-            };
+            let mut push =
+                |op: &str, engine: &str, (iters, ns): (usize, f64), metrics: Option<RowMetrics>| {
+                    records.push(BenchRecord {
+                        op: op.to_owned(),
+                        engine: engine.to_owned(),
+                        workload: name.to_owned(),
+                        size,
+                        units,
+                        iters,
+                        ns_per_iter: ns,
+                        metrics,
+                    });
+                };
             push(
                 "decompose",
                 "columnar",
                 measure(|| decompose(&schema, Heuristic::MinFill).expect("nonempty schema")),
+                None,
             );
             push(
                 "cyclic_join",
                 "columnar-decomp",
                 measure(|| yannakakis_join_any(&db, &x, &seq).expect("decomposable")),
+                Some(RowMetrics::capture(|s| {
+                    yannakakis_join_any_metered(&db, &x, &seq, s).expect("decomposable");
+                })),
             );
             push(
                 "cyclic_join",
                 "columnar-decomp-parallel",
                 measure(|| yannakakis_join_any(&db, &x, &par).expect("decomposable")),
+                Some(RowMetrics::capture(|s| {
+                    yannakakis_join_any_metered(&db, &x, &par, s).expect("decomposable");
+                })),
             );
             push(
                 "cyclic_join",
                 "naive",
                 measure(|| naive_join_project(&db, &x)),
+                None,
             );
         }
     }
@@ -376,6 +466,7 @@ fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
                 units,
                 iters,
                 ns_per_iter: ns,
+                metrics: None,
             });
         };
         push("acyclicity_gyo", measure(|| schema.is_acyclic()));
@@ -392,6 +483,140 @@ pub fn run_all(profile: Profile, threads: usize) -> Vec<BenchRecord> {
     cyclic_records(profile, threads, &mut records);
     acyclicity_records(profile, &mut records);
     records
+}
+
+/// Builds the two-relation calibration instance: `R0(A, B)` and `R1(B, C)`
+/// with `n` rows each and roughly `n·ratio` distinct values in the shared
+/// key column `B`.  Keys are drawn from a fixed-seed LCG rather than
+/// assigned cyclically — a periodic pattern aliases with the engine's
+/// evenly-strided ratio sampler and would make the sampled ratio lie about
+/// the instance.  The non-key columns stay unique per row, so key
+/// duplication is the only skew.
+fn calibration_pair(n: usize, ratio: f64) -> (Relation, Relation) {
+    let schema = hypergraph::Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]])
+        .expect("calibration schema");
+    let mut db = Database::empty(schema);
+    let k = ((n as f64 * ratio).round() as i64).max(2);
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (n as u64);
+    let mut next_key = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64).rem_euclid(k)
+    };
+    for i in 0..n as i64 {
+        db.insert_values(EdgeId(0), [i, next_key()]);
+        db.insert_values(EdgeId(1), [next_key(), i]);
+    }
+    let r0 = db.relations()[0].clone();
+    let r1 = db.relations()[1].clone();
+    (r0, r1)
+}
+
+/// The nanoseconds of the best of three [`measure`] calls — the standard
+/// minimum-of-repeats noise filter, which matters on shared single-CPU
+/// runners where any one timing can absorb a scheduling hiccup.
+fn measure_min<T>(mut f: impl FnMut() -> T) -> f64 {
+    (0..3)
+        .map(|_| measure(&mut f).1)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// `hyperq bench --calibrate`: sweeps the two-relation workload of
+/// [`calibration_pair`] across distinct-key counts and relation sizes,
+/// timing the hash and sort-merge kernels separately for joins and for
+/// semijoins (their cost structures differ: a join materializes output rows
+/// where a semijoin only flags survivors), and reports the measured
+/// crossover next to the shipped [`JoinStrategy::Auto`] defaults.
+///
+/// The `sampled` column is the engine's own distinct-key-ratio estimate
+/// (distinct keys among ≤128 evenly spaced rows, over the sample size) —
+/// the quantity the Auto planner actually compares against its threshold,
+/// so crossovers are reported in *sampled* units, not in the true `k/n` the
+/// sweep dialed in.
+pub fn calibrate(profile: Profile) -> String {
+    let sizes: &[usize] = match profile {
+        Profile::Full => &[1000, 4000],
+        Profile::Quick => &[1000],
+        Profile::Tiny => &[200],
+    };
+    let ratios = [0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50, 1.0];
+    let hash_policy = ExecPolicy::sequential(JoinStrategy::Hash);
+    let mut out = String::new();
+    out.push_str("calibration sweep: R0(A,B) join/semijoin R1(B,C), best-of-3 timings\n");
+    out.push_str(&format!(
+        "{:<9} {:>6} {:>8} {:>9} {:>12} {:>12}  {}\n",
+        "op", "rows", "ratio", "sampled", "hash_ns", "merge_ns", "winner"
+    ));
+    let mut summaries = Vec::new();
+    for op in ["join", "semijoin"] {
+        // Per size: the largest sampled ratio where sort-merge won and the
+        // smallest where hash won — the crossover lies between them.
+        let mut merge_best: Option<f64> = None;
+        let mut hash_best: Option<f64> = None;
+        for &n in sizes {
+            for &r in &ratios {
+                let (r0, r1) = calibration_pair(n, r);
+                let sink = CollectingSink::new();
+                let (hash_ns, merge_ns, sampled) = if op == "join" {
+                    r0.join_metered(&r1, &hash_policy, &sink);
+                    (
+                        measure_min(|| r0.join_with(&r1, JoinStrategy::Hash)),
+                        measure_min(|| r0.join_with(&r1, JoinStrategy::SortMerge)),
+                        sink.snapshot().joins.ratio_mean(),
+                    )
+                } else {
+                    let mut probe = r0.clone();
+                    probe.retain_semijoin_metered(&r1, &hash_policy, &WorkerLease::inline(), &sink);
+                    (
+                        measure_min(|| r0.semijoin_with(&r1, JoinStrategy::Hash)),
+                        measure_min(|| r0.semijoin_with(&r1, JoinStrategy::SortMerge)),
+                        sink.snapshot().semijoins.ratio_mean(),
+                    )
+                };
+                let s = sampled.unwrap_or(1.0);
+                if merge_ns <= hash_ns {
+                    merge_best = Some(merge_best.map_or(s, |m: f64| m.max(s)));
+                } else {
+                    hash_best = Some(hash_best.map_or(s, |m: f64| m.min(s)));
+                }
+                out.push_str(&format!(
+                    "{:<9} {:>6} {:>8.3} {:>9.4} {:>12.0} {:>12.0}  {}\n",
+                    op,
+                    n,
+                    r,
+                    s,
+                    hash_ns,
+                    merge_ns,
+                    if merge_ns <= hash_ns {
+                        "sort-merge"
+                    } else {
+                        "hash"
+                    },
+                ));
+            }
+        }
+        summaries.push((op, merge_best, hash_best));
+    }
+    for (op, merge_best, hash_best) in summaries {
+        let shipped = if op == "join" {
+            AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO
+        } else {
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO
+        };
+        let span = match (merge_best, hash_best) {
+            (Some(m), Some(h)) => {
+                format!("sort-merge won up to sampled {m:.4}, hash from sampled {h:.4}")
+            }
+            (Some(m), None) => format!("sort-merge won everywhere swept (up to sampled {m:.4})"),
+            (None, Some(h)) => format!("hash won everywhere swept (down to sampled {h:.4})"),
+            (None, None) => "no cells measured".to_owned(),
+        };
+        out.push_str(&format!(
+            "measured crossover, {op}: {span} (shipped Auto default {shipped}, old guess {AUTO_SORTMERGE_MAX_DISTINCT_RATIO})\n",
+        ));
+    }
+    out
 }
 
 /// Renders the records as the `BENCH_results.json` document (one record per
@@ -549,6 +774,7 @@ mod tests {
             units: 100,
             iters: 3,
             ns_per_iter: ns,
+            metrics: None,
         }
     }
 
@@ -561,6 +787,96 @@ mod tests {
         assert_eq!(field_str(line, "engine"), Some("columnar"));
         assert_eq!(field_num(line, "size"), Some(200.0));
         assert_eq!(field_num(line, "ns_per_iter"), Some(12345.0));
+    }
+
+    #[test]
+    fn json_embeds_row_metrics_when_present() {
+        let mut r = record("full_reduce", "columnar", "chain-6", 200, 1000.0);
+        r.metrics = Some(RowMetrics {
+            probed: 500,
+            kept: 400,
+            join_ops: 0,
+            semijoin_ops: 10,
+        });
+        let json = to_json(&[r]);
+        let line = json.lines().find(|l| l.contains("\"op\"")).unwrap();
+        assert_eq!(field_num(line, "probed"), Some(500.0));
+        assert_eq!(field_num(line, "kept"), Some(400.0));
+        assert_eq!(field_num(line, "semijoin_ops"), Some(10.0));
+        // Timing fields keep parsing with the metrics appended after them.
+        assert_eq!(field_num(line, "ns_per_iter"), Some(1000.0));
+        // A metric-less record emits no metrics keys at all.
+        let bare = to_json(&[record("full_reduce", "reference", "chain-6", 200, 1.0)]);
+        assert!(!bare.contains("probed"), "bare: {bare}");
+    }
+
+    #[test]
+    fn baseline_check_tolerates_old_format_baselines() {
+        // Pre-metrics BENCH_baseline.json records carry no probed/kept/
+        // join_ops/semijoin_ops fields; the check only reads the identity
+        // and timing fields, so new-format measurements must still compare
+        // cleanly against them.
+        let old_baseline = to_json(&[record("full_reduce", "columnar", "chain-6", 200, 1000.0)]);
+        assert!(!old_baseline.contains("probed"));
+        let mut measured = record("full_reduce", "columnar", "chain-6", 200, 1100.0);
+        measured.metrics = Some(RowMetrics {
+            probed: 123,
+            kept: 45,
+            join_ops: 6,
+            semijoin_ops: 7,
+        });
+        let report = check_baseline(&[measured], &old_baseline, 2.0).unwrap();
+        assert!(
+            report.contains("baseline check passed: 1 records"),
+            "report: {report}"
+        );
+    }
+
+    #[test]
+    fn engine_policies_include_the_auto_pair() {
+        let engines: Vec<&str> = engine_policies(2).into_iter().map(|(e, _)| e).collect();
+        assert!(engines.contains(&"columnar-auto"));
+        assert!(engines.contains(&"columnar-auto-guess"));
+        let policies = engine_policies(2);
+        let guess = &policies
+            .iter()
+            .find(|(e, _)| *e == "columnar-auto-guess")
+            .unwrap()
+            .1;
+        assert!(
+            (guess.auto_sortmerge_max_distinct_ratio - AUTO_SORTMERGE_MAX_DISTINCT_RATIO).abs()
+                < 1e-12
+        );
+        assert!(
+            (guess.auto_semijoin_sortmerge_max_distinct_ratio - AUTO_SORTMERGE_MAX_DISTINCT_RATIO)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn calibration_sweep_reports_both_operators() {
+        let report = calibrate(Profile::Tiny);
+        assert!(
+            report.contains("measured crossover, join:"),
+            "report: {report}"
+        );
+        assert!(
+            report.contains("measured crossover, semijoin:"),
+            "report: {report}"
+        );
+        // The engine's own sampled ratio confirms the sweep's skew knob: at
+        // least one row must carry a sampled value, none a placeholder only.
+        assert!(report.contains("0.0"), "sampled ratios shown: {report}");
+        // Tiny sweeps one size over eight ratios per operator.
+        let rows = |op: &str| {
+            report
+                .lines()
+                .filter(|l| l.starts_with(&format!("{op} ")))
+                .count()
+        };
+        assert_eq!(rows("join"), 8, "join rows: {report}");
+        assert_eq!(rows("semijoin"), 8, "semijoin rows: {report}");
     }
 
     #[test]

@@ -7,7 +7,8 @@ use decomp::{decompose, Heuristic};
 use hypergraph::{Hypergraph, NodeSet};
 use reldb::{
     is_globally_consistent, is_pairwise_consistent, plan_connection, query_via_connection,
-    query_via_full_join, query_yannakakis, Database, Relation,
+    query_via_connection_metered, query_via_full_join, query_via_full_join_metered,
+    query_yannakakis, query_yannakakis_metered, CollectingSink, Database, ExecPolicy, Relation,
 };
 
 /// Which join engine `hyperq query` uses.
@@ -101,8 +102,26 @@ fn degree_label(h: &Hypergraph) -> Degree {
     degree(h)
 }
 
+/// How `hyperq query` reports execution metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// No metering: the engine runs its unmetered (no-op sink) path.
+    #[default]
+    Off,
+    /// `--metrics`: append the human-readable counter table to the report.
+    Table,
+    /// `--metrics-json`: print *only* the metrics JSON document, so the
+    /// output pipes cleanly into a checker.
+    Json,
+}
+
 /// `hyperq query`: answers `π_X(⋈ CC(X))` over a loaded database.
-pub fn run_query(db: &Database, attrs: &[&str], engine: Engine) -> Result<String, String> {
+pub fn run_query(
+    db: &Database,
+    attrs: &[&str],
+    engine: Engine,
+    metrics: MetricsMode,
+) -> Result<String, String> {
     let x: NodeSet = db
         .attributes(attrs.iter().copied())
         .map_err(|e| format!("bad --select: {e:?}"))?;
@@ -131,16 +150,36 @@ pub fn run_query(db: &Database, attrs: &[&str], engine: Engine) -> Result<String
         is_pairwise_consistent(db),
         is_globally_consistent(db),
     ));
-    let answer: Relation = match engine {
-        Engine::Connection => query_via_connection(db, &x),
-        Engine::Naive => query_via_full_join(db, &x),
-        Engine::Yannakakis => {
+    let sink = (metrics != MetricsMode::Off).then(CollectingSink::new);
+    let answer: Relation = match (&sink, engine) {
+        (None, Engine::Connection) => query_via_connection(db, &x),
+        (None, Engine::Naive) => query_via_full_join(db, &x),
+        (None, Engine::Yannakakis) => {
             query_yannakakis(db, &x).map_err(|e| format!("yannakakis failed: {e:?}"))?
         }
+        (Some(s), Engine::Connection) => {
+            query_via_connection_metered(db, &x, &ExecPolicy::default(), s)
+        }
+        (Some(s), Engine::Naive) => query_via_full_join_metered(db, &x, &ExecPolicy::default(), s),
+        (Some(s), Engine::Yannakakis) => {
+            query_yannakakis_metered(db, &x, &ExecPolicy::default(), s)
+                .map_err(|e| format!("yannakakis failed: {e:?}"))?
+        }
     };
+    if metrics == MetricsMode::Json {
+        // JSON mode replaces the report entirely: stdout is the document.
+        return Ok(sink
+            .expect("sink exists in metrics mode")
+            .snapshot()
+            .to_json());
+    }
     out.push_str(&format!("engine: {engine:?}\n"));
     out.push_str(&format!("answer ({} tuples):\n", answer.len()));
     out.push_str(&answer.display(schema.universe()));
+    if let Some(s) = sink {
+        out.push_str("metrics:\n");
+        out.push_str(&s.snapshot().render_table());
+    }
     Ok(out)
 }
 
@@ -276,9 +315,9 @@ mod tests {
             "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
         )
         .unwrap();
-        let a = run_query(&db, &["A", "D"], Engine::Connection).unwrap();
-        let b = run_query(&db, &["A", "D"], Engine::Naive).unwrap();
-        let c = run_query(&db, &["A", "D"], Engine::Yannakakis).unwrap();
+        let a = run_query(&db, &["A", "D"], Engine::Connection, MetricsMode::Off).unwrap();
+        let b = run_query(&db, &["A", "D"], Engine::Naive, MetricsMode::Off).unwrap();
+        let c = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Off).unwrap();
         for report in [&a, &b, &c] {
             assert!(report.contains("answer (1 tuples):"), "report: {report}");
         }
@@ -289,7 +328,7 @@ mod tests {
     fn query_rejects_unknown_attributes() {
         let h = fig1();
         let db = parse_database(&h, "").unwrap();
-        assert!(run_query(&db, &["Z"], Engine::Connection).is_err());
+        assert!(run_query(&db, &["Z"], Engine::Connection, MetricsMode::Off).is_err());
     }
 
     #[test]
@@ -324,11 +363,66 @@ mod tests {
              E0: A=2 B=2\nE1: B=2 C=2\nE2: C=2 D=2\nE3: D=2 A=9\n",
         )
         .unwrap();
-        let yann = run_query(&db, &["A", "C"], Engine::Yannakakis).unwrap();
-        let naive = run_query(&db, &["A", "C"], Engine::Naive).unwrap();
+        let yann = run_query(&db, &["A", "C"], Engine::Yannakakis, MetricsMode::Off).unwrap();
+        let naive = run_query(&db, &["A", "C"], Engine::Naive, MetricsMode::Off).unwrap();
         for report in [&yann, &naive] {
             assert!(report.contains("answer (1 tuples):"), "report: {report}");
         }
+    }
+
+    #[test]
+    fn query_metrics_table_appends_counters() {
+        let h = fig1();
+        let db = parse_database(
+            &h,
+            "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
+        )
+        .unwrap();
+        let report = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Table).unwrap();
+        // The normal report survives, the counter table is appended.
+        assert!(report.contains("answer (1 tuples):"), "report: {report}");
+        assert!(report.contains("metrics:"), "report: {report}");
+        assert!(report.contains("semijoin"), "report: {report}");
+        assert!(report.contains("index rebuilds:"), "report: {report}");
+    }
+
+    #[test]
+    fn query_metrics_json_is_the_whole_output() {
+        let h = fig1();
+        let db = parse_database(
+            &h,
+            "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
+        )
+        .unwrap();
+        let json = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Json).unwrap();
+        assert!(json.starts_with("{\n"), "json: {json}");
+        assert!(
+            !json.contains("answer ("),
+            "json must replace the report: {json}"
+        );
+        for needle in [
+            "\"join\":",
+            "\"semijoin\":",
+            "\"levels\":",
+            "\"index_rebuilds\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in: {json}");
+        }
+        // An acyclic schema took no decomposition.
+        assert!(json.contains("\"decomposition\": null"), "json: {json}");
+    }
+
+    #[test]
+    fn cyclic_query_metrics_report_decomposition_widths() {
+        let ring = parse_schema("E0: A B\nE1: B C\nE2: C D\nE3: D A\n").unwrap();
+        let db = parse_database(
+            &ring,
+            "E0: A=1 B=1\nE1: B=1 C=1\nE2: C=1 D=1\nE3: D=1 A=1\n",
+        )
+        .unwrap();
+        let json = run_query(&db, &["A", "C"], Engine::Yannakakis, MetricsMode::Json).unwrap();
+        assert!(json.contains("\"min_fill_width\":"), "json: {json}");
+        assert!(json.contains("\"bags\": [\n"), "bags recorded: {json}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod bench;
 mod commands;
 mod load;
 
-use commands::Engine;
+use commands::{Engine, MetricsMode};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,11 +37,12 @@ hyperq — acyclic-hypergraph schema tool (Maier & Ullman, PODS '82)
 USAGE:
     hyperq classify  <schema>
     hyperq query     <schema> <data> --select A,B[,..] [--engine ENGINE]
+                     [--metrics | --metrics-json]
     hyperq decompose <schema> [--heuristic HEURISTIC] [--dot]
     hyperq dot       <schema> [--name NAME]
     hyperq stats     <schema>
     hyperq bench     [--out FILE] [--check BASELINE] [--max-regression F]
-                     [--threads N] [--quick | --tiny]
+                     [--threads N] [--quick | --tiny] [--calibrate]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -49,7 +50,11 @@ COMMANDS:
     query      Answer the universal-relation query pi_X over the canonical
                connection CC(X); ENGINE is connection (default),
                yannakakis or naive.  The yannakakis engine handles cyclic
-               schemas transparently via hypertree decomposition
+               schemas transparently via hypertree decomposition.
+               --metrics appends the execution counter table (tuples
+               probed/kept/built, kernel picks, level timings, pool
+               leases); --metrics-json prints only the machine-readable
+               metrics document, for piping into checkers
     decompose  Hypertree-decompose the schema: triangulate the primal graph
                (HEURISTIC is min-fill, the default, or min-degree), report
                bags, width, fill edges and verification, and with --dot
@@ -64,7 +69,11 @@ COMMANDS:
                baseline JSON, --quick trims the workload sizes for CI,
                --threads pins the parallel-engine worker count (default 4;
                0 = auto-detect the machine's parallelism) so CI runs are
-               reproducible across runners
+               reproducible across runners.  --calibrate instead sweeps
+               two-relation join/semijoin workloads across distinct-key
+               ratios and reports the measured hash vs sort-merge
+               crossover per operator (the measurement behind the Auto
+               planner's shipped thresholds)
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
@@ -144,6 +153,17 @@ fn run() -> Result<String, String> {
                 Some(e) => Engine::parse(&e)?,
                 None => Engine::Connection,
             };
+            let metrics = match (
+                take_switch(&mut args, "--metrics"),
+                take_switch(&mut args, "--metrics-json"),
+            ) {
+                (true, true) => {
+                    return Err("--metrics and --metrics-json are mutually exclusive".to_owned())
+                }
+                (true, false) => MetricsMode::Table,
+                (false, true) => MetricsMode::Json,
+                (false, false) => MetricsMode::Off,
+            };
             let [schema_path, data_path] = args.as_slice() else {
                 return Err("query expects <schema> and <data> files".to_owned());
             };
@@ -159,7 +179,7 @@ fn run() -> Result<String, String> {
             if attrs.is_empty() {
                 return Err("--select needs at least one attribute".to_owned());
             }
-            commands::run_query(&db, &attrs, engine)
+            commands::run_query(&db, &attrs, engine, metrics)
         }
         "bench" => {
             let out_path = take_flag(&mut args, "--out")?;
@@ -186,6 +206,7 @@ fn run() -> Result<String, String> {
             };
             let quick = take_switch(&mut args, "--quick");
             let tiny = take_switch(&mut args, "--tiny");
+            let calibrate = take_switch(&mut args, "--calibrate");
             if !args.is_empty() {
                 return Err(format!("bench takes no positional arguments, got {args:?}"));
             }
@@ -194,6 +215,11 @@ fn run() -> Result<String, String> {
                 (false, true) => bench::Profile::Quick,
                 (false, false) => bench::Profile::Full,
             };
+            if calibrate {
+                // The calibration sweep replaces the benchmark run: its
+                // output is the measurement, not a record set to check.
+                return Ok(bench::calibrate(profile));
+            }
             let records = bench::run_all(profile, threads);
             let mut out = bench::summary(&records);
             if let Some(path) = out_path {

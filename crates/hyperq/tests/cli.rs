@@ -152,6 +152,114 @@ fn query_yannakakis_executes_cyclic_ring_end_to_end() {
 }
 
 #[test]
+fn query_metrics_flags_drive_the_observability_surface() {
+    // --metrics appends the counter table after the answer.
+    let out = hyperq(&[
+        "query",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        "--select",
+        "A,D",
+        "--engine",
+        "yannakakis",
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("answer (2 tuples):"), "got: {text}");
+    assert!(text.contains("metrics:"), "got: {text}");
+    assert!(text.contains("index rebuilds:"), "got: {text}");
+
+    // --metrics-json replaces the report with the machine document, on the
+    // acyclic fixture (null decomposition) and the cyclic one (widths from
+    // both heuristics, materialized bags).
+    let out = hyperq(&[
+        "query",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        "--select",
+        "A,D",
+        "--engine",
+        "yannakakis",
+        "--metrics-json",
+    ]);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(json.starts_with("{\n"), "got: {json}");
+    assert!(
+        !json.contains("answer ("),
+        "json mode must not print the report"
+    );
+    assert!(json.contains("\"decomposition\": null"), "got: {json}");
+
+    let out = hyperq(&[
+        "query",
+        &fixture("ring4.hg"),
+        &fixture("ring4.data"),
+        "--select",
+        "A,C",
+        "--engine",
+        "yannakakis",
+        "--metrics-json",
+    ]);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(json.contains("\"min_fill_width\":"), "got: {json}");
+    assert!(json.contains("\"min_degree_width\":"), "got: {json}");
+    assert!(json.contains("\"bags\": [\n"), "got: {json}");
+
+    // The two flags are mutually exclusive.
+    let out = hyperq(&[
+        "query",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        "--select",
+        "A,D",
+        "--metrics",
+        "--metrics-json",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn bench_calibrate_sweeps_both_operators() {
+    let out = hyperq(&["bench", "--tiny", "--calibrate"]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("calibration sweep:"), "got: {text}");
+    assert!(text.contains("measured crossover, join:"), "got: {text}");
+    assert!(
+        text.contains("measured crossover, semijoin:"),
+        "got: {text}"
+    );
+}
+
+#[test]
+fn bench_json_rows_carry_tuple_counters() {
+    let out_path = std::env::temp_dir().join(format!("hyperq_metrics_{}.json", std::process::id()));
+    let out_path = out_path.to_str().expect("utf-8 path");
+    let out = hyperq(&["bench", "--tiny", "--out", out_path]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let json = std::fs::read_to_string(out_path).expect("bench JSON written");
+    // The guarded engine rows embed the per-row metrics counters.
+    assert!(json.contains("\"probed\": "), "got: {json}");
+    assert!(json.contains("\"kept\": "), "got: {json}");
+    assert!(json.contains("\"join_ops\": "), "got: {json}");
+    assert!(json.contains("\"semijoin_ops\": "), "got: {json}");
+    // The calibrated-Auto engine rows ride along for the trajectory.
+    assert!(
+        json.contains("\"engine\": \"columnar-auto\""),
+        "got: {json}"
+    );
+    assert!(
+        json.contains("\"engine\": \"columnar-auto-guess\""),
+        "got: {json}"
+    );
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
 fn dot_output_is_wellformed_graphviz() {
     let out = hyperq(&["dot", &fixture("fig1.hg"), "--name", "fig1"]);
     assert!(out.status.success());

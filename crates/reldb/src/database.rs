@@ -166,13 +166,27 @@ impl Database {
     /// this is the naive baseline the canonical-connection and Yannakakis
     /// query paths are compared against.
     pub fn full_join(&self) -> Relation {
+        self.full_join_metered(
+            &crate::ExecPolicy::sequential(crate::JoinStrategy::Hash),
+            &crate::metrics::NoopMetrics,
+        )
+    }
+
+    /// The metered form of [`Database::full_join`]: the same all-objects
+    /// fold, with each binary join executed under `policy` and recorded
+    /// into `sink`.
+    pub fn full_join_metered<M: crate::metrics::MetricsSink>(
+        &self,
+        policy: &crate::ExecPolicy,
+        sink: &M,
+    ) -> Relation {
         let mut it = self.relations.iter();
         let Some(first) = it.next() else {
             return Relation::new("∅", NodeSet::new());
         };
         let mut acc = first.clone();
         for r in it {
-            acc = acc.join(r);
+            acc = acc.join_metered(r, policy, sink);
         }
         acc
     }

@@ -56,8 +56,10 @@ pub enum JoinStrategy {
     /// Sort row-id permutations by the key columns and merge.
     SortMerge,
     /// Pick per operation from the estimated distinct-key ratio: sort-merge
-    /// below [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`] (overridable via
-    /// [`ExecPolicy::auto_sortmerge_max_distinct_ratio`]), hash otherwise.
+    /// at or below the operator's calibrated crossover
+    /// ([`AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO`] for joins,
+    /// [`AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO`] for semijoins, both
+    /// overridable via [`ExecPolicy`]), hash otherwise.
     #[default]
     Auto,
 }
@@ -76,18 +78,48 @@ impl JoinStrategy {
     }
 }
 
-/// Keys with an estimated distinct-key ratio at or below this are considered
-/// skewed enough for sort-merge under [`JoinStrategy::Auto`].
+/// The original one-size-fits-all [`JoinStrategy::Auto`] crossover guess:
+/// keys with an estimated distinct-key ratio at or below this were
+/// considered skewed enough for sort-merge, for joins and semijoins alike.
 ///
-/// The ratio is sampled from up to 128 evenly spaced rows of the larger
-/// side; `0.05` (at most one distinct key per twenty rows) is where the
-/// measured sort-merge/hash crossover sat for the skewed-chain and
-/// snowflake benchmark workloads on the authoring machine.  It is a single
-/// fixed default, not a per-operation calibration — override it per query
-/// via [`ExecPolicy::auto_sortmerge_max_distinct_ratio`]; calibrating the
-/// crossover per operation (join vs. semijoin, both sides' ratios) is a
-/// tracked ROADMAP follow-on.
+/// Superseded by the per-operator calibrated defaults
+/// [`AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO`] and
+/// [`AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO`]; kept so benchmarks can
+/// measure the calibrated policy against the guess it replaced
+/// (`columnar-auto` vs. `columnar-auto-guess` rows in `hyperq bench`).
 pub const AUTO_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.05;
+
+/// Distinct-key-ratio crossover for **joins** under [`JoinStrategy::Auto`]:
+/// at or below this *sampled* ratio (the estimator samples ≤128 evenly
+/// spaced rows) the sort-merge kernel is picked over hash build + probe.
+///
+/// Calibrated with `hyperq bench --calibrate`, which sweeps two-relation
+/// join workloads across distinct-key counts and relation sizes and times
+/// both kernels; the metrics layer ([`crate::metrics`]) reports the
+/// engine's own sampled ratio per cell, so the crossover is expressed in
+/// the units the planner actually compares.  Measured (4-core-class x86,
+/// single-column keys): at 4000 rows/side sort-merge won every swept cell
+/// (5–21%); at 1000 rows the kernels sat within noise below sampled ≈0.55
+/// and hash pulled slightly ahead above it.  0.55 keeps sort-merge where
+/// key duplication is real and leaves near-unique joins — the hash build's
+/// cheapest regime — on hash.  The old one-size 0.05 guess starved joins of
+/// sort-merge wins an order of magnitude wide; see README "Observability".
+pub const AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.55;
+
+/// Distinct-key-ratio crossover for **semijoins** under
+/// [`JoinStrategy::Auto`]: at or below this sampled ratio the sort-merge
+/// mask kernel is picked over the hash mask.
+///
+/// Calibrated separately from joins (same `hyperq bench --calibrate`
+/// sweep), and the measurement was one-sided: the hash mask never won a
+/// single swept cell at any ratio or size (sort-merge margins 20–45%), and
+/// the pipeline-level bench rows agree (`full_reduce` under the pinned
+/// sort-merge engine beats the pinned hash engine 1.5–2.2× on every
+/// workload).  Sorting interned `u32` key handles is simply cheaper than
+/// per-row hashing here, so `Auto` semijoins always take sort-merge: the
+/// threshold is 1.0 and the [`ExecPolicy`] field is the opt-out for
+/// hardware where the trade-off measures differently.
+pub const AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 1.0;
 
 /// How the Yannakakis reducer and join execute: join strategy plus the
 /// worker-thread parallelism knobs.
@@ -123,9 +155,13 @@ pub struct ExecPolicy {
     /// when `threads > 1` (worker hand-off would dominate).
     pub parallel_threshold: usize,
     /// Distinct-key-ratio threshold at or below which [`JoinStrategy::Auto`]
-    /// picks sort-merge.  Defaults to
-    /// [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`].
+    /// picks sort-merge for **joins**.  Defaults to the calibrated
+    /// [`AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO`].
     pub auto_sortmerge_max_distinct_ratio: f64,
+    /// Distinct-key-ratio threshold at or below which [`JoinStrategy::Auto`]
+    /// picks sort-merge for **semijoins**.  Defaults to the calibrated
+    /// [`AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO`].
+    pub auto_semijoin_sortmerge_max_distinct_ratio: f64,
     /// Lease long-lived workers from the shared [`WorkerPool`] (`true`, the
     /// default) instead of spawning fresh threads per call (`false`, kept
     /// for benchmarking the pool against the spawn overhead it removes).
@@ -138,7 +174,8 @@ impl Default for ExecPolicy {
             strategy: JoinStrategy::Auto,
             threads: 0,
             parallel_threshold: 4096,
-            auto_sortmerge_max_distinct_ratio: AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            auto_sortmerge_max_distinct_ratio: AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            auto_semijoin_sortmerge_max_distinct_ratio: AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             reuse_pool: true,
         }
     }
@@ -439,16 +476,35 @@ mod tests {
     }
 
     #[test]
-    fn policy_carries_auto_ratio_override() {
+    fn policy_carries_auto_ratio_overrides() {
         let d = ExecPolicy::default();
         assert!(
-            (d.auto_sortmerge_max_distinct_ratio - AUTO_SORTMERGE_MAX_DISTINCT_RATIO).abs() < 1e-12
+            (d.auto_sortmerge_max_distinct_ratio - AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO).abs()
+                < 1e-12
+        );
+        assert!(
+            (d.auto_semijoin_sortmerge_max_distinct_ratio
+                - AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO)
+                .abs()
+                < 1e-12
         );
         let p = ExecPolicy {
-            auto_sortmerge_max_distinct_ratio: 0.5,
+            auto_sortmerge_max_distinct_ratio: 0.07,
+            auto_semijoin_sortmerge_max_distinct_ratio: 0.03,
             ..ExecPolicy::sequential(JoinStrategy::Auto)
         };
-        assert!(p.auto_sortmerge_max_distinct_ratio > d.auto_sortmerge_max_distinct_ratio);
+        assert!((p.auto_sortmerge_max_distinct_ratio - 0.07).abs() < 1e-12);
+        assert!((p.auto_semijoin_sortmerge_max_distinct_ratio - 0.03).abs() < 1e-12);
+        assert!(
+            (p.auto_sortmerge_max_distinct_ratio - d.auto_sortmerge_max_distinct_ratio).abs()
+                > 1e-12
+        );
+        assert!(
+            (p.auto_semijoin_sortmerge_max_distinct_ratio
+                - d.auto_semijoin_sortmerge_max_distinct_ratio)
+                .abs()
+                > 1e-12
+        );
     }
 
     /// Every lease mode runs every job exactly once and waits for all of

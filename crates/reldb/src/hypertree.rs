@@ -2,7 +2,7 @@
 //! decomposition, then run the ordinary Yannakakis pipeline over the bag
 //! tree.
 //!
-//! A cyclic schema has no join tree, so [`yannakakis_join_with`] cannot run
+//! A cyclic schema has no join tree, so [`yannakakis_join_with`](crate::yannakakis_join_with) cannot run
 //! on it directly.  The remedy is the classic reduction to the acyclic
 //! case, with the structural half supplied by the [`decomp`] crate:
 //!
@@ -31,13 +31,15 @@
 
 use crate::database::{Database, DbError};
 use crate::exec::{ExecPolicy, Job};
+use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
-use crate::yannakakis::yannakakis_join_with;
+use crate::yannakakis::yannakakis_join_metered;
 use acyclic::join_tree;
 use decomp::{decompose, Decomposition, Heuristic};
 use hypergraph::NodeSet;
 use std::borrow::Cow;
 use std::sync::mpsc::channel;
+use std::time::Instant;
 
 /// Materializes one bag: joins its cover relations (assigned edges first,
 /// then the overlapping extras) and projects onto the bag's nodes.
@@ -52,11 +54,12 @@ use std::sync::mpsc::channel;
 /// extra edge overlapping the bag in one attribute contributes its few
 /// hundred distinct values instead of its full tuple count to the
 /// (inherently width-bounded) bag cross product.
-fn materialize_one(
+fn materialize_one<M: MetricsSink>(
     d: &Decomposition,
     bag: usize,
     relations: &[Relation],
     policy: &ExecPolicy,
+    sink: &M,
 ) -> Relation {
     let bag_edge = &d.bags().edges()[bag];
     join_cover(
@@ -65,6 +68,7 @@ fn materialize_one(
         &bag_edge.nodes,
         &bag_edge.label,
         policy,
+        sink,
     )
 }
 
@@ -82,17 +86,18 @@ fn trim_to_bag<'a>(r: &'a Relation, bag_nodes: &NodeSet) -> Cow<'a, Relation> {
 /// The single bag-join fold both materialization paths run: joins the
 /// (already trimmed) cover relations in cover order and projects onto the
 /// bag's nodes.
-fn join_cover<'a>(
+fn join_cover<'a, M: MetricsSink>(
     cover: impl IntoIterator<Item = Cow<'a, Relation>>,
     bag_nodes: &NodeSet,
     name: &str,
     policy: &ExecPolicy,
+    sink: &M,
 ) -> Relation {
     let mut acc: Option<Relation> = None;
     for r in cover {
         acc = Some(match acc {
             None => r.into_owned(),
-            Some(a) => a.join_with_exec(&r, policy),
+            Some(a) => a.join_metered(&r, policy, sink),
         });
     }
     let joined = acc.expect("every nonempty bag has a cover");
@@ -108,11 +113,28 @@ fn join_cover<'a>(
 /// sequential-fallback tuple threshold).  Bigger bags are dispatched first
 /// so a single wide bag does not serialize the tail of the batch.
 pub fn materialize_bags(db: &Database, d: &Decomposition, policy: &ExecPolicy) -> Database {
+    materialize_bags_metered(db, d, policy, &NoopMetrics)
+}
+
+/// The metered form of [`materialize_bags`]: records each bag's
+/// materialized size, the per-bag join ops and one
+/// [`Phase::Materialize`] wall timing into `sink`.  [`materialize_bags`] is
+/// this function monomorphized over [`NoopMetrics`].
+pub fn materialize_bags_metered<M: MetricsSink>(
+    db: &Database,
+    d: &Decomposition,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Database {
     let nbags = d.bag_count();
     let lease = policy.lease(db.tuple_count());
+    if M::ENABLED {
+        sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
+    }
+    let t0 = M::ENABLED.then(Instant::now);
     let relations: Vec<Relation> = if lease.threads() <= 1 || nbags <= 1 {
         (0..nbags)
-            .map(|b| materialize_one(d, b, db.relations(), policy))
+            .map(|b| materialize_one(d, b, db.relations(), policy, sink))
             .collect()
     } else {
         // Estimated cost of a bag: total tuples of its cover relations.
@@ -142,12 +164,14 @@ pub fn materialize_bags(db: &Database, d: &Decomposition, policy: &ExecPolicy) -
                 let name = bag_edge.label.clone();
                 let policy = policy.clone();
                 let tx = tx.clone();
+                let sink = sink.clone();
                 Box::new(move || {
                     let rel = join_cover(
                         cover.into_iter().map(Cow::Owned),
                         &bag_nodes,
                         &name,
                         &policy,
+                        &sink,
                     );
                     let _ = tx.send((b, rel));
                 }) as Job
@@ -163,6 +187,14 @@ pub fn materialize_bags(db: &Database, d: &Decomposition, policy: &ExecPolicy) -
             .map(|r| r.expect("every bag job completed"))
             .collect()
     };
+    if M::ENABLED {
+        for r in &relations {
+            sink.record_bag(r.name(), r.len() as u64);
+        }
+        if let Some(t0) = t0 {
+            sink.record_level(Phase::Materialize, 0, nbags, t0.elapsed().as_nanos() as u64);
+        }
+    }
     Database::new(d.bags().clone(), relations).expect("bag relations match the bag schema")
 }
 
@@ -175,13 +207,53 @@ pub fn yannakakis_join_decomposed(
     output: &NodeSet,
     policy: &ExecPolicy,
 ) -> Relation {
-    let bag_db = materialize_bags(db, d, policy);
-    yannakakis_join_with(&bag_db, d.tree(), output, policy)
+    yannakakis_join_decomposed_metered(db, d, output, policy, &NoopMetrics)
+}
+
+/// The metered form of [`yannakakis_join_decomposed`]: bag sizes and
+/// materialization timing from [`materialize_bags_metered`], then the full
+/// metered acyclic pipeline over the bag tree.
+pub fn yannakakis_join_decomposed_metered<M: MetricsSink>(
+    db: &Database,
+    d: &Decomposition,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Relation {
+    let bag_db = materialize_bags_metered(db, d, policy, sink);
+    yannakakis_join_metered(&bag_db, d.tree(), output, policy, sink)
+}
+
+/// Decomposes a cyclic schema with **both** elimination-order heuristics
+/// (min-fill and min-degree) and keeps the smaller-width result — the
+/// heuristics genuinely disagree on some schemas, and width bounds the bag
+/// cross products, so a cheap second decomposition run (pure graph work,
+/// no data) regularly saves real join work.  Ties go to min-fill, the
+/// historical default.  Both widths are recorded into `sink`.
+fn decompose_best<M: MetricsSink>(
+    schema: &hypergraph::Hypergraph,
+    sink: &M,
+) -> Result<Decomposition, DbError> {
+    let cannot = |e: decomp::DecompError| -> DbError {
+        DbError::SchemaMismatch(format!("cannot decompose schema: {e}"))
+    };
+    let fill = decompose(schema, Heuristic::MinFill).map_err(cannot)?;
+    let degree = decompose(schema, Heuristic::MinDegree).map_err(cannot)?;
+    let (fill_width, degree_width) = (fill.width(), degree.width());
+    let (chosen, d) = if degree_width < fill_width {
+        ("min-degree", degree)
+    } else {
+        ("min-fill", fill)
+    };
+    if M::ENABLED {
+        sink.record_widths(fill_width, degree_width, chosen);
+    }
+    Ok(d)
 }
 
 /// Computes the projection of the full join onto `output` for **any**
 /// schema: acyclic schemas route to the direct join-tree pipeline
-/// ([`yannakakis_join_with`]), cyclic schemas through
+/// ([`yannakakis_join_with`](crate::yannakakis_join_with)), cyclic schemas through
 /// decompose → materialize → reduce → join.  Fails only when the schema has
 /// no edges at all.
 ///
@@ -215,12 +287,28 @@ pub fn yannakakis_join_any(
     output: &NodeSet,
     policy: &ExecPolicy,
 ) -> Result<Relation, DbError> {
+    yannakakis_join_any_metered(db, output, policy, &NoopMetrics)
+}
+
+/// The metered form of [`yannakakis_join_any`]: the same transparent
+/// routing, with every layer underneath recording into `sink` — and, on the
+/// cyclic path, both decomposition heuristics' widths (the engine runs
+/// min-fill *and* min-degree and keeps the smaller width).
+/// [`yannakakis_join_any`] is this function monomorphized over
+/// [`NoopMetrics`].
+pub fn yannakakis_join_any_metered<M: MetricsSink>(
+    db: &Database,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Result<Relation, DbError> {
     match join_tree(db.schema()) {
-        Some(tree) => Ok(yannakakis_join_with(db, &tree, output, policy)),
+        Some(tree) => Ok(yannakakis_join_metered(db, &tree, output, policy, sink)),
         None => {
-            let d = decompose(db.schema(), Heuristic::MinFill)
-                .map_err(|e| DbError::SchemaMismatch(format!("cannot decompose schema: {e}")))?;
-            Ok(yannakakis_join_decomposed(db, &d, output, policy))
+            let d = decompose_best(db.schema(), sink)?;
+            Ok(yannakakis_join_decomposed_metered(
+                db, &d, output, policy, sink,
+            ))
         }
     }
 }

@@ -35,6 +35,7 @@
 //! | `yannakakis` | the Yannakakis full reducer and bottom-up join over a join tree, level-synchronous in both phases (§7's efficiency payoff) |
 //! | [`hypertree`] | cyclic schemas: bag materialization over a hypertree decomposition (`decomp` crate) and the acyclic-vs-cyclic router [`yannakakis_join_any`] |
 //! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, and the leased [`WorkerPool`] the parallel engine runs on |
+//! | [`metrics`] | zero-cost-when-off observability: the [`MetricsSink`] threaded through every kernel, collected into a [`QueryMetrics`] report |
 //! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
 //! | [`mod@reference`] | the pre-rewrite naive engine, kept as the equivalence-test oracle and benchmark baseline |
 //!
@@ -62,6 +63,7 @@ mod consistency;
 mod database;
 pub mod exec;
 pub mod hypertree;
+pub mod metrics;
 mod pool;
 mod query;
 pub mod reference;
@@ -75,20 +77,26 @@ pub use consistency::{
 };
 pub use database::{Database, DbError};
 pub use exec::{
-    ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+    ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
 };
-pub use hypertree::{materialize_bags, yannakakis_join_any, yannakakis_join_decomposed};
+pub use hypertree::{
+    materialize_bags, materialize_bags_metered, yannakakis_join_any, yannakakis_join_any_metered,
+    yannakakis_join_decomposed, yannakakis_join_decomposed_metered,
+};
+pub use metrics::{CollectingSink, MetricsSink, NoopMetrics, QueryMetrics};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
 pub use universal::{
-    plan_connection, query_attributes, query_via_connection, query_via_full_join, query_yannakakis,
+    plan_connection, query_attributes, query_via_connection, query_via_connection_metered,
+    query_via_full_join, query_via_full_join_metered, query_yannakakis, query_yannakakis_metered,
     ConnectionPlan,
 };
 pub use value::Value;
 pub use yannakakis::{
-    full_reduce, full_reduce_with, naive_join_project, yannakakis_join, yannakakis_join_with,
-    Reduced,
+    full_reduce, full_reduce_metered, full_reduce_with, naive_join_project, yannakakis_join,
+    yannakakis_join_metered, yannakakis_join_with, Reduced,
 };
 
 /// Commonly used items, for glob import.

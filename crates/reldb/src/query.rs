@@ -11,7 +11,8 @@
 
 use crate::database::{Database, DbError};
 use crate::exec::{ExecPolicy, JoinStrategy};
-use crate::hypertree::yannakakis_join_any;
+use crate::hypertree::yannakakis_join_any_metered;
+use crate::metrics::{MetricsSink, NoopMetrics};
 use crate::relation::Relation;
 use crate::universal::plan_connection;
 use crate::value::Value;
@@ -174,13 +175,19 @@ impl Query {
     /// Executes via the canonical connection: filter each chosen object,
     /// join them, apply any remaining selections, project onto the output.
     pub fn execute(&self, db: &Database) -> Relation {
+        self.execute_metered(db, &NoopMetrics)
+    }
+
+    /// The metered form of [`Query::execute`]: the same canonical-connection
+    /// plan, with each join recording into `sink`.
+    pub fn execute_metered<M: MetricsSink>(&self, db: &Database, sink: &M) -> Relation {
         let plan = self.plan(db);
         let mut acc: Option<Relation> = None;
         for &i in &plan.objects {
             let filtered = self.filtered(&db.relations()[i]);
             acc = Some(match acc {
                 None => filtered,
-                Some(a) => a.join_with_exec(&filtered, &self.policy),
+                Some(a) => a.join_metered(&filtered, &self.policy, sink),
             });
         }
         let joined = acc.unwrap_or_else(|| Relation::new("∅", self.mentioned()));
@@ -195,9 +202,22 @@ impl Query {
     /// pushing selections below semijoins (and below bag materialization)
     /// pays off.
     pub fn execute_yannakakis(&self, db: &Database) -> Result<Relation, DbError> {
+        self.execute_yannakakis_metered(db, &NoopMetrics)
+    }
+
+    /// The metered form of [`Query::execute_yannakakis`]: the same routed
+    /// pipeline (join tree or hypertree decomposition), with every engine
+    /// layer underneath recording into `sink` — this is what
+    /// `hyperq query --metrics` runs.
+    pub fn execute_yannakakis_metered<M: MetricsSink>(
+        &self,
+        db: &Database,
+        sink: &M,
+    ) -> Result<Relation, DbError> {
         let filtered: Vec<Relation> = db.relations().iter().map(|r| self.filtered(r)).collect();
         let filtered_db = Database::new(db.schema().clone(), filtered)?;
-        let joined = yannakakis_join_any(&filtered_db, &self.mentioned(), &self.policy)?;
+        let joined =
+            yannakakis_join_any_metered(&filtered_db, &self.mentioned(), &self.policy, sink)?;
         Ok(self.finish(joined))
     }
 

@@ -21,8 +21,10 @@
 //! tuples; it is decoded from / encoded into rows only at the edges.
 
 use crate::exec::{
-    ExecPolicy, Job, JoinStrategy, WorkerLease, WorkerPool, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+    ExecPolicy, Job, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
 };
+use crate::metrics::{Kernel, MetricsSink, NoopMetrics, OpKind, OpMetrics};
 use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
 use hypergraph::{NodeId, NodeSet, Universe};
@@ -33,6 +35,19 @@ use std::sync::Arc;
 /// Rows below which a semijoin probe loop is never sharded across threads
 /// (thread spawning would dominate the probes themselves).
 const PAR_MASK_MIN_ROWS: usize = 1024;
+
+/// What a semijoin mask kernel did, reported alongside the mask so metered
+/// callers can assemble one semijoin [`OpMetrics`] record.
+struct MaskStats {
+    /// The physical kernel that ran (post-`Auto` resolution).
+    kernel: Kernel,
+    /// Build-side structure entries (distinct keys indexed or deduped).
+    built: usize,
+    /// Build-side (other relation) input rows.
+    build_rows: usize,
+    /// Sampled distinct-key ratio, when sampled.
+    ratio: Option<f64>,
+}
 
 /// A tuple: an assignment of values to attributes.
 ///
@@ -791,23 +806,49 @@ impl Relation {
     /// both sides by the key columns (never the row buffers themselves) and
     /// merges equal-key runs; `Auto` picks by the estimated distinct-key
     /// ratio of the larger side (heavy key duplication favors sort-merge),
-    /// against the default [`AUTO_SORTMERGE_MAX_DISTINCT_RATIO`] threshold.
+    /// against the calibrated [`AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO`]
+    /// threshold.
     pub fn join_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        self.join_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO)
+        self.join_impl(
+            other,
+            strategy,
+            AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            &NoopMetrics,
+        )
     }
 
     /// Natural join under an [`ExecPolicy`]: the policy picks the strategy
     /// and the [`JoinStrategy::Auto`] distinct-key-ratio threshold (its
     /// thread knobs do not apply to a single binary join).
     pub fn join_with_exec(&self, other: &Relation, policy: &ExecPolicy) -> Relation {
+        self.join_metered(other, policy, &NoopMetrics)
+    }
+
+    /// Natural join under an [`ExecPolicy`], recording one
+    /// [`OpMetrics`] record into `sink` — the metered form of
+    /// [`Relation::join_with_exec`], which is this function monomorphized
+    /// over [`NoopMetrics`].
+    pub fn join_metered<M: MetricsSink>(
+        &self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        sink: &M,
+    ) -> Relation {
         self.join_impl(
             other,
             policy.strategy,
             policy.auto_sortmerge_max_distinct_ratio,
+            sink,
         )
     }
 
-    fn join_impl(&self, other: &Relation, strategy: JoinStrategy, auto_ratio: f64) -> Relation {
+    fn join_impl<M: MetricsSink>(
+        &self,
+        other: &Relation,
+        strategy: JoinStrategy,
+        auto_ratio: f64,
+        sink: &M,
+    ) -> Relation {
         let attrs = self.attributes.union(&other.attributes);
         let name = format!("({}⋈{})", self.name, other.name);
         let out = Relation::with_pool(name, attrs, self.pool.clone());
@@ -824,22 +865,46 @@ impl Relation {
             &converted
         };
         let shared = self.attributes.intersection(&other.attributes);
-        let strategy = if shared.is_empty() {
+        let (kernel, ratio) = if shared.is_empty() {
             // Cross product: there is no key to sort by.
-            JoinStrategy::Hash
+            (Kernel::Hash, None)
         } else {
             let larger = if self.len >= other.len { self } else { other };
-            larger.resolve_strategy(strategy, &positions(&shared, &larger.cols), auto_ratio)
+            larger.resolve_kernel(
+                strategy,
+                &positions(&shared, &larger.cols),
+                auto_ratio,
+                M::ENABLED,
+            )
         };
-        match strategy {
-            JoinStrategy::SortMerge => self.sort_merge_join_into(other, &shared, out),
-            _ => self.hash_join_into(other, &shared, out),
+        let (out, built) = match kernel {
+            Kernel::SortMerge => self.sort_merge_join_into(other, &shared, out),
+            Kernel::Hash => self.hash_join_into(other, &shared, out),
+        };
+        if M::ENABLED {
+            sink.record_op(OpMetrics {
+                kind: OpKind::Join,
+                kernel,
+                probed: self.len.max(other.len) as u64,
+                kept: out.len as u64,
+                built: built as u64,
+                build_rows: self.len.min(other.len) as u64,
+                distinct_ratio: ratio,
+            });
         }
+        out
     }
 
     /// The hash-join kernel: build the smaller side, probe the larger.
-    /// Pools are already unified.
-    fn hash_join_into(&self, other: &Relation, shared: &NodeSet, mut out: Relation) -> Relation {
+    /// Pools are already unified.  Also returns the number of distinct keys
+    /// the build side contributed (the table's entry count — the "built"
+    /// metric).
+    fn hash_join_into(
+        &self,
+        other: &Relation,
+        shared: &NodeSet,
+        mut out: Relation,
+    ) -> (Relation, usize) {
         let (build, probe) = if self.len <= other.len {
             (self, other)
         } else {
@@ -904,19 +969,20 @@ impl Relation {
                 cur = next[cur as usize];
             }
         }
-        out
+        (out, distinct)
     }
 
     /// The sort-merge join kernel: sort row-id permutations of both sides
     /// by the shared key columns, then emit the cross product of every pair
     /// of equal-key runs.  Pools are already unified and `shared` is
-    /// nonempty.
+    /// nonempty.  Also returns the number of sorted permutation entries
+    /// built (both sides — the "built" metric).
     fn sort_merge_join_into(
         &self,
         other: &Relation,
         shared: &NodeSet,
         mut out: Relation,
-    ) -> Relation {
+    ) -> (Relation, usize) {
         let keys = JoinKeys::for_unified(self, other, shared);
         let left_keys = keys.gather(self, &keys.left_pos);
         let right_keys = keys.gather(other, &keys.right_pos);
@@ -962,27 +1028,42 @@ impl Relation {
                 }
             }
         }
-        out
+        let built = left_sorted.len() + right_sorted.len();
+        (out, built)
     }
 
-    /// Resolves [`JoinStrategy::Auto`] for a key over this relation's
-    /// `pos` columns: heavy key duplication (distinct-key ratio at or below
-    /// `max_ratio`) favors sort-merge, anything else stays with hash.
-    fn resolve_strategy(
+    /// Resolves a [`JoinStrategy`] to a physical [`Kernel`] for a key over
+    /// this relation's `pos` columns: under `Auto`, heavy key duplication
+    /// (distinct-key ratio at or below `max_ratio`) favors sort-merge,
+    /// anything else stays with hash.  Returns the sampled ratio alongside
+    /// the kernel; a pinned strategy only pays for sampling when
+    /// `sample_anyway` asks for it (the metrics path wants the ratio even
+    /// when it doesn't decide anything).
+    fn resolve_kernel(
         &self,
         strategy: JoinStrategy,
         pos: &[usize],
         max_ratio: f64,
-    ) -> JoinStrategy {
+        sample_anyway: bool,
+    ) -> (Kernel, Option<f64>) {
         match strategy {
             JoinStrategy::Auto => {
-                if self.estimate_distinct_key_ratio(pos) <= max_ratio {
-                    JoinStrategy::SortMerge
+                let ratio = self.estimate_distinct_key_ratio(pos);
+                let kernel = if ratio <= max_ratio {
+                    Kernel::SortMerge
                 } else {
-                    JoinStrategy::Hash
-                }
+                    Kernel::Hash
+                };
+                (kernel, Some(ratio))
             }
-            fixed => fixed,
+            JoinStrategy::SortMerge => (
+                Kernel::SortMerge,
+                sample_anyway.then(|| self.estimate_distinct_key_ratio(pos)),
+            ),
+            JoinStrategy::Hash => (
+                Kernel::Hash,
+                sample_anyway.then(|| self.estimate_distinct_key_ratio(pos)),
+            ),
         }
     }
 
@@ -1017,24 +1098,45 @@ impl Relation {
 
     /// For each row of `self`, whether some row of `other` matches it on the
     /// shared attributes — the common kernel behind the semijoin family,
-    /// parameterized by strategy and the probe-shard workers.
+    /// parameterized by strategy and the probe-shard workers.  Alongside the
+    /// mask, reports what the kernel did ([`MaskStats`]) so metered callers
+    /// can record one semijoin [`OpMetrics`]; `sample_ratio` additionally
+    /// samples the distinct-key ratio under pinned strategies (`Auto`
+    /// samples regardless).
     fn semijoin_mask(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
-    ) -> Vec<bool> {
+        sample_ratio: bool,
+    ) -> (Vec<bool>, MaskStats) {
         let Some(keys) = JoinKeys::new(self, other) else {
             // π_∅(other) is {()} iff other is nonempty; every tuple matches.
-            return vec![!other.is_empty(); self.len];
+            let mask = vec![!other.is_empty(); self.len];
+            let stats = MaskStats {
+                kernel: Kernel::Hash,
+                built: 0,
+                build_rows: other.len,
+                ratio: None,
+            };
+            return (mask, stats);
         };
         // Gather the (translated) key columns of `other` into one buffer.
         let other_keys = keys.gather_translated(other);
-        match self.resolve_strategy(strategy, &keys.left_pos, auto_ratio) {
-            JoinStrategy::SortMerge => self.sort_merge_mask(&keys, &other_keys),
-            _ => self.hash_mask(&keys, other_keys, probe),
-        }
+        let (kernel, ratio) =
+            self.resolve_kernel(strategy, &keys.left_pos, auto_ratio, sample_ratio);
+        let (mask, built) = match kernel {
+            Kernel::SortMerge => self.sort_merge_mask(&keys, &other_keys),
+            Kernel::Hash => self.hash_mask(&keys, other_keys, probe),
+        };
+        let stats = MaskStats {
+            kernel,
+            built,
+            build_rows: other.len,
+            ratio,
+        };
+        (mask, stats)
     }
 
     /// Hash flavor of the semijoin mask: index `other`'s distinct keys,
@@ -1047,7 +1149,14 @@ impl Relation {
     /// bounds and a handle on the shared probe state (key table + gathered
     /// key columns behind an [`Arc`]), so they run as ordinary owned pool
     /// jobs rather than scoped borrows.
-    fn hash_mask(&self, keys: &JoinKeys, other_keys: Vec<u32>, probe: &WorkerLease) -> Vec<bool> {
+    /// Returns the mask plus the number of distinct keys indexed (the
+    /// "built" metric).
+    fn hash_mask(
+        &self,
+        keys: &JoinKeys,
+        other_keys: Vec<u32>,
+        probe: &WorkerLease,
+    ) -> (Vec<bool>, usize) {
         let k = keys.k();
         let nkeys = other_keys.len() / k;
         let key_at = |id: u32| row_of(&other_keys, k, id);
@@ -1065,7 +1174,7 @@ impl Relation {
         let threads = probe.threads();
         if threads <= 1 || self.len < PAR_MASK_MIN_ROWS {
             let mut keybuf = vec![0u32; k];
-            return self
+            let mask = self
                 .rows_iter()
                 .map(|row| {
                     for (j, &p) in keys.left_pos.iter().enumerate() {
@@ -1074,6 +1183,7 @@ impl Relation {
                     probe_key(&table, &other_keys, k, &keybuf)
                 })
                 .collect();
+            return (mask, distinct);
         }
         // Shard the probe loop across the leased workers.  Each shard owns
         // its row range and probes the gathered key columns (shared
@@ -1104,17 +1214,19 @@ impl Relation {
         for (start, bits) in rx.try_iter() {
             mask[start..start + bits.len()].copy_from_slice(&bits);
         }
-        mask
+        (mask, distinct)
     }
 
     /// Sort-merge flavor of the semijoin mask: sort a row-id permutation of
     /// `self` by the key columns (never the rows themselves), sort + dedup
-    /// `other`'s keys, and mark equal-key runs in one merge walk.
-    fn sort_merge_mask(&self, keys: &JoinKeys, other_keys: &[u32]) -> Vec<bool> {
+    /// `other`'s keys, and mark equal-key runs in one merge walk.  Returns
+    /// the mask plus the number of distinct other-side keys after dedup
+    /// (the "built" metric).
+    fn sort_merge_mask(&self, keys: &JoinKeys, other_keys: &[u32]) -> (Vec<bool>, usize) {
         let k = keys.k();
         let mut mask = vec![false; self.len];
         if other_keys.is_empty() || self.len == 0 {
-            return mask;
+            return (mask, 0);
         }
         let my_keys = keys.gather(self, &keys.left_pos);
         let mine = sort_ids_by_key(&my_keys, k, self.len);
@@ -1140,7 +1252,7 @@ impl Relation {
             }
             i = end;
         }
-        mask
+        (mask, others.len())
     }
 
     /// Semijoin: the tuples of `self` that join with at least one tuple of
@@ -1152,11 +1264,12 @@ impl Relation {
     /// Semijoin under an explicit [`JoinStrategy`] — see
     /// [`Relation::join_with`] for the strategy semantics.
     pub fn semijoin_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        let mask = self.semijoin_mask(
+        let (mask, _) = self.semijoin_mask(
             other,
             strategy,
-            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
+            false,
         );
         let mut out = Relation::with_pool(
             self.name.clone(),
@@ -1177,9 +1290,11 @@ impl Relation {
         self.semijoin_mask(
             other,
             JoinStrategy::Hash,
-            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
+            false,
         )
+        .0
         .iter()
         .filter(|&&b| b)
         .count()
@@ -1211,7 +1326,13 @@ impl Relation {
         } else {
             WorkerPool::lease(threads)
         };
-        self.retain_semijoin_impl(other, strategy, AUTO_SORTMERGE_MAX_DISTINCT_RATIO, &probe)
+        self.retain_semijoin_impl(
+            other,
+            strategy,
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            &probe,
+            &NoopMetrics,
+        )
     }
 
     /// In-place semijoin under an [`ExecPolicy`] — like
@@ -1227,39 +1348,66 @@ impl Relation {
         policy: &ExecPolicy,
         probe: &WorkerLease,
     ) -> usize {
+        self.retain_semijoin_metered(other, policy, probe, &NoopMetrics)
+    }
+
+    /// In-place semijoin under an [`ExecPolicy`], recording one semijoin
+    /// [`OpMetrics`] record into `sink` — the metered form of
+    /// [`Relation::retain_semijoin_exec`], which is this function
+    /// monomorphized over [`NoopMetrics`].
+    pub fn retain_semijoin_metered<M: MetricsSink>(
+        &mut self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        probe: &WorkerLease,
+        sink: &M,
+    ) -> usize {
         self.retain_semijoin_impl(
             other,
             policy.strategy,
-            policy.auto_sortmerge_max_distinct_ratio,
+            policy.auto_semijoin_sortmerge_max_distinct_ratio,
             probe,
+            sink,
         )
     }
 
-    fn retain_semijoin_impl(
+    fn retain_semijoin_impl<M: MetricsSink>(
         &mut self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
+        sink: &M,
     ) -> usize {
-        let mask = self.semijoin_mask(other, strategy, auto_ratio, probe);
+        let probed = self.len;
+        let (mask, stats) = self.semijoin_mask(other, strategy, auto_ratio, probe, M::ENABLED);
         let removed = mask.iter().filter(|&&b| !b).count();
-        if removed == 0 {
-            return 0;
-        }
-        let w = self.width();
-        let mut write = 0usize;
-        for (i, &keep) in mask.iter().enumerate() {
-            if keep {
-                if write != i {
-                    self.rows.copy_within(i * w..(i + 1) * w, write * w);
+        if removed > 0 {
+            let w = self.width();
+            let mut write = 0usize;
+            for (i, &keep) in mask.iter().enumerate() {
+                if keep {
+                    if write != i {
+                        self.rows.copy_within(i * w..(i + 1) * w, write * w);
+                    }
+                    write += 1;
                 }
-                write += 1;
             }
+            self.rows.truncate(write * w);
+            self.len = write;
+            self.index_stale = true;
         }
-        self.rows.truncate(write * w);
-        self.len = write;
-        self.index_stale = true;
+        if M::ENABLED {
+            sink.record_op(OpMetrics {
+                kind: OpKind::Semijoin,
+                kernel: stats.kernel,
+                probed: probed as u64,
+                kept: (probed - removed) as u64,
+                built: stats.built as u64,
+                build_rows: stats.build_rows as u64,
+                distinct_ratio: stats.ratio,
+            });
+        }
         removed
     }
 
@@ -1719,15 +1867,33 @@ mod tests {
         assert!(uniq.estimate_distinct_key_ratio(&[0]) > 0.9);
         // Whole-row keys are distinct by construction.
         assert_eq!(dup.estimate_distinct_key_ratio(&[0, 1]), 1.0);
-        // Auto resolves accordingly, against the default threshold.
-        assert_eq!(
-            dup.resolve_strategy(JoinStrategy::Auto, &[0], AUTO_SORTMERGE_MAX_DISTINCT_RATIO),
-            JoinStrategy::SortMerge
+        // Auto resolves accordingly, against the calibrated join threshold,
+        // reporting the ratio it sampled.
+        let (kernel, ratio) = dup.resolve_kernel(
+            JoinStrategy::Auto,
+            &[0],
+            AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            false,
         );
-        assert_eq!(
-            uniq.resolve_strategy(JoinStrategy::Auto, &[0], AUTO_SORTMERGE_MAX_DISTINCT_RATIO),
-            JoinStrategy::Hash
+        assert_eq!(kernel, Kernel::SortMerge);
+        assert!(ratio.unwrap() < 0.05);
+        let (kernel, ratio) = uniq.resolve_kernel(
+            JoinStrategy::Auto,
+            &[0],
+            AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            false,
         );
+        assert_eq!(kernel, Kernel::Hash);
+        assert!(ratio.unwrap() > 0.9);
+        // Pinned strategies skip sampling unless asked for it.
+        assert_eq!(
+            dup.resolve_kernel(JoinStrategy::Hash, &[0], 1.0, false),
+            (Kernel::Hash, None)
+        );
+        assert!(dup
+            .resolve_kernel(JoinStrategy::SortMerge, &[0], 1.0, true)
+            .1
+            .is_some());
         // An ExecPolicy override moves the crossover: with a threshold of
         // 1.0 even unique keys resolve to sort-merge.
         let lenient = ExecPolicy {
@@ -1738,8 +1904,8 @@ mod tests {
             .join_with_exec(&dup, &lenient)
             .same_contents(&uniq.join(&dup)));
         assert_eq!(
-            uniq.resolve_strategy(JoinStrategy::Auto, &[0], 1.0),
-            JoinStrategy::SortMerge
+            uniq.resolve_kernel(JoinStrategy::Auto, &[0], 1.0, false).0,
+            Kernel::SortMerge
         );
     }
 
@@ -1760,19 +1926,24 @@ mod tests {
                 s.insert(Tuple::from_pairs([(b, i % 101), (c, i)]));
             }
         }
-        let seq = r.semijoin_mask(
+        let (seq, seq_stats) = r.semijoin_mask(
             &s,
             JoinStrategy::Hash,
-            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
+            false,
         );
-        let par = r.semijoin_mask(
+        let (par, par_stats) = r.semijoin_mask(
             &s,
             JoinStrategy::Hash,
-            AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerPool::lease(4),
+            false,
         );
         assert_eq!(seq, par);
+        // Both paths index the same distinct build keys.
+        assert_eq!(seq_stats.built, par_stats.built);
+        assert_eq!(seq_stats.kernel, Kernel::Hash);
         let mut r2 = r.clone();
         let removed_seq = r.retain_semijoin_with(&s, JoinStrategy::Hash, 1);
         let removed_par = r2.retain_semijoin_with(&s, JoinStrategy::Hash, 4);

@@ -18,7 +18,8 @@
 
 use crate::database::{Database, DbError};
 use crate::exec::ExecPolicy;
-use crate::hypertree::yannakakis_join_any;
+use crate::hypertree::{yannakakis_join_any, yannakakis_join_any_metered};
+use crate::metrics::{MetricsSink, NoopMetrics};
 use crate::relation::Relation;
 use crate::yannakakis::naive_join_project;
 use acyclic::canonical_connection;
@@ -66,13 +67,24 @@ pub fn plan_connection(schema: &Hypergraph, x: &NodeSet) -> ConnectionPlan {
 
 /// Answers the query `π_X (⋈ of the objects in CC(X))`.
 pub fn query_via_connection(db: &Database, x: &NodeSet) -> Relation {
+    query_via_connection_metered(db, x, &ExecPolicy::default(), &NoopMetrics)
+}
+
+/// The metered form of [`query_via_connection`]: the same plan, with every
+/// join executed under `policy` and recorded into `sink`.
+pub fn query_via_connection_metered<M: MetricsSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Relation {
     let plan = plan_connection(db.schema(), x);
     let mut acc: Option<Relation> = None;
     for &i in &plan.objects {
         let r = &db.relations()[i];
         acc = Some(match acc {
             None => r.clone(),
-            Some(a) => a.join(r),
+            Some(a) => a.join_metered(r, policy, sink),
         });
     }
     match acc {
@@ -87,12 +99,35 @@ pub fn query_via_full_join(db: &Database, x: &NodeSet) -> Relation {
     naive_join_project(db, x)
 }
 
+/// The metered form of [`query_via_full_join`]: the naive all-objects join,
+/// with each binary join recorded into `sink`.
+pub fn query_via_full_join_metered<M: MetricsSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Relation {
+    db.full_join_metered(policy, sink).project(x)
+}
+
 /// Answers the query with the Yannakakis algorithm: over the schema's join
 /// tree when it is acyclic, or through the hypertree-decomposition pipeline
 /// ([`yannakakis_join_any`]) when it is cyclic.  Fails only on an edgeless
 /// schema.
 pub fn query_yannakakis(db: &Database, x: &NodeSet) -> Result<Relation, DbError> {
     yannakakis_join_any(db, x, &ExecPolicy::default())
+}
+
+/// The metered form of [`query_yannakakis`], under an explicit policy:
+/// routes through [`yannakakis_join_any_metered`] so acyclic and cyclic
+/// schemas alike fill `sink`.
+pub fn query_yannakakis_metered<M: MetricsSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Result<Relation, DbError> {
+    yannakakis_join_any_metered(db, x, policy, sink)
 }
 
 /// Convenience: answer a query given attribute names.

@@ -16,12 +16,14 @@
 //! [`WorkerPool`](crate::exec::WorkerPool) (no per-level thread spawning).
 
 use crate::database::Database;
-use crate::exec::{ExecPolicy, Job, WorkerLease};
+use crate::exec::{ExecPolicy, Job, WorkerLease, WorkerPool};
+use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
 use acyclic::JoinTree;
 use hypergraph::{EdgeId, NodeSet};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The result of running a full reducer: the reduced relations (in schema
 /// order) and the number of tuples removed from each.
@@ -88,12 +90,13 @@ fn placeholder() -> Relation {
 /// worker while the rest idle.  Sorting by estimated cost (target tuples
 /// plus source tuples) approximates longest-processing-time scheduling
 /// without a work queue.
-fn run_level(
+fn run_level<M: MetricsSink>(
     relations: &mut Vec<Relation>,
     removed: &mut [usize],
     mut jobs: Vec<LevelJob>,
     policy: &ExecPolicy,
     lease: &WorkerLease,
+    sink: &M,
 ) {
     if jobs.is_empty() {
         return;
@@ -105,7 +108,7 @@ fn run_level(
         for job in &jobs {
             for &s in &job.sources {
                 let (t, src) = pair_mut(relations, job.target, s);
-                removed[job.target] += t.retain_semijoin_exec(src, policy, probe);
+                removed[job.target] += t.retain_semijoin_metered(src, policy, probe, sink);
             }
         }
         return;
@@ -131,11 +134,16 @@ fn run_level(
             let shared = Arc::clone(&shared);
             let policy = policy.clone();
             let tx = tx.clone();
+            let sink = sink.clone();
             Box::new(move || {
                 let mut removed_here = 0usize;
                 for &s in &job.sources {
-                    removed_here +=
-                        target.retain_semijoin_exec(&shared[s], &policy, &WorkerLease::inline());
+                    removed_here += target.retain_semijoin_metered(
+                        &shared[s],
+                        &policy,
+                        &WorkerLease::inline(),
+                        &sink,
+                    );
                 }
                 drop(shared);
                 let _ = tx.send((job.target, target, removed_here));
@@ -181,24 +189,43 @@ pub fn full_reduce(db: &Database, tree: &JoinTree) -> Reduced {
 /// within one target they are applied in the same child order as the
 /// sequential bottom-up walk.
 pub fn full_reduce_with(db: &Database, tree: &JoinTree, policy: &ExecPolicy) -> Reduced {
-    full_reduce_leased(db, tree, policy, &policy.lease(db.tuple_count()))
+    full_reduce_metered(db, tree, policy, &NoopMetrics)
+}
+
+/// The metered form of [`full_reduce_with`]: runs the same two semijoin
+/// passes, recording per-semijoin counters, per-level wall timings and the
+/// pool lease into `sink`.  [`full_reduce_with`] is this function
+/// monomorphized over [`NoopMetrics`].
+pub fn full_reduce_metered<M: MetricsSink>(
+    db: &Database,
+    tree: &JoinTree,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Reduced {
+    let lease = policy.lease(db.tuple_count());
+    if M::ENABLED {
+        sink.record_lease(lease.threads(), WorkerPool::idle_workers());
+    }
+    full_reduce_leased(db, tree, policy, &lease, sink)
 }
 
 /// The reducer body, on an already-acquired lease — shared by
-/// [`full_reduce_with`] and [`yannakakis_join_with`] so the join pipeline
-/// leases its workers exactly once for both phases.
-fn full_reduce_leased(
+/// [`full_reduce_metered`] and [`yannakakis_join_metered`] so the join
+/// pipeline leases its workers exactly once for both phases.
+fn full_reduce_leased<M: MetricsSink>(
     db: &Database,
     tree: &JoinTree,
     policy: &ExecPolicy,
     lease: &WorkerLease,
+    sink: &M,
 ) -> Reduced {
     let mut relations: Vec<Relation> = db.relations().to_vec();
     let mut removed: Vec<usize> = vec![0; relations.len()];
     let levels = tree.levels();
+    let rebuilds_before: usize = relations.iter().map(Relation::index_rebuild_count).sum();
 
     // Upward pass: parent ⋉ each child, deepest parent level first.
-    for level in levels.iter().rev() {
+    for (depth, level) in levels.iter().enumerate().rev() {
         let jobs: Vec<LevelJob> = level
             .iter()
             .filter(|&&e| !tree.children(e).is_empty())
@@ -207,10 +234,17 @@ fn full_reduce_leased(
                 sources: tree.children(e).iter().map(|c| c.index()).collect(),
             })
             .collect();
-        run_level(&mut relations, &mut removed, jobs, policy, lease);
+        let n = jobs.len();
+        let t0 = M::ENABLED.then(Instant::now);
+        run_level(&mut relations, &mut removed, jobs, policy, lease, sink);
+        if let Some(t0) = t0 {
+            if n > 0 {
+                sink.record_level(Phase::ReduceUp, depth, n, t0.elapsed().as_nanos() as u64);
+            }
+        }
     }
     // Downward pass: child ⋉ parent, top-down.
-    for level in levels.iter().skip(1) {
+    for (depth, level) in levels.iter().enumerate().skip(1) {
         let jobs: Vec<LevelJob> = level
             .iter()
             .map(|&e| LevelJob {
@@ -218,9 +252,23 @@ fn full_reduce_leased(
                 sources: vec![tree.parent(e).expect("non-root level").index()],
             })
             .collect();
-        run_level(&mut relations, &mut removed, jobs, policy, lease);
+        let n = jobs.len();
+        let t0 = M::ENABLED.then(Instant::now);
+        run_level(&mut relations, &mut removed, jobs, policy, lease, sink);
+        if let Some(t0) = t0 {
+            if n > 0 {
+                sink.record_level(Phase::ReduceDown, depth, n, t0.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
+    if M::ENABLED {
+        // Rebuilds the reduction itself paid: with the deferred-rebuild
+        // optimization this stays 0 (each retain only marks the index
+        // stale), which is exactly what the counter is there to prove.
+        let after: usize = relations.iter().map(Relation::index_rebuild_count).sum();
+        sink.record_index_rebuilds((after - rebuilds_before) as u64);
+    }
     Reduced { relations, removed }
 }
 
@@ -274,9 +322,26 @@ pub fn yannakakis_join_with(
     output: &NodeSet,
     policy: &ExecPolicy,
 ) -> Relation {
+    yannakakis_join_metered(db, tree, output, policy, &NoopMetrics)
+}
+
+/// The metered form of [`yannakakis_join_with`]: the same reduce-then-join
+/// pipeline, recording per-op counters, per-level wall timings for both
+/// phases and the pool lease into `sink`.  [`yannakakis_join_with`] is this
+/// function monomorphized over [`NoopMetrics`].
+pub fn yannakakis_join_metered<M: MetricsSink>(
+    db: &Database,
+    tree: &JoinTree,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+) -> Relation {
     // One lease serves the reducer passes and the join levels alike.
     let lease = policy.lease(db.tuple_count());
-    let reduced = full_reduce_leased(db, tree, policy, &lease);
+    if M::ENABLED {
+        sink.record_lease(lease.threads(), WorkerPool::idle_workers());
+    }
+    let reduced = full_reduce_leased(db, tree, policy, &lease, sink);
     let mut relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
@@ -298,49 +363,64 @@ pub fn yannakakis_join_with(
     let mut partial: Vec<Option<Relation>> = vec![None; relations.len()];
     let levels = tree.levels_bottom_up();
     let threads = lease.threads();
-    for level in &levels {
+    for (li, level) in levels.iter().enumerate() {
+        let t0 = M::ENABLED.then(Instant::now);
         if threads <= 1 || level.len() <= 1 {
             for &e in level {
                 let base = std::mem::replace(&mut relations[e.index()], placeholder());
                 let children = take_children(tree, e, &mut partial);
-                partial[e.index()] =
-                    Some(join_subtree(base, &children, keep_for(e), output, policy));
+                partial[e.index()] = Some(join_subtree(
+                    base,
+                    &children,
+                    keep_for(e),
+                    output,
+                    policy,
+                    sink,
+                ));
             }
-            continue;
+        } else {
+            // Biggest subtree jobs first, for the same longest-processing-
+            // time reason as the reducer levels: round-robin dispatch over
+            // the leased workers balances best when the fat job leads the
+            // batch.
+            let mut order: Vec<EdgeId> = level.clone();
+            let cost = |e: EdgeId| -> usize {
+                relations[e.index()].len()
+                    + tree
+                        .children(e)
+                        .iter()
+                        .map(|c| partial[c.index()].as_ref().map_or(0, Relation::len))
+                        .sum::<usize>()
+            };
+            order.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
+            let (tx, rx) = channel();
+            let work: Vec<Job> = order
+                .iter()
+                .map(|&e| {
+                    let base = std::mem::replace(&mut relations[e.index()], placeholder());
+                    let children = take_children(tree, e, &mut partial);
+                    let keep = keep_for(e);
+                    let output = output.clone();
+                    let policy = policy.clone();
+                    let tx = tx.clone();
+                    let sink = sink.clone();
+                    let idx = e.index();
+                    Box::new(move || {
+                        let _ = tx.send((
+                            idx,
+                            join_subtree(base, &children, keep, &output, &policy, &sink),
+                        ));
+                    }) as Job
+                })
+                .collect();
+            drop(tx);
+            lease.run(work);
+            for (idx, rel) in rx.try_iter() {
+                partial[idx] = Some(rel);
+            }
         }
-        // Biggest subtree jobs first, for the same longest-processing-time
-        // reason as the reducer levels: round-robin dispatch over the
-        // leased workers balances best when the fat job leads the batch.
-        let mut order: Vec<EdgeId> = level.clone();
-        let cost = |e: EdgeId| -> usize {
-            relations[e.index()].len()
-                + tree
-                    .children(e)
-                    .iter()
-                    .map(|c| partial[c.index()].as_ref().map_or(0, Relation::len))
-                    .sum::<usize>()
-        };
-        order.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
-        let (tx, rx) = channel();
-        let work: Vec<Job> = order
-            .iter()
-            .map(|&e| {
-                let base = std::mem::replace(&mut relations[e.index()], placeholder());
-                let children = take_children(tree, e, &mut partial);
-                let keep = keep_for(e);
-                let output = output.clone();
-                let policy = policy.clone();
-                let tx = tx.clone();
-                let idx = e.index();
-                Box::new(move || {
-                    let _ = tx.send((idx, join_subtree(base, &children, keep, &output, &policy)));
-                }) as Job
-            })
-            .collect();
-        drop(tx);
-        lease.run(work);
-        for (idx, rel) in rx.try_iter() {
-            partial[idx] = Some(rel);
+        if let Some(t0) = t0 {
+            sink.record_level(Phase::Join, li, level.len(), t0.elapsed().as_nanos() as u64);
         }
     }
     let root_result = partial[tree.root().index()]
@@ -362,16 +442,17 @@ fn take_children(tree: &JoinTree, e: EdgeId, partial: &mut [Option<Relation>]) -
 /// children's subtree results (in child order, matching the sequential
 /// walk) and projects onto the attributes still needed above it — the
 /// output attributes surfaced so far plus the separator towards the parent.
-fn join_subtree(
+fn join_subtree<M: MetricsSink>(
     base: Relation,
     children: &[Relation],
     mut keep: NodeSet,
     output: &NodeSet,
     policy: &ExecPolicy,
+    sink: &M,
 ) -> Relation {
     let mut acc = base;
     for child in children {
-        acc = acc.join_with_exec(child, policy);
+        acc = acc.join_metered(child, policy, sink);
     }
     keep.union_with(&acc.attributes().intersection(output));
     acc.project(&keep)
