@@ -16,9 +16,10 @@ use hypergraph::EdgeId;
 use hypergraph::Hypergraph;
 use reldb::reference::{naive_full_reduce, naive_yannakakis_join};
 use reldb::{
-    full_reduce_metered, full_reduce_with, naive_join_project, yannakakis_join_any,
-    yannakakis_join_any_metered, yannakakis_join_metered, yannakakis_join_with, CollectingSink,
-    Database, ExecPolicy, JoinStrategy, Relation, WorkerLease,
+    full_reduce_governed, full_reduce_metered, full_reduce_with, naive_join_project,
+    yannakakis_join_any, yannakakis_join_any_metered, yannakakis_join_governed,
+    yannakakis_join_metered, yannakakis_join_with, CollectingSink, Database, ExecPolicy,
+    JoinStrategy, NoopMetrics, QueryGovernor, Relation, WorkerLease,
     AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
     AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
 };
@@ -297,6 +298,28 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
                 Some(RowMetrics::capture(|s| {
                     yannakakis_join_metered(&db, &tree, &x, &hash_seq, s);
                 })),
+            );
+            // The same kernels with Governor checkpoints live but no limit
+            // set: these rows hold the governance layer's overhead under
+            // the regression guard alongside the ungoverned engine.
+            let gov = QueryGovernor::new();
+            push(
+                "full_reduce",
+                "columnar-governed",
+                measure(|| {
+                    full_reduce_governed(&db, &tree, &hash_seq, &NoopMetrics, &gov)
+                        .expect("no limit set")
+                }),
+                None,
+            );
+            push(
+                "yannakakis_join",
+                "columnar-governed",
+                measure(|| {
+                    yannakakis_join_governed(&db, &tree, &x, &hash_seq, &NoopMetrics, &gov)
+                        .expect("no limit set")
+                }),
+                None,
             );
             if w.reference {
                 push(
@@ -675,7 +698,7 @@ pub fn check_baseline(
             (r.op.as_str(), r.engine.as_str()),
             (
                 "full_reduce" | "yannakakis_join",
-                "columnar" | "columnar-parallel"
+                "columnar" | "columnar-parallel" | "columnar-governed"
             ) | (
                 "cyclic_join",
                 "columnar-decomp" | "columnar-decomp-parallel"

@@ -6,10 +6,73 @@ use acyclic::{
 use decomp::{decompose, Heuristic};
 use hypergraph::{Hypergraph, NodeSet};
 use reldb::{
-    is_globally_consistent, is_pairwise_consistent, plan_connection, query_via_connection,
-    query_via_connection_metered, query_via_full_join, query_via_full_join_metered,
-    query_yannakakis, query_yannakakis_metered, CollectingSink, Database, ExecPolicy, Relation,
+    is_globally_consistent, is_pairwise_consistent, plan_connection, query_via_connection_governed,
+    query_via_connection_metered, query_via_full_join_governed, query_via_full_join_metered,
+    query_yannakakis_governed, query_yannakakis_metered, CollectingSink, Database, EngineError,
+    ExecPolicy, Governor, MetricsSink, NoopMetrics, QueryGovernor, Relation,
 };
+
+/// A CLI failure: the one-line diagnostic printed to stderr plus the
+/// process exit code.  The codes are part of the documented interface
+/// (scripts and CI branch on them):
+///
+/// | code | meaning |
+/// |---|---|
+/// | 0 | success |
+/// | 2 | usage, parse, schema or I/O error |
+/// | 3 | deadline exceeded or query cancelled |
+/// | 4 | memory budget exceeded |
+/// | 5 | an engine worker panicked |
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code (see the table above).
+    pub code: u8,
+    /// One-line diagnostic, printed as `hyperq: {message}`.
+    pub message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { code: 2, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_owned())
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        let code = match &e {
+            EngineError::Cancelled | EngineError::DeadlineExceeded { .. } => 3,
+            EngineError::BudgetExceeded { .. } => 4,
+            EngineError::WorkerPanic(_) => 5,
+            _ => 2,
+        };
+        Self {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl CliError {
+    /// Wraps a file parse failure, routing it through
+    /// [`EngineError::Parse`] so the line number survives into the
+    /// diagnostic: `hyperq: <path>: line <n>: <message>`.
+    pub fn parse(path: &str, e: crate::load::ParseError) -> Self {
+        let engine = EngineError::Parse {
+            line: e.line,
+            message: e.message,
+        };
+        Self {
+            code: 2,
+            message: format!("{path}: {engine}"),
+        }
+    }
+}
 
 /// Which join engine `hyperq query` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,13 +178,39 @@ pub enum MetricsMode {
     Json,
 }
 
+/// Runs one engine over `X`, governed when a [`QueryGovernor`] is present
+/// (deadline / budget / cancellation checkpoints active), ungoverned —
+/// checkpoints compiled away — otherwise.
+fn execute<M: MetricsSink>(
+    db: &Database,
+    x: &NodeSet,
+    engine: Engine,
+    sink: &M,
+    gov: Option<&QueryGovernor>,
+) -> Result<Relation, EngineError> {
+    let policy = ExecPolicy::default();
+    match gov {
+        Some(g) => match engine {
+            Engine::Connection => query_via_connection_governed(db, x, &policy, sink, g),
+            Engine::Naive => query_via_full_join_governed(db, x, &policy, sink, g),
+            Engine::Yannakakis => query_yannakakis_governed(db, x, &policy, sink, g),
+        },
+        None => match engine {
+            Engine::Connection => Ok(query_via_connection_metered(db, x, &policy, sink)),
+            Engine::Naive => Ok(query_via_full_join_metered(db, x, &policy, sink)),
+            Engine::Yannakakis => query_yannakakis_metered(db, x, &policy, sink),
+        },
+    }
+}
+
 /// `hyperq query`: answers `π_X(⋈ CC(X))` over a loaded database.
 pub fn run_query(
     db: &Database,
     attrs: &[&str],
     engine: Engine,
     metrics: MetricsMode,
-) -> Result<String, String> {
+    gov: Option<&QueryGovernor>,
+) -> Result<String, CliError> {
     let x: NodeSet = db
         .attributes(attrs.iter().copied())
         .map_err(|e| format!("bad --select: {e:?}"))?;
@@ -151,27 +240,25 @@ pub fn run_query(
         is_globally_consistent(db),
     ));
     let sink = (metrics != MetricsMode::Off).then(CollectingSink::new);
-    let answer: Relation = match (&sink, engine) {
-        (None, Engine::Connection) => query_via_connection(db, &x),
-        (None, Engine::Naive) => query_via_full_join(db, &x),
-        (None, Engine::Yannakakis) => {
-            query_yannakakis(db, &x).map_err(|e| format!("yannakakis failed: {e:?}"))?
-        }
-        (Some(s), Engine::Connection) => {
-            query_via_connection_metered(db, &x, &ExecPolicy::default(), s)
-        }
-        (Some(s), Engine::Naive) => query_via_full_join_metered(db, &x, &ExecPolicy::default(), s),
-        (Some(s), Engine::Yannakakis) => {
-            query_yannakakis_metered(db, &x, &ExecPolicy::default(), s)
-                .map_err(|e| format!("yannakakis failed: {e:?}"))?
-        }
-    };
+    let answer: Relation = match &sink {
+        None => execute(db, &x, engine, &NoopMetrics, gov),
+        Some(s) => execute(db, &x, engine, s, gov),
+    }?;
+    if let Some(g) = gov {
+        // A result produced after the deadline still counts as a timeout:
+        // the caller asked for an answer *within* the budgeted time, so the
+        // exit code must not depend on which checkpoint happened to notice.
+        g.checkpoint()?;
+    }
     if metrics == MetricsMode::Json {
         // JSON mode replaces the report entirely: stdout is the document.
-        return Ok(sink
-            .expect("sink exists in metrics mode")
-            .snapshot()
-            .to_json());
+        let Some(s) = sink else {
+            return Err(CliError {
+                code: 2,
+                message: "internal: metrics sink missing in JSON mode".to_owned(),
+            });
+        };
+        return Ok(s.snapshot().to_json());
     }
     out.push_str(&format!("engine: {engine:?}\n"));
     out.push_str(&format!("answer ({} tuples):\n", answer.len()));
@@ -315,9 +402,9 @@ mod tests {
             "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
         )
         .unwrap();
-        let a = run_query(&db, &["A", "D"], Engine::Connection, MetricsMode::Off).unwrap();
-        let b = run_query(&db, &["A", "D"], Engine::Naive, MetricsMode::Off).unwrap();
-        let c = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Off).unwrap();
+        let a = run_query(&db, &["A", "D"], Engine::Connection, MetricsMode::Off, None).unwrap();
+        let b = run_query(&db, &["A", "D"], Engine::Naive, MetricsMode::Off, None).unwrap();
+        let c = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Off, None).unwrap();
         for report in [&a, &b, &c] {
             assert!(report.contains("answer (1 tuples):"), "report: {report}");
         }
@@ -328,7 +415,7 @@ mod tests {
     fn query_rejects_unknown_attributes() {
         let h = fig1();
         let db = parse_database(&h, "").unwrap();
-        assert!(run_query(&db, &["Z"], Engine::Connection, MetricsMode::Off).is_err());
+        assert!(run_query(&db, &["Z"], Engine::Connection, MetricsMode::Off, None).is_err());
     }
 
     #[test]
@@ -363,8 +450,8 @@ mod tests {
              E0: A=2 B=2\nE1: B=2 C=2\nE2: C=2 D=2\nE3: D=2 A=9\n",
         )
         .unwrap();
-        let yann = run_query(&db, &["A", "C"], Engine::Yannakakis, MetricsMode::Off).unwrap();
-        let naive = run_query(&db, &["A", "C"], Engine::Naive, MetricsMode::Off).unwrap();
+        let yann = run_query(&db, &["A", "C"], Engine::Yannakakis, MetricsMode::Off, None).unwrap();
+        let naive = run_query(&db, &["A", "C"], Engine::Naive, MetricsMode::Off, None).unwrap();
         for report in [&yann, &naive] {
             assert!(report.contains("answer (1 tuples):"), "report: {report}");
         }
@@ -378,7 +465,14 @@ mod tests {
             "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
         )
         .unwrap();
-        let report = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Table).unwrap();
+        let report = run_query(
+            &db,
+            &["A", "D"],
+            Engine::Yannakakis,
+            MetricsMode::Table,
+            None,
+        )
+        .unwrap();
         // The normal report survives, the counter table is appended.
         assert!(report.contains("answer (1 tuples):"), "report: {report}");
         assert!(report.contains("metrics:"), "report: {report}");
@@ -394,7 +488,14 @@ mod tests {
             "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
         )
         .unwrap();
-        let json = run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Json).unwrap();
+        let json = run_query(
+            &db,
+            &["A", "D"],
+            Engine::Yannakakis,
+            MetricsMode::Json,
+            None,
+        )
+        .unwrap();
         assert!(json.starts_with("{\n"), "json: {json}");
         assert!(
             !json.contains("answer ("),
@@ -420,7 +521,14 @@ mod tests {
             "E0: A=1 B=1\nE1: B=1 C=1\nE2: C=1 D=1\nE3: D=1 A=1\n",
         )
         .unwrap();
-        let json = run_query(&db, &["A", "C"], Engine::Yannakakis, MetricsMode::Json).unwrap();
+        let json = run_query(
+            &db,
+            &["A", "C"],
+            Engine::Yannakakis,
+            MetricsMode::Json,
+            None,
+        )
+        .unwrap();
         assert!(json.contains("\"min_fill_width\":"), "json: {json}");
         assert!(json.contains("\"bags\": [\n"), "bags recorded: {json}");
     }
@@ -435,6 +543,66 @@ mod tests {
         assert!(stats.contains("nodes: 6"));
         assert!(stats.contains("edges: 4"));
         assert!(stats.contains("connected: true"));
+    }
+
+    #[test]
+    fn governed_query_matches_ungoverned_and_times_out_with_code_3() {
+        let h = fig1();
+        let db = parse_database(
+            &h,
+            "R1: A=1 B=2 C=3\nR2: C=3 D=4 E=5\nR3: A=1 E=5 F=6\nR4: A=1 C=3 E=5\n",
+        )
+        .unwrap();
+        // A roomy governor changes nothing about the report.
+        let gov = reldb::QueryGovernor::new()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_memory_budget(1 << 30);
+        let governed = run_query(
+            &db,
+            &["A", "D"],
+            Engine::Yannakakis,
+            MetricsMode::Off,
+            Some(&gov),
+        )
+        .unwrap();
+        let plain =
+            run_query(&db, &["A", "D"], Engine::Yannakakis, MetricsMode::Off, None).unwrap();
+        assert_eq!(governed, plain);
+        // A zero deadline trips deterministically, mapped to exit code 3.
+        let gov = reldb::QueryGovernor::new().with_deadline(std::time::Duration::ZERO);
+        let err = run_query(
+            &db,
+            &["A", "D"],
+            Engine::Yannakakis,
+            MetricsMode::Off,
+            Some(&gov),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 3, "message: {}", err.message);
+        assert!(err.message.contains("deadline exceeded"), "{}", err.message);
+        // A one-byte budget trips the allocation guard, mapped to code 4.
+        let gov = reldb::QueryGovernor::new().with_memory_budget(1);
+        let err = run_query(
+            &db,
+            &["A", "D"],
+            Engine::Yannakakis,
+            MetricsMode::Off,
+            Some(&gov),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 4, "message: {}", err.message);
+    }
+
+    #[test]
+    fn parse_errors_keep_their_line_numbers() {
+        let e = parse_schema("R1: A B\nR1: C D\n").unwrap_err();
+        let cli = CliError::parse("schema.hg", e);
+        assert_eq!(cli.code, 2);
+        assert!(
+            cli.message.starts_with("schema.hg: line 2:"),
+            "message: {}",
+            cli.message
+        );
     }
 
     #[test]

@@ -28,8 +28,10 @@ mod bench;
 mod commands;
 mod load;
 
-use commands::{Engine, MetricsMode};
+use commands::{CliError, Engine, MetricsMode};
+use reldb::QueryGovernor;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 hyperq — acyclic-hypergraph schema tool (Maier & Ullman, PODS '82)
@@ -38,6 +40,7 @@ USAGE:
     hyperq classify  <schema>
     hyperq query     <schema> <data> --select A,B[,..] [--engine ENGINE]
                      [--metrics | --metrics-json]
+                     [--timeout-ms N] [--mem-budget-mb N]
     hyperq decompose <schema> [--heuristic HEURISTIC] [--dot]
     hyperq dot       <schema> [--name NAME]
     hyperq stats     <schema>
@@ -54,7 +57,12 @@ COMMANDS:
                --metrics appends the execution counter table (tuples
                probed/kept/built, kernel picks, level timings, pool
                leases); --metrics-json prints only the machine-readable
-               metrics document, for piping into checkers
+               metrics document, for piping into checkers.
+               --timeout-ms bounds wall-clock time (measured from process
+               start, so load time counts; 0 expires immediately) and
+               --mem-budget-mb bounds estimated engine-held row memory;
+               either flag runs the query governed, aborting cleanly at
+               the next engine checkpoint with the database left intact
     decompose  Hypertree-decompose the schema: triangulate the primal graph
                (HEURISTIC is min-fill, the default, or min-degree), report
                bags, width, fill edges and verification, and with --dot
@@ -78,11 +86,18 @@ COMMANDS:
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
     <data>     One tuple per line: 'LABEL: A=1 B=text ...'
+
+EXIT CODES:
+    0   success
+    2   usage, parse, schema or I/O error
+    3   deadline exceeded or query cancelled (--timeout-ms)
+    4   memory budget exceeded (--mem-budget-mb)
+    5   an engine worker panicked
 ";
 
-fn fail(msg: &str) -> ExitCode {
-    eprintln!("hyperq: {msg}");
-    ExitCode::from(2)
+fn fail(e: &CliError) -> ExitCode {
+    eprintln!("hyperq: {}", e.message);
+    ExitCode::from(e.code)
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -113,7 +128,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
     }
 }
 
-fn run() -> Result<String, String> {
+fn run(started: Instant) -> Result<String, CliError> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") || args.is_empty() {
         return Ok(USAGE.to_owned());
@@ -123,10 +138,10 @@ fn run() -> Result<String, String> {
         "classify" | "stats" | "dot" => {
             let name = take_flag(&mut args, "--name")?.unwrap_or_else(|| "H".to_owned());
             let [schema_path] = args.as_slice() else {
-                return Err(format!("{command} expects exactly one <schema> file"));
+                return Err(format!("{command} expects exactly one <schema> file").into());
             };
             let schema = load::parse_schema(&read(schema_path)?)
-                .map_err(|e| format!("{schema_path}: {e}"))?;
+                .map_err(|e| CliError::parse(schema_path, e))?;
             Ok(match command.as_str() {
                 "classify" => commands::run_classify(&schema),
                 "dot" => commands::run_dot(&schema, &name),
@@ -140,11 +155,11 @@ fn run() -> Result<String, String> {
             };
             let dot = take_switch(&mut args, "--dot");
             let [schema_path] = args.as_slice() else {
-                return Err("decompose expects exactly one <schema> file".to_owned());
+                return Err("decompose expects exactly one <schema> file".into());
             };
             let schema = load::parse_schema(&read(schema_path)?)
-                .map_err(|e| format!("{schema_path}: {e}"))?;
-            commands::run_decompose(&schema, heuristic, dot)
+                .map_err(|e| CliError::parse(schema_path, e))?;
+            commands::run_decompose(&schema, heuristic, dot).map_err(CliError::from)
         }
         "query" => {
             let select =
@@ -158,28 +173,60 @@ fn run() -> Result<String, String> {
                 take_switch(&mut args, "--metrics-json"),
             ) {
                 (true, true) => {
-                    return Err("--metrics and --metrics-json are mutually exclusive".to_owned())
+                    return Err("--metrics and --metrics-json are mutually exclusive".into())
                 }
                 (true, false) => MetricsMode::Table,
                 (false, true) => MetricsMode::Json,
                 (false, false) => MetricsMode::Off,
             };
+            let timeout_ms = match take_flag(&mut args, "--timeout-ms")? {
+                Some(s) => Some(s.parse::<u64>().map_err(|_| {
+                    format!(
+                        "--timeout-ms: expected milliseconds (0 = expire immediately), got {s:?}"
+                    )
+                })?),
+                None => None,
+            };
+            let budget_mb = match take_flag(&mut args, "--mem-budget-mb")? {
+                Some(s) => Some(
+                    s.parse::<u64>()
+                        .map_err(|_| format!("--mem-budget-mb: expected mebibytes, got {s:?}"))?,
+                ),
+                None => None,
+            };
             let [schema_path, data_path] = args.as_slice() else {
-                return Err("query expects <schema> and <data> files".to_owned());
+                return Err("query expects <schema> and <data> files".into());
             };
             let schema = load::parse_schema(&read(schema_path)?)
-                .map_err(|e| format!("{schema_path}: {e}"))?;
+                .map_err(|e| CliError::parse(schema_path, e))?;
             let db = load::parse_database(&schema, &read(data_path)?)
-                .map_err(|e| format!("{data_path}: {e}"))?;
+                .map_err(|e| CliError::parse(data_path, e))?;
             let attrs: Vec<&str> = select
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
                 .collect();
             if attrs.is_empty() {
-                return Err("--select needs at least one attribute".to_owned());
+                return Err("--select needs at least one attribute".into());
             }
-            commands::run_query(&db, &attrs, engine, metrics)
+            let governor = if timeout_ms.is_some() || budget_mb.is_some() {
+                let mut g = QueryGovernor::new();
+                if let Some(ms) = timeout_ms {
+                    // Backdate the clock to process entry so schema/data
+                    // load time counts against the deadline — the user
+                    // bounded the *invocation*, not just the join.
+                    g = g
+                        .with_deadline(Duration::from_millis(ms))
+                        .started_at(started);
+                }
+                if let Some(mb) = budget_mb {
+                    g = g.with_memory_budget(mb.saturating_mul(1024 * 1024));
+                }
+                Some(g)
+            } else {
+                None
+            };
+            commands::run_query(&db, &attrs, engine, metrics, governor.as_ref())
         }
         "bench" => {
             let out_path = take_flag(&mut args, "--out")?;
@@ -199,7 +246,8 @@ fn run() -> Result<String, String> {
                     Err(_) => {
                         return Err(format!(
                             "--threads: expected a worker count (0 = auto-detect), got {s:?}"
-                        ))
+                        )
+                        .into())
                     }
                 },
                 None => 4,
@@ -208,7 +256,7 @@ fn run() -> Result<String, String> {
             let tiny = take_switch(&mut args, "--tiny");
             let calibrate = take_switch(&mut args, "--calibrate");
             if !args.is_empty() {
-                return Err(format!("bench takes no positional arguments, got {args:?}"));
+                return Err(format!("bench takes no positional arguments, got {args:?}").into());
             }
             let profile = match (tiny, quick) {
                 (true, _) => bench::Profile::Tiny,
@@ -236,16 +284,17 @@ fn run() -> Result<String, String> {
             }
             Ok(out)
         }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     }
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let started = Instant::now();
+    match run(started) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(msg) => fail(&msg),
+        Err(e) => fail(&e),
     }
 }

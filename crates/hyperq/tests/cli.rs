@@ -367,6 +367,96 @@ fn bench_threads_zero_means_auto_detect() {
 }
 
 #[test]
+fn query_timeout_exits_with_code_3_and_a_clean_message() {
+    // --timeout-ms 0 expires before the first engine checkpoint, so the
+    // outcome is deterministic: exit code 3, one diagnostic line, no answer.
+    let out = hyperq(&[
+        "query",
+        &fixture("ring4.hg"),
+        &fixture("ring4.data"),
+        "--select",
+        "A,C",
+        "--engine",
+        "yannakakis",
+        "--timeout-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {:?}", out.stderr);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.starts_with("hyperq: deadline exceeded"),
+        "stderr: {err}"
+    );
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+    assert!(stdout(&out).is_empty(), "no partial answer on timeout");
+}
+
+#[test]
+fn query_budget_exhaustion_exits_with_code_4() {
+    // A 0 MiB budget rejects the first engine allocation.
+    let out = hyperq(&[
+        "query",
+        &fixture("ring4.hg"),
+        &fixture("ring4.data"),
+        "--select",
+        "A,C",
+        "--engine",
+        "yannakakis",
+        "--mem-budget-mb",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {:?}", out.stderr);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("memory budget exceeded"),
+        "stderr: {:?}",
+        out.stderr
+    );
+}
+
+#[test]
+fn generous_governor_limits_leave_the_answer_unchanged() {
+    let governed = hyperq(&[
+        "query",
+        &fixture("ring4.hg"),
+        &fixture("ring4.data"),
+        "--select",
+        "A,C",
+        "--engine",
+        "yannakakis",
+        "--timeout-ms",
+        "600000",
+        "--mem-budget-mb",
+        "1024",
+    ]);
+    assert!(governed.status.success(), "stderr: {:?}", governed.stderr);
+    let plain = hyperq(&[
+        "query",
+        &fixture("ring4.hg"),
+        &fixture("ring4.data"),
+        "--select",
+        "A,C",
+        "--engine",
+        "yannakakis",
+    ]);
+    assert_eq!(stdout(&governed), stdout(&plain));
+    assert!(stdout(&governed).contains("answer (2 tuples):"));
+}
+
+#[test]
+fn parse_errors_exit_2_with_file_and_line() {
+    let bad = std::env::temp_dir().join(format!("hyperq_bad_{}.hg", std::process::id()));
+    std::fs::write(&bad, "R1: A B\nR1: C D\n").unwrap();
+    let out = hyperq(&["classify", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("line 2:") && err.contains("duplicate"),
+        "stderr: {err}"
+    );
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
 fn bad_usage_fails_with_diagnostics() {
     let out = hyperq(&["classify", "/nonexistent/schema.hg"]);
     assert!(!out.status.success());

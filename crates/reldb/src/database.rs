@@ -180,15 +180,29 @@ impl Database {
         policy: &crate::ExecPolicy,
         sink: &M,
     ) -> Relation {
+        crate::govern::unfail(self.full_join_governed(policy, sink, &crate::govern::NoopGovernor))
+    }
+
+    /// The governed form of [`Database::full_join_metered`]: the same
+    /// all-objects fold, with every binary join checkpointed against the
+    /// [`Governor`](crate::govern::Governor) and its output charged to the
+    /// governor's memory budget.  [`Database::full_join_metered`] is this
+    /// function monomorphized over [`NoopGovernor`](crate::govern::NoopGovernor).
+    pub fn full_join_governed<M: crate::metrics::MetricsSink, G: crate::govern::Governor>(
+        &self,
+        policy: &crate::ExecPolicy,
+        sink: &M,
+        gov: &G,
+    ) -> Result<Relation, crate::govern::EngineError> {
         let mut it = self.relations.iter();
         let Some(first) = it.next() else {
-            return Relation::new("∅", NodeSet::new());
+            return Ok(Relation::new("∅", NodeSet::new()));
         };
         let mut acc = first.clone();
         for r in it {
-            acc = acc.join_metered(r, policy, sink);
+            acc = acc.join_governed(r, policy, sink, gov)?;
         }
-        acc
+        Ok(acc)
     }
 }
 

@@ -34,8 +34,9 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which physical join/semijoin kernel to run.
 ///
@@ -250,25 +251,39 @@ type WorkerMsg = (Job, Sender<JobResult>);
 /// One long-lived pool thread, addressed by its private job channel.
 struct PoolWorker {
     tx: Sender<WorkerMsg>,
+    /// Set by the worker loop when a job panicked on this thread.  The loop
+    /// itself survives the unwind and keeps serving the rest of the batch,
+    /// but a thread that has unwound once is treated as suspect (thread-
+    /// locals and any state a job leaked are in an unknown condition), so
+    /// the lease retires it on return and spawns a replacement —
+    /// self-healing instead of slow pool decay.
+    poisoned: Arc<AtomicBool>,
 }
 
 impl PoolWorker {
     fn spawn() -> Self {
         let (tx, rx) = channel::<WorkerMsg>();
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&poisoned);
         std::thread::Builder::new()
             .name("reldb-worker".to_owned())
-            .spawn(move || Self::work(rx))
+            .spawn(move || Self::work(rx, flag))
             .expect("spawn pool worker");
-        Self { tx }
+        Self { tx, poisoned }
     }
 
     /// The worker loop: run jobs until the pool drops the channel.  A
     /// panicking job is caught and its payload shipped through the batch's
     /// completion channel so the lease can re-raise it on the caller's
-    /// thread instead of deadlocking the batch.
-    fn work(rx: Receiver<WorkerMsg>) {
+    /// thread instead of deadlocking the batch; the worker marks itself
+    /// poisoned so the lease can retire it afterwards.
+    fn work(rx: Receiver<WorkerMsg>, poisoned: Arc<AtomicBool>) {
         while let Ok((job, done)) = rx.recv() {
-            let _ = done.send(catch_unwind(AssertUnwindSafe(job)));
+            let result = catch_unwind(AssertUnwindSafe(job));
+            if result.is_err() {
+                poisoned.store(true, Ordering::Relaxed);
+            }
+            let _ = done.send(result);
         }
     }
 }
@@ -287,6 +302,11 @@ fn free_workers() -> &'static Mutex<Vec<PoolWorker>> {
     static FREE: OnceLock<Mutex<Vec<PoolWorker>>> = OnceLock::new();
     FREE.get_or_init(|| Mutex::new(Vec::new()))
 }
+
+/// Total pool workers retired-and-replaced after a panicking job poisoned
+/// them — the deterministic observability hook behind the self-healing
+/// tests.
+static RESPAWNED: AtomicUsize = AtomicUsize::new(0);
 
 impl WorkerPool {
     /// Leases `threads` workers from the pool, spawning new threads only if
@@ -313,6 +333,14 @@ impl WorkerPool {
     /// for the lease/return cycle (tests assert workers come back).
     pub fn idle_workers() -> usize {
         free_workers().lock().expect("worker pool lock").len()
+    }
+
+    /// Process-lifetime count of pool workers that were retired after a
+    /// panicking job and replaced with fresh threads at lease return —
+    /// observability for the pool's self-healing (a healthy process keeps
+    /// this at `0`).
+    pub fn respawned_workers() -> usize {
+        RESPAWNED.load(Ordering::Relaxed)
     }
 }
 
@@ -403,20 +431,43 @@ impl WorkerLease {
             }
             LeaseMode::Pooled(workers) => {
                 let (done_tx, done_rx) = channel();
-                let n = jobs.len();
+                let mut dispatched = 0usize;
+                let mut first_panic: Option<Box<dyn Any + Send>> = None;
                 for (i, job) in jobs.into_iter().enumerate() {
-                    workers[i % workers.len()]
-                        .tx
-                        .send((job, done_tx.clone()))
-                        .expect("pool worker alive");
+                    match workers[i % workers.len()].tx.send((job, done_tx.clone())) {
+                        Ok(()) => dispatched += 1,
+                        // The worker thread is gone (job panics are caught,
+                        // so this means the thread itself died).  Run the
+                        // job inline rather than losing it or unwinding
+                        // with jobs undispatched.
+                        Err(send_err) => {
+                            let (job, _) = send_err.0;
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                                first_panic.get_or_insert(payload);
+                            }
+                        }
+                    }
                 }
                 drop(done_tx);
                 // Drain the whole batch before re-raising, preserving the
                 // first panic's payload.
-                let mut first_panic = None;
-                for _ in 0..n {
-                    if let Err(payload) = done_rx.recv().expect("pool worker alive") {
-                        first_panic.get_or_insert(payload);
+                for _ in 0..dispatched {
+                    match done_rx.recv() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(payload)) => {
+                            first_panic.get_or_insert(payload);
+                        }
+                        // Every completion sender is gone with jobs still
+                        // pending: a worker died mid-job.  Surface it as a
+                        // panic payload instead of unwinding the runtime
+                        // with an expect.
+                        Err(_) => {
+                            first_panic.get_or_insert(Box::new(
+                                "pool worker died with jobs pending".to_owned(),
+                            )
+                                as Box<dyn Any + Send>);
+                            break;
+                        }
                     }
                 }
                 if let Some(payload) = first_panic {
@@ -430,10 +481,27 @@ impl WorkerLease {
 impl Drop for WorkerLease {
     fn drop(&mut self) {
         if let LeaseMode::Pooled(workers) = &mut self.mode {
+            // Self-healing: poisoned workers (a job panicked on them) are
+            // retired here — dropping the handle closes the channel and the
+            // old thread exits — and replaced with fresh spawns, so the
+            // pool returns to full strength instead of accumulating suspect
+            // threads.
+            let mut returned: Vec<PoolWorker> = workers
+                .drain(..)
+                .map(|w| {
+                    if w.poisoned.load(Ordering::Relaxed) {
+                        RESPAWNED.fetch_add(1, Ordering::Relaxed);
+                        drop(w);
+                        PoolWorker::spawn()
+                    } else {
+                        w
+                    }
+                })
+                .collect();
             free_workers()
                 .lock()
                 .expect("worker pool lock")
-                .append(workers);
+                .append(&mut returned);
         }
     }
 }
@@ -598,5 +666,49 @@ mod tests {
             // The lease stays usable afterwards.
             lease.run(vec![Box::new(|| {}) as Job]);
         }
+    }
+
+    /// A panicking job poisons its pool worker; returning the lease retires
+    /// that worker and spawns a replacement, so the pool recovers to full
+    /// strength — `idle_workers` refills and later leases run fine.
+    #[test]
+    fn pool_recovers_full_strength_after_a_panic() {
+        let lease = WorkerPool::lease(2);
+        let respawned_before = WorkerPool::respawned_workers();
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            lease.run(vec![Box::new(|| panic!("poison the worker")) as Job]);
+        }));
+        assert!(boom.is_err(), "the job panic must propagate");
+        drop(lease); // retires the poisoned worker, spawns its replacement
+        assert!(
+            WorkerPool::respawned_workers() > respawned_before,
+            "returning a lease with a poisoned worker must respawn it"
+        );
+        // Both leased workers come back (the survivor plus the fresh
+        // replacement).  The free list is process-wide and other tests
+        // lease from it concurrently, so poll rather than snapshotting.
+        for _ in 0..200 {
+            if WorkerPool::idle_workers() >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(
+            WorkerPool::idle_workers() >= 2,
+            "pool never recovered to full strength after the panic"
+        );
+        // And the recovered pool is healthy: a fresh lease runs a batch.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let fresh = WorkerPool::lease(2);
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        fresh.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 }

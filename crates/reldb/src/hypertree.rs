@@ -29,11 +29,12 @@
 //! [`yannakakis_join_any`] is the transparent entry point: acyclic schemas
 //! take the direct join-tree path, cyclic schemas the decomposition path.
 
-use crate::database::{Database, DbError};
+use crate::database::Database;
 use crate::exec::{ExecPolicy, Job};
+use crate::govern::{contain_panics, unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
-use crate::yannakakis::yannakakis_join_metered;
+use crate::yannakakis::yannakakis_join_governed;
 use acyclic::join_tree;
 use decomp::{decompose, Decomposition, Heuristic};
 use hypergraph::NodeSet;
@@ -54,13 +55,14 @@ use std::time::Instant;
 /// extra edge overlapping the bag in one attribute contributes its few
 /// hundred distinct values instead of its full tuple count to the
 /// (inherently width-bounded) bag cross product.
-fn materialize_one<M: MetricsSink>(
+fn materialize_one<M: MetricsSink, G: Governor>(
     d: &Decomposition,
     bag: usize,
     relations: &[Relation],
     policy: &ExecPolicy,
     sink: &M,
-) -> Relation {
+    gov: &G,
+) -> Result<Relation, EngineError> {
     let bag_edge = &d.bags().edges()[bag];
     join_cover(
         d.cover(bag)
@@ -69,6 +71,7 @@ fn materialize_one<M: MetricsSink>(
         &bag_edge.label,
         policy,
         sink,
+        gov,
     )
 }
 
@@ -86,22 +89,34 @@ fn trim_to_bag<'a>(r: &'a Relation, bag_nodes: &NodeSet) -> Cow<'a, Relation> {
 /// The single bag-join fold both materialization paths run: joins the
 /// (already trimmed) cover relations in cover order and projects onto the
 /// bag's nodes.
-fn join_cover<'a, M: MetricsSink>(
+fn join_cover<'a, M: MetricsSink, G: Governor>(
     cover: impl IntoIterator<Item = Cow<'a, Relation>>,
     bag_nodes: &NodeSet,
     name: &str,
     policy: &ExecPolicy,
     sink: &M,
-) -> Relation {
+    gov: &G,
+) -> Result<Relation, EngineError> {
     let mut acc: Option<Relation> = None;
     for r in cover {
         acc = Some(match acc {
             None => r.into_owned(),
-            Some(a) => a.join_metered(&r, policy, sink),
+            Some(a) => a.join_governed(&r, policy, sink, gov)?,
         });
     }
-    let joined = acc.expect("every nonempty bag has a cover");
-    joined.project(bag_nodes).with_name(name.to_owned())
+    let Some(joined) = acc else {
+        return Err(EngineError::SchemaMismatch(format!(
+            "bag {name} has an empty cover"
+        )));
+    };
+    let rel = joined.project(bag_nodes).with_name(name.to_owned());
+    // The bag relation outlives materialization as a stored relation of the
+    // bag database, so charge it against the budget even when the cover was
+    // a single relation and no join kernel ran.
+    if G::ENABLED {
+        gov.approve_alloc(rel.len() as u64, rel.attributes().len())?;
+    }
+    Ok(rel)
 }
 
 /// Materializes every bag of `d` against `db`, producing a database over
@@ -126,6 +141,30 @@ pub fn materialize_bags_metered<M: MetricsSink>(
     policy: &ExecPolicy,
     sink: &M,
 ) -> Database {
+    unfail(materialize_bags_governed(
+        db,
+        d,
+        policy,
+        sink,
+        &NoopGovernor,
+    ))
+}
+
+/// The governed form of [`materialize_bags_metered`]: consults the
+/// [`Governor`] once per bag (on the dispatching thread, so an armed
+/// failpoint or tripped deadline aborts before any worker runs) and charges
+/// every materialized bag relation — plus the join kernels' intermediate
+/// output batches — against its memory budget.  An abort surfaces as
+/// `Err(EngineError)` and leaves `db` untouched: materialization only reads
+/// the original relations.  [`materialize_bags_metered`] is this function
+/// monomorphized over [`NoopGovernor`].
+pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    d: &Decomposition,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Database, EngineError> {
     let nbags = d.bag_count();
     let lease = policy.lease(db.tuple_count());
     if M::ENABLED {
@@ -133,9 +172,14 @@ pub fn materialize_bags_metered<M: MetricsSink>(
     }
     let t0 = M::ENABLED.then(Instant::now);
     let relations: Vec<Relation> = if lease.threads() <= 1 || nbags <= 1 {
-        (0..nbags)
-            .map(|b| materialize_one(d, b, db.relations(), policy, sink))
-            .collect()
+        let mut rels = Vec::with_capacity(nbags);
+        for b in 0..nbags {
+            if G::ENABLED {
+                gov.at_bag(b)?;
+            }
+            rels.push(materialize_one(d, b, db.relations(), policy, sink, gov)?);
+        }
+        rels
     } else {
         // Estimated cost of a bag: total tuples of its cover relations.
         // Dispatching big bags first keeps the round-robin balanced.
@@ -146,6 +190,14 @@ pub fn materialize_bags_metered<M: MetricsSink>(
                 .sum::<usize>()
         };
         order.sort_by_key(|&b| std::cmp::Reverse(cost(b)));
+        // Per-bag checkpoints fire on the dispatching thread, before any
+        // cover relation is cloned into a job: an armed failpoint or an
+        // already-tripped deadline aborts with zero worker-side work.
+        if G::ENABLED {
+            for b in 0..nbags {
+                gov.at_bag(b)?;
+            }
+        }
         // Each job owns exactly its bag's cover: assigned relations are
         // cloned (every original edge is assigned to one bag, so the whole
         // database is copied at most once in total) and extras are
@@ -165,6 +217,7 @@ pub fn materialize_bags_metered<M: MetricsSink>(
                 let policy = policy.clone();
                 let tx = tx.clone();
                 let sink = sink.clone();
+                let gov = gov.clone();
                 Box::new(move || {
                     let rel = join_cover(
                         cover.into_iter().map(Cow::Owned),
@@ -172,6 +225,7 @@ pub fn materialize_bags_metered<M: MetricsSink>(
                         &name,
                         &policy,
                         &sink,
+                        &gov,
                     );
                     let _ = tx.send((b, rel));
                 }) as Job
@@ -180,12 +234,23 @@ pub fn materialize_bags_metered<M: MetricsSink>(
         drop(tx);
         lease.run(jobs);
         let mut out: Vec<Option<Relation>> = vec![None; nbags];
+        let mut first_err = None;
         for (b, r) in rx.try_iter() {
-            out[b] = Some(r);
+            match r {
+                Ok(rel) => out[b] = Some(rel),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         out.into_iter()
-            .map(|r| r.expect("every bag job completed"))
-            .collect()
+            .map(|r| {
+                r.ok_or_else(|| {
+                    EngineError::WorkerPanic("bag job died before reporting a result".to_owned())
+                })
+            })
+            .collect::<Result<Vec<Relation>, EngineError>>()?
     };
     if M::ENABLED {
         for r in &relations {
@@ -195,7 +260,7 @@ pub fn materialize_bags_metered<M: MetricsSink>(
             sink.record_level(Phase::Materialize, 0, nbags, t0.elapsed().as_nanos() as u64);
         }
     }
-    Database::new(d.bags().clone(), relations).expect("bag relations match the bag schema")
+    Database::new(d.bags().clone(), relations).map_err(EngineError::from)
 }
 
 /// Runs the full cyclic pipeline over an already-computed decomposition:
@@ -220,35 +285,85 @@ pub fn yannakakis_join_decomposed_metered<M: MetricsSink>(
     policy: &ExecPolicy,
     sink: &M,
 ) -> Relation {
-    let bag_db = materialize_bags_metered(db, d, policy, sink);
-    yannakakis_join_metered(&bag_db, d.tree(), output, policy, sink)
+    unfail(yannakakis_join_decomposed_governed(
+        db,
+        d,
+        output,
+        policy,
+        sink,
+        &NoopGovernor,
+    ))
+}
+
+/// The governed form of [`yannakakis_join_decomposed_metered`]: the same
+/// materialize-then-Yannakakis pipeline over an explicit decomposition,
+/// with the [`Governor`]'s checkpoints and budget charges active in both
+/// phases.  An abort surfaces as `Err(EngineError)` and leaves `db`
+/// untouched.
+pub fn yannakakis_join_decomposed_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    d: &Decomposition,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    let bag_db = materialize_bags_governed(db, d, policy, sink, gov)?;
+    yannakakis_join_governed(&bag_db, d.tree(), output, policy, sink, gov)
 }
 
 /// Decomposes a cyclic schema with **both** elimination-order heuristics
-/// (min-fill and min-degree) and keeps the smaller-width result — the
-/// heuristics genuinely disagree on some schemas, and width bounds the bag
-/// cross products, so a cheap second decomposition run (pure graph work,
-/// no data) regularly saves real join work.  Ties go to min-fill, the
-/// historical default.  Both widths are recorded into `sink`.
-fn decompose_best<M: MetricsSink>(
+/// (min-fill and min-degree) and returns `(chosen, other)` where `chosen`
+/// is the smaller-width result — the heuristics genuinely disagree on some
+/// schemas, and width bounds the bag cross products, so a cheap second
+/// decomposition run (pure graph work, no data) regularly saves real join
+/// work.  Ties go to min-fill, the historical default.  Both widths are
+/// recorded into `sink`; the runner-up is kept because the budget
+/// degradation ladder may still prefer it (smaller *estimated rows* can
+/// beat smaller width on skewed covers).
+fn decompose_pair<M: MetricsSink>(
     schema: &hypergraph::Hypergraph,
     sink: &M,
-) -> Result<Decomposition, DbError> {
-    let cannot = |e: decomp::DecompError| -> DbError {
-        DbError::SchemaMismatch(format!("cannot decompose schema: {e}"))
+) -> Result<(Decomposition, Decomposition), EngineError> {
+    let cannot = |e: decomp::DecompError| -> EngineError {
+        EngineError::SchemaMismatch(format!("cannot decompose schema: {e}"))
     };
     let fill = decompose(schema, Heuristic::MinFill).map_err(cannot)?;
     let degree = decompose(schema, Heuristic::MinDegree).map_err(cannot)?;
     let (fill_width, degree_width) = (fill.width(), degree.width());
-    let (chosen, d) = if degree_width < fill_width {
-        ("min-degree", degree)
-    } else {
-        ("min-fill", fill)
-    };
     if M::ENABLED {
+        let chosen = if degree_width < fill_width {
+            "min-degree"
+        } else {
+            "min-fill"
+        };
         sink.record_widths(fill_width, degree_width, chosen);
     }
-    Ok(d)
+    if degree_width < fill_width {
+        Ok((degree, fill))
+    } else {
+        Ok((fill, degree))
+    }
+}
+
+/// Pessimistic cost of the widest bag of `d` against `db`: the product of
+/// its cover relations' cardinalities (the cross-product worst case —
+/// joins only shrink it) and that bag's attribute count.  This is what the
+/// budget degradation ladder compares against the governor's memory limit
+/// *before* materializing anything.
+fn worst_bag_estimate(db: &Database, d: &Decomposition) -> (u64, usize) {
+    let mut worst = (0u64, 0usize);
+    for b in 0..d.bag_count() {
+        let width = d.bags().edges()[b].nodes.len();
+        let rows: u64 = d
+            .cover(b)
+            .map(|e| db.relations()[e.index()].len() as u64)
+            .fold(1u64, u64::saturating_mul);
+        if rows.saturating_mul(width as u64) > worst.0.saturating_mul(worst.1 as u64) {
+            worst = (rows, width);
+        }
+    }
+    worst
 }
 
 /// Computes the projection of the full join onto `output` for **any**
@@ -286,7 +401,7 @@ pub fn yannakakis_join_any(
     db: &Database,
     output: &NodeSet,
     policy: &ExecPolicy,
-) -> Result<Relation, DbError> {
+) -> Result<Relation, EngineError> {
     yannakakis_join_any_metered(db, output, policy, &NoopMetrics)
 }
 
@@ -301,16 +416,77 @@ pub fn yannakakis_join_any_metered<M: MetricsSink>(
     output: &NodeSet,
     policy: &ExecPolicy,
     sink: &M,
-) -> Result<Relation, DbError> {
-    match join_tree(db.schema()) {
-        Some(tree) => Ok(yannakakis_join_metered(db, &tree, output, policy, sink)),
+) -> Result<Relation, EngineError> {
+    yannakakis_join_any_governed(db, output, policy, sink, &NoopGovernor)
+}
+
+/// The governed form of [`yannakakis_join_any_metered`]: transparent
+/// acyclic/cyclic routing under a [`Governor`], with panic containment and
+/// the memory-budget **degradation ladder** on the cyclic path.
+///
+/// Before materializing anything, the widest bag's pessimistic cost (cover
+/// cardinality product × bag width) is tested against the governor's
+/// budget:
+///
+/// 1. the smaller-width decomposition runs if its estimate fits;
+/// 2. otherwise the *other* elimination heuristic's tree is tried — the
+///    heuristics disagree on some schemas, and the runner-up by width can
+///    still have the smaller worst bag;
+/// 3. otherwise the smaller-*estimate* tree runs **sequentially** (one bag
+///    materialized at a time, no parallel cover copies in flight), letting
+///    the kernels' actual allocation charges decide;
+/// 4. only when those charges genuinely exceed the limit does the query
+///    abort with [`EngineError::BudgetExceeded`].
+///
+/// Every panic escaping the engine below this point — worker jobs
+/// included, whose payloads [`WorkerLease::run`](crate::exec::WorkerLease::run)
+/// re-raises on the caller thread — is contained and surfaced as
+/// [`EngineError::WorkerPanic`], so this entry point never unwinds.  An
+/// aborted query leaves `db` untouched.
+pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    contain_panics(|| match join_tree(db.schema()) {
+        Some(tree) => yannakakis_join_governed(db, &tree, output, policy, sink, gov),
         None => {
-            let d = decompose_best(db.schema(), sink)?;
-            Ok(yannakakis_join_decomposed_metered(
-                db, &d, output, policy, sink,
-            ))
+            let (chosen, other) = decompose_pair(db.schema(), sink)?;
+            if G::ENABLED {
+                let (rows, width) = worst_bag_estimate(db, &chosen);
+                if gov.alloc_would_exceed(rows, width) {
+                    let (orows, owidth) = worst_bag_estimate(db, &other);
+                    if !gov.alloc_would_exceed(orows, owidth) {
+                        // Rung 2: the runner-up heuristic's worst bag fits.
+                        return yannakakis_join_decomposed_governed(
+                            db, &other, output, policy, sink, gov,
+                        );
+                    }
+                    // Rung 3: both estimates blow the budget — stream the
+                    // smaller-estimate tree one bag at a time and let the
+                    // actual charges decide (the estimate is a cross-product
+                    // worst case; real bags are usually far smaller).
+                    let streaming = ExecPolicy {
+                        threads: 1,
+                        ..policy.clone()
+                    };
+                    let smaller = if orows.saturating_mul(owidth as u64)
+                        < rows.saturating_mul(width as u64)
+                    {
+                        &other
+                    } else {
+                        &chosen
+                    };
+                    return yannakakis_join_decomposed_governed(
+                        db, smaller, output, &streaming, sink, gov,
+                    );
+                }
+            }
+            yannakakis_join_decomposed_governed(db, &chosen, output, policy, sink, gov)
         }
-    }
+    })
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@
 //! | [`hypertree`] | cyclic schemas: bag materialization over a hypertree decomposition (`decomp` crate) and the acyclic-vs-cyclic router [`yannakakis_join_any`] |
 //! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, and the leased [`WorkerPool`] the parallel engine runs on |
 //! | [`metrics`] | zero-cost-when-off observability: the [`MetricsSink`] threaded through every kernel, collected into a [`QueryMetrics`] report |
+//! | [`govern`] | zero-cost-when-off governance: the [`Governor`] checkpoints (cancellation, deadlines, memory budgets) threaded through every kernel, structured [`EngineError`] aborts, and the `failpoints` fault-injection harness |
 //! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
 //! | [`mod@reference`] | the pre-rewrite naive engine, kept as the equivalence-test oracle and benchmark baseline |
 //!
@@ -62,6 +63,7 @@
 mod consistency;
 mod database;
 pub mod exec;
+pub mod govern;
 pub mod hypertree;
 pub mod metrics;
 mod pool;
@@ -80,23 +82,29 @@ pub use exec::{
     ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
     AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
 };
+pub use govern::{CancelToken, EngineError, Governor, NoopGovernor, QueryGovernor};
+#[cfg(feature = "failpoints")]
+pub use govern::{FailMode, FailpointGovernor};
 pub use hypertree::{
-    materialize_bags, materialize_bags_metered, yannakakis_join_any, yannakakis_join_any_metered,
-    yannakakis_join_decomposed, yannakakis_join_decomposed_metered,
+    materialize_bags, materialize_bags_governed, materialize_bags_metered, yannakakis_join_any,
+    yannakakis_join_any_governed, yannakakis_join_any_metered, yannakakis_join_decomposed,
+    yannakakis_join_decomposed_governed, yannakakis_join_decomposed_metered,
 };
-pub use metrics::{CollectingSink, MetricsSink, NoopMetrics, QueryMetrics};
+pub use metrics::{CollectingSink, MetricsSink, NoopMetrics, Phase, QueryMetrics};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
 pub use universal::{
-    plan_connection, query_attributes, query_via_connection, query_via_connection_metered,
-    query_via_full_join, query_via_full_join_metered, query_yannakakis, query_yannakakis_metered,
-    ConnectionPlan,
+    plan_connection, query_attributes, query_via_connection, query_via_connection_governed,
+    query_via_connection_metered, query_via_full_join, query_via_full_join_governed,
+    query_via_full_join_metered, query_yannakakis, query_yannakakis_governed,
+    query_yannakakis_metered, ConnectionPlan,
 };
 pub use value::Value;
 pub use yannakakis::{
-    full_reduce, full_reduce_metered, full_reduce_with, naive_join_project, yannakakis_join,
-    yannakakis_join_metered, yannakakis_join_with, Reduced,
+    full_reduce, full_reduce_governed, full_reduce_metered, full_reduce_with, naive_join_project,
+    yannakakis_join, yannakakis_join_governed, yannakakis_join_metered, yannakakis_join_with,
+    Reduced,
 };
 
 /// Commonly used items, for glob import.
@@ -104,7 +112,8 @@ pub mod prelude {
     pub use crate::{
         full_reduce, full_reduce_with, is_globally_consistent, is_pairwise_consistent,
         plan_connection, query_via_connection, query_via_full_join, query_yannakakis,
-        yannakakis_join, yannakakis_join_any, yannakakis_join_with, Database, DbError, ExecPolicy,
-        JoinStrategy, Query, Relation, Tuple, Value,
+        yannakakis_join, yannakakis_join_any, yannakakis_join_with, CancelToken, Database, DbError,
+        EngineError, ExecPolicy, JoinStrategy, NoopGovernor, Query, QueryGovernor, Relation, Tuple,
+        Value,
     };
 }

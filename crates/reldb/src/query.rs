@@ -9,9 +9,10 @@
 //! full join of all objects, which is the correctness baseline used by the
 //! tests and the query benchmark.
 
-use crate::database::{Database, DbError};
+use crate::database::Database;
 use crate::exec::{ExecPolicy, JoinStrategy};
-use crate::hypertree::yannakakis_join_any_metered;
+use crate::govern::{contain_panics, EngineError, Governor};
+use crate::hypertree::{yannakakis_join_any_governed, yannakakis_join_any_metered};
 use crate::metrics::{MetricsSink, NoopMetrics};
 use crate::relation::Relation;
 use crate::universal::plan_connection;
@@ -194,6 +195,31 @@ impl Query {
         self.finish(joined)
     }
 
+    /// The governed form of [`Query::execute`]: the same canonical-
+    /// connection plan under a [`Governor`] — every join checkpointed for
+    /// cancellation and deadline, output charged to the memory budget, and
+    /// engine panics contained as [`EngineError::WorkerPanic`].
+    pub fn execute_governed<M: MetricsSink, G: Governor>(
+        &self,
+        db: &Database,
+        sink: &M,
+        gov: &G,
+    ) -> Result<Relation, EngineError> {
+        contain_panics(|| {
+            let plan = self.plan(db);
+            let mut acc: Option<Relation> = None;
+            for &i in &plan.objects {
+                let filtered = self.filtered(&db.relations()[i]);
+                acc = Some(match acc {
+                    None => filtered,
+                    Some(a) => a.join_governed(&filtered, &self.policy, sink, gov)?,
+                });
+            }
+            let joined = acc.unwrap_or_else(|| Relation::new("∅", self.mentioned()));
+            Ok(self.finish(joined))
+        })
+    }
+
     /// Executes with the Yannakakis algorithm: over the schema's join tree
     /// when it is acyclic, or transparently through the hypertree-
     /// decomposition pipeline (decompose → materialize bags → reduce → join,
@@ -201,7 +227,7 @@ impl Query {
     /// to the relevant relations before reduction either way, which is where
     /// pushing selections below semijoins (and below bag materialization)
     /// pays off.
-    pub fn execute_yannakakis(&self, db: &Database) -> Result<Relation, DbError> {
+    pub fn execute_yannakakis(&self, db: &Database) -> Result<Relation, EngineError> {
         self.execute_yannakakis_metered(db, &NoopMetrics)
     }
 
@@ -213,11 +239,31 @@ impl Query {
         &self,
         db: &Database,
         sink: &M,
-    ) -> Result<Relation, DbError> {
+    ) -> Result<Relation, EngineError> {
         let filtered: Vec<Relation> = db.relations().iter().map(|r| self.filtered(r)).collect();
         let filtered_db = Database::new(db.schema().clone(), filtered)?;
         let joined =
             yannakakis_join_any_metered(&filtered_db, &self.mentioned(), &self.policy, sink)?;
+        Ok(self.finish(joined))
+    }
+
+    /// The governed form of [`Query::execute_yannakakis`]: selections are
+    /// pushed down exactly as in the metered form, then the routed pipeline
+    /// runs under the [`Governor`] — level and kernel-batch checkpoints,
+    /// memory-budget charges (and the cyclic path's degradation ladder),
+    /// and panic containment.  An abort leaves `db` untouched: the pushdown
+    /// filters into fresh relations and the engine below never mutates its
+    /// input database.
+    pub fn execute_yannakakis_governed<M: MetricsSink, G: Governor>(
+        &self,
+        db: &Database,
+        sink: &M,
+        gov: &G,
+    ) -> Result<Relation, EngineError> {
+        let filtered: Vec<Relation> = db.relations().iter().map(|r| self.filtered(r)).collect();
+        let filtered_db = Database::new(db.schema().clone(), filtered)?;
+        let joined =
+            yannakakis_join_any_governed(&filtered_db, &self.mentioned(), &self.policy, sink, gov)?;
         Ok(self.finish(joined))
     }
 

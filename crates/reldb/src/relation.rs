@@ -24,6 +24,7 @@ use crate::exec::{
     ExecPolicy, Job, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
     AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
 };
+use crate::govern::{unfail, EngineError, Governor, NoopGovernor, CHECK_BATCH};
 use crate::metrics::{Kernel, MetricsSink, NoopMetrics, OpKind, OpMetrics};
 use crate::pool::{ValuePool, NO_HANDLE};
 use crate::value::Value;
@@ -809,12 +810,13 @@ impl Relation {
     /// against the calibrated [`AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO`]
     /// threshold.
     pub fn join_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        self.join_impl(
+        unfail(self.join_impl(
             other,
             strategy,
             AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &NoopMetrics,
-        )
+            &NoopGovernor,
+        ))
     }
 
     /// Natural join under an [`ExecPolicy`]: the policy picks the strategy
@@ -834,26 +836,57 @@ impl Relation {
         policy: &ExecPolicy,
         sink: &M,
     ) -> Relation {
+        unfail(self.join_impl(
+            other,
+            policy.strategy,
+            policy.auto_sortmerge_max_distinct_ratio,
+            sink,
+            &NoopGovernor,
+        ))
+    }
+
+    /// Natural join under an [`ExecPolicy`] with governance checkpoints:
+    /// the governed form of [`Relation::join_metered`] (which is this
+    /// function monomorphized over [`NoopGovernor`]).  The join aborts with
+    /// the governor's error at the next probe-batch checkpoint after a
+    /// cancellation, deadline overrun or budget exhaustion; neither input
+    /// relation is ever mutated.
+    pub fn join_governed<M: MetricsSink, G: Governor>(
+        &self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        sink: &M,
+        gov: &G,
+    ) -> Result<Relation, EngineError> {
         self.join_impl(
             other,
             policy.strategy,
             policy.auto_sortmerge_max_distinct_ratio,
             sink,
+            gov,
         )
     }
 
-    fn join_impl<M: MetricsSink>(
+    fn join_impl<M: MetricsSink, G: Governor>(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         sink: &M,
-    ) -> Relation {
+        gov: &G,
+    ) -> Result<Relation, EngineError> {
         let attrs = self.attributes.union(&other.attributes);
         let name = format!("({}⋈{})", self.name, other.name);
         let out = Relation::with_pool(name, attrs, self.pool.clone());
         if self.len == 0 || other.len == 0 {
-            return out;
+            return Ok(out);
+        }
+        if G::ENABLED {
+            gov.checkpoint()?;
+            // Budget the build-side structure before building it: the hash
+            // kernel chains ~2 words per build row, sort-merge holds two
+            // id permutations of comparable size.
+            gov.approve_alloc(self.len.min(other.len) as u64, 2)?;
         }
         // Unify pools so handle equality is value equality; output values
         // come from both sides, so unknown values are interned.
@@ -878,8 +911,8 @@ impl Relation {
             )
         };
         let (out, built) = match kernel {
-            Kernel::SortMerge => self.sort_merge_join_into(other, &shared, out),
-            Kernel::Hash => self.hash_join_into(other, &shared, out),
+            Kernel::SortMerge => self.sort_merge_join_into(other, &shared, out, gov)?,
+            Kernel::Hash => self.hash_join_into(other, &shared, out, gov)?,
         };
         if M::ENABLED {
             sink.record_op(OpMetrics {
@@ -892,19 +925,20 @@ impl Relation {
                 distinct_ratio: ratio,
             });
         }
-        out
+        Ok(out)
     }
 
     /// The hash-join kernel: build the smaller side, probe the larger.
     /// Pools are already unified.  Also returns the number of distinct keys
     /// the build side contributed (the table's entry count — the "built"
     /// metric).
-    fn hash_join_into(
+    fn hash_join_into<G: Governor>(
         &self,
         other: &Relation,
         shared: &NodeSet,
         mut out: Relation,
-    ) -> (Relation, usize) {
+        gov: &G,
+    ) -> Result<(Relation, usize), EngineError> {
         let (build, probe) = if self.len <= other.len {
             (self, other)
         } else {
@@ -944,11 +978,24 @@ impl Relation {
                 distinct += 1;
             }
         }
-        // Probe and emit.
+        // Probe and emit.  Governance runs at batch granularity: every
+        // CHECK_BATCH probed/emitted rows the kernel checkpoints and charges
+        // the output growth since the last charge against the budget.
         let k = probe_key.len();
         let mut keybuf = vec![0u32; k];
         let mut rowbuf = vec![0u32; out.width()];
+        let mut step = 0usize;
+        let mut charged = 0usize;
         for prow in probe.rows_iter() {
+            if G::ENABLED {
+                step += 1;
+                if step >= CHECK_BATCH {
+                    step = 0;
+                    gov.checkpoint()?;
+                    gov.approve_alloc((out.len - charged) as u64, out.width())?;
+                    charged = out.len;
+                }
+            }
             for (j, &p) in probe_key.iter().enumerate() {
                 keybuf[j] = prow[p];
             }
@@ -963,13 +1010,19 @@ impl Relation {
                     rowbuf[c] = if from_probe { prow[p] } else { brow[p] };
                 }
                 out.insert_row(&rowbuf);
+                if G::ENABLED {
+                    step += 1;
+                }
                 if next[cur as usize] == NO_HANDLE {
                     break;
                 }
                 cur = next[cur as usize];
             }
         }
-        (out, distinct)
+        if G::ENABLED && out.len > charged {
+            gov.approve_alloc((out.len - charged) as u64, out.width())?;
+        }
+        Ok((out, distinct))
     }
 
     /// The sort-merge join kernel: sort row-id permutations of both sides
@@ -977,12 +1030,13 @@ impl Relation {
     /// of equal-key runs.  Pools are already unified and `shared` is
     /// nonempty.  Also returns the number of sorted permutation entries
     /// built (both sides — the "built" metric).
-    fn sort_merge_join_into(
+    fn sort_merge_join_into<G: Governor>(
         &self,
         other: &Relation,
         shared: &NodeSet,
         mut out: Relation,
-    ) -> (Relation, usize) {
+        gov: &G,
+    ) -> Result<(Relation, usize), EngineError> {
         let keys = JoinKeys::for_unified(self, other, shared);
         let left_keys = keys.gather(self, &keys.left_pos);
         let right_keys = keys.gather(other, &keys.right_pos);
@@ -1002,13 +1056,30 @@ impl Relation {
         fn key_of(buf: &[u32], id: u32, k: usize) -> &[u32] {
             &buf[id as usize * k..(id as usize + 1) * k]
         }
+        // Merge and emit, checkpointing/charging every CHECK_BATCH
+        // merge-steps-or-emitted-rows (same batch discipline as the hash
+        // kernel's probe loop).
+        let mut step = 0usize;
+        let mut charged = 0usize;
         let (mut li, mut ri) = (0usize, 0usize);
         while li < left_sorted.len() && ri < right_sorted.len() {
+            if G::ENABLED && step >= CHECK_BATCH {
+                step = 0;
+                gov.checkpoint()?;
+                gov.approve_alloc((out.len - charged) as u64, out.width())?;
+                charged = out.len;
+            }
             let lkey = key_of(&left_keys, left_sorted[li], k);
             let rkey = key_of(&right_keys, right_sorted[ri], k);
             match lkey.cmp(rkey) {
-                std::cmp::Ordering::Less => li += 1,
-                std::cmp::Ordering::Greater => ri += 1,
+                std::cmp::Ordering::Less => {
+                    li += 1;
+                    step += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    ri += 1;
+                    step += 1;
+                }
                 std::cmp::Ordering::Equal => {
                     // Bound the two equal-key runs, emit their cross product.
                     let lend = run_end(&left_keys, &left_sorted, li, k);
@@ -1023,13 +1094,17 @@ impl Relation {
                             out.insert_row(&rowbuf);
                         }
                     }
+                    step += (lend - li) * (rend - ri);
                     li = lend;
                     ri = rend;
                 }
             }
         }
+        if G::ENABLED && out.len > charged {
+            gov.approve_alloc((out.len - charged) as u64, out.width())?;
+        }
         let built = left_sorted.len() + right_sorted.len();
-        (out, built)
+        Ok((out, built))
     }
 
     /// Resolves a [`JoinStrategy`] to a physical [`Kernel`] for a key over
@@ -1103,14 +1178,18 @@ impl Relation {
     /// can record one semijoin [`OpMetrics`]; `sample_ratio` additionally
     /// samples the distinct-key ratio under pinned strategies (`Auto`
     /// samples regardless).
-    fn semijoin_mask(
+    fn semijoin_mask<G: Governor>(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
         sample_ratio: bool,
-    ) -> (Vec<bool>, MaskStats) {
+        gov: &G,
+    ) -> Result<(Vec<bool>, MaskStats), EngineError> {
+        if G::ENABLED {
+            gov.at_semijoin()?;
+        }
         let Some(keys) = JoinKeys::new(self, other) else {
             // π_∅(other) is {()} iff other is nonempty; every tuple matches.
             let mask = vec![!other.is_empty(); self.len];
@@ -1120,15 +1199,15 @@ impl Relation {
                 build_rows: other.len,
                 ratio: None,
             };
-            return (mask, stats);
+            return Ok((mask, stats));
         };
         // Gather the (translated) key columns of `other` into one buffer.
         let other_keys = keys.gather_translated(other);
         let (kernel, ratio) =
             self.resolve_kernel(strategy, &keys.left_pos, auto_ratio, sample_ratio);
         let (mask, built) = match kernel {
-            Kernel::SortMerge => self.sort_merge_mask(&keys, &other_keys),
-            Kernel::Hash => self.hash_mask(&keys, other_keys, probe),
+            Kernel::SortMerge => self.sort_merge_mask(&keys, &other_keys, gov)?,
+            Kernel::Hash => self.hash_mask(&keys, other_keys, probe, gov)?,
         };
         let stats = MaskStats {
             kernel,
@@ -1136,7 +1215,7 @@ impl Relation {
             build_rows: other.len,
             ratio,
         };
-        (mask, stats)
+        Ok((mask, stats))
     }
 
     /// Hash flavor of the semijoin mask: index `other`'s distinct keys,
@@ -1151,18 +1230,27 @@ impl Relation {
     /// jobs rather than scoped borrows.
     /// Returns the mask plus the number of distinct keys indexed (the
     /// "built" metric).
-    fn hash_mask(
+    fn hash_mask<G: Governor>(
         &self,
         keys: &JoinKeys,
         other_keys: Vec<u32>,
         probe: &WorkerLease,
-    ) -> (Vec<bool>, usize) {
+        gov: &G,
+    ) -> Result<(Vec<bool>, usize), EngineError> {
         let k = keys.k();
         let nkeys = other_keys.len() / k;
         let key_at = |id: u32| row_of(&other_keys, k, id);
         let mut table = RowTable::default();
         let mut distinct = 0usize;
+        let mut step = 0usize;
         for i in 0..nkeys as u32 {
+            if G::ENABLED {
+                step += 1;
+                if step >= CHECK_BATCH {
+                    step = 0;
+                    gov.checkpoint()?;
+                }
+            }
             let h = hash_row(key_at(i));
             table.reserve(distinct, |id| hash_row(key_at(id)));
             let (slot, occupied) = table.find_slot(h, |id| key_at(id) == key_at(i));
@@ -1174,21 +1262,28 @@ impl Relation {
         let threads = probe.threads();
         if threads <= 1 || self.len < PAR_MASK_MIN_ROWS {
             let mut keybuf = vec![0u32; k];
-            let mask = self
-                .rows_iter()
-                .map(|row| {
-                    for (j, &p) in keys.left_pos.iter().enumerate() {
-                        keybuf[j] = row[p];
+            let mut mask = Vec::with_capacity(self.len);
+            for row in self.rows_iter() {
+                if G::ENABLED {
+                    step += 1;
+                    if step >= CHECK_BATCH {
+                        step = 0;
+                        gov.checkpoint()?;
                     }
-                    probe_key(&table, &other_keys, k, &keybuf)
-                })
-                .collect();
-            return (mask, distinct);
+                }
+                for (j, &p) in keys.left_pos.iter().enumerate() {
+                    keybuf[j] = row[p];
+                }
+                mask.push(probe_key(&table, &other_keys, k, &keybuf));
+            }
+            return Ok((mask, distinct));
         }
         // Shard the probe loop across the leased workers.  Each shard owns
         // its row range and probes the gathered key columns (shared
         // read-only behind one Arc with the table), sending its chunk of
-        // the mask back tagged with the range start.
+        // the mask back tagged with the range start.  Shards carry their
+        // own governor handle and checkpoint per batch; the first shard
+        // error aborts the whole mask.
         let my_keys = keys.gather(self, &keys.left_pos);
         let shared = Arc::new((table, other_keys, my_keys));
         let chunk_rows = self.len.div_ceil(threads);
@@ -1199,22 +1294,48 @@ impl Relation {
                 let end = (start + chunk_rows).min(self.len);
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
+                let gov = gov.clone();
                 Box::new(move || {
                     let (table, other_keys, my_keys) = &*shared;
-                    let bits: Vec<bool> = (start..end)
-                        .map(|i| probe_key(table, other_keys, k, row_of(my_keys, k, i as u32)))
-                        .collect();
-                    let _ = tx.send((start, bits));
+                    let mut bits = Vec::with_capacity(end - start);
+                    let mut res = Ok(());
+                    let mut step = 0usize;
+                    for i in start..end {
+                        if G::ENABLED {
+                            step += 1;
+                            if step >= CHECK_BATCH {
+                                step = 0;
+                                if let Err(e) = gov.checkpoint() {
+                                    res = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        bits.push(probe_key(
+                            table,
+                            other_keys,
+                            k,
+                            row_of(my_keys, k, i as u32),
+                        ));
+                    }
+                    let _ = tx.send((start, res.map(|()| bits)));
                 }) as Job
             })
             .collect();
         drop(tx);
         probe.run(jobs);
         let mut mask = vec![false; self.len];
+        let mut first_err = None;
         for (start, bits) in rx.try_iter() {
-            mask[start..start + bits.len()].copy_from_slice(&bits);
+            match bits {
+                Ok(bits) => mask[start..start + bits.len()].copy_from_slice(&bits),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
         }
-        (mask, distinct)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((mask, distinct)),
+        }
     }
 
     /// Sort-merge flavor of the semijoin mask: sort a row-id permutation of
@@ -1222,11 +1343,19 @@ impl Relation {
     /// `other`'s keys, and mark equal-key runs in one merge walk.  Returns
     /// the mask plus the number of distinct other-side keys after dedup
     /// (the "built" metric).
-    fn sort_merge_mask(&self, keys: &JoinKeys, other_keys: &[u32]) -> (Vec<bool>, usize) {
+    fn sort_merge_mask<G: Governor>(
+        &self,
+        keys: &JoinKeys,
+        other_keys: &[u32],
+        gov: &G,
+    ) -> Result<(Vec<bool>, usize), EngineError> {
         let k = keys.k();
         let mut mask = vec![false; self.len];
         if other_keys.is_empty() || self.len == 0 {
-            return (mask, 0);
+            return Ok((mask, 0));
+        }
+        if G::ENABLED {
+            gov.checkpoint()?;
         }
         let my_keys = keys.gather(self, &keys.left_pos);
         let mine = sort_ids_by_key(&my_keys, k, self.len);
@@ -1239,20 +1368,27 @@ impl Relation {
         let other_key = |id: u32| &other_keys[id as usize * k..(id as usize + 1) * k];
         let mut oi = 0usize;
         let mut i = 0usize;
+        let mut step = 0usize;
         while i < mine.len() && oi < others.len() {
+            if G::ENABLED && step >= CHECK_BATCH {
+                step = 0;
+                gov.checkpoint()?;
+            }
             let key = my_key(mine[i]);
             let end = run_end(&my_keys, &mine, i, k);
             while oi < others.len() && other_key(others[oi]) < key {
                 oi += 1;
+                step += 1;
             }
             if oi < others.len() && other_key(others[oi]) == key {
                 for &id in &mine[i..end] {
                     mask[id as usize] = true;
                 }
             }
+            step += end - i;
             i = end;
         }
-        (mask, others.len())
+        Ok((mask, others.len()))
     }
 
     /// Semijoin: the tuples of `self` that join with at least one tuple of
@@ -1264,13 +1400,14 @@ impl Relation {
     /// Semijoin under an explicit [`JoinStrategy`] — see
     /// [`Relation::join_with`] for the strategy semantics.
     pub fn semijoin_with(&self, other: &Relation, strategy: JoinStrategy) -> Relation {
-        let (mask, _) = self.semijoin_mask(
+        let (mask, _) = unfail(self.semijoin_mask(
             other,
             strategy,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
             false,
-        );
+            &NoopGovernor,
+        ));
         let mut out = Relation::with_pool(
             self.name.clone(),
             self.attributes.clone(),
@@ -1287,13 +1424,14 @@ impl Relation {
     /// Number of tuples the semijoin with `other` would keep, without
     /// materializing it.
     pub fn semijoin_count(&self, other: &Relation) -> usize {
-        self.semijoin_mask(
+        unfail(self.semijoin_mask(
             other,
             JoinStrategy::Hash,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
             false,
-        )
+            &NoopGovernor,
+        ))
         .0
         .iter()
         .filter(|&&b| b)
@@ -1326,13 +1464,14 @@ impl Relation {
         } else {
             WorkerPool::lease(threads)
         };
-        self.retain_semijoin_impl(
+        unfail(self.retain_semijoin_impl(
             other,
             strategy,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &probe,
             &NoopMetrics,
-        )
+            &NoopGovernor,
+        ))
     }
 
     /// In-place semijoin under an [`ExecPolicy`] — like
@@ -1362,25 +1501,58 @@ impl Relation {
         probe: &WorkerLease,
         sink: &M,
     ) -> usize {
+        unfail(self.retain_semijoin_impl(
+            other,
+            policy.strategy,
+            policy.auto_semijoin_sortmerge_max_distinct_ratio,
+            probe,
+            sink,
+            &NoopGovernor,
+        ))
+    }
+
+    /// In-place semijoin under an [`ExecPolicy`] with governance
+    /// checkpoints — the governed form of
+    /// [`Relation::retain_semijoin_metered`] (which is this function
+    /// monomorphized over [`NoopGovernor`]).
+    ///
+    /// All checkpoints fire during the read-only mask computation; the
+    /// in-place compaction runs unconditionally after the mask is complete.
+    /// An abort therefore returns `Err` with `self` exactly as it was — the
+    /// rollback guarantee the governed reducer relies on.
+    pub fn retain_semijoin_governed<M: MetricsSink, G: Governor>(
+        &mut self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        probe: &WorkerLease,
+        sink: &M,
+        gov: &G,
+    ) -> Result<usize, EngineError> {
         self.retain_semijoin_impl(
             other,
             policy.strategy,
             policy.auto_semijoin_sortmerge_max_distinct_ratio,
             probe,
             sink,
+            gov,
         )
     }
 
-    fn retain_semijoin_impl<M: MetricsSink>(
+    fn retain_semijoin_impl<M: MetricsSink, G: Governor>(
         &mut self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
         sink: &M,
-    ) -> usize {
+        gov: &G,
+    ) -> Result<usize, EngineError> {
         let probed = self.len;
-        let (mask, stats) = self.semijoin_mask(other, strategy, auto_ratio, probe, M::ENABLED);
+        // Every governance checkpoint fires inside the mask computation,
+        // which only reads `self`; an abort propagates here before any row
+        // is moved, leaving the relation bit-identical.
+        let (mask, stats) =
+            self.semijoin_mask(other, strategy, auto_ratio, probe, M::ENABLED, gov)?;
         let removed = mask.iter().filter(|&&b| !b).count();
         if removed > 0 {
             let w = self.width();
@@ -1408,7 +1580,7 @@ impl Relation {
                 distinct_ratio: stats.ratio,
             });
         }
-        removed
+        Ok(removed)
     }
 
     /// How many times this relation's dedup index has been rebuilt — the
@@ -1926,20 +2098,26 @@ mod tests {
                 s.insert(Tuple::from_pairs([(b, i % 101), (c, i)]));
             }
         }
-        let (seq, seq_stats) = r.semijoin_mask(
-            &s,
-            JoinStrategy::Hash,
-            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
-            &WorkerLease::inline(),
-            false,
-        );
-        let (par, par_stats) = r.semijoin_mask(
-            &s,
-            JoinStrategy::Hash,
-            AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
-            &WorkerPool::lease(4),
-            false,
-        );
+        let (seq, seq_stats) = r
+            .semijoin_mask(
+                &s,
+                JoinStrategy::Hash,
+                AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+                &WorkerLease::inline(),
+                false,
+                &NoopGovernor,
+            )
+            .unwrap();
+        let (par, par_stats) = r
+            .semijoin_mask(
+                &s,
+                JoinStrategy::Hash,
+                AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+                &WorkerPool::lease(4),
+                false,
+                &NoopGovernor,
+            )
+            .unwrap();
         assert_eq!(seq, par);
         // Both paths index the same distinct build keys.
         assert_eq!(seq_stats.built, par_stats.built);

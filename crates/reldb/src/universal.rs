@@ -16,9 +16,12 @@
 //! * [`query_via_full_join`] — join *every* object, project onto `X`
 //!   (the naive baseline).
 
-use crate::database::{Database, DbError};
+use crate::database::Database;
 use crate::exec::ExecPolicy;
-use crate::hypertree::{yannakakis_join_any, yannakakis_join_any_metered};
+use crate::govern::{contain_panics, EngineError, Governor};
+use crate::hypertree::{
+    yannakakis_join_any, yannakakis_join_any_governed, yannakakis_join_any_metered,
+};
 use crate::metrics::{MetricsSink, NoopMetrics};
 use crate::relation::Relation;
 use crate::yannakakis::naive_join_project;
@@ -93,6 +96,34 @@ pub fn query_via_connection_metered<M: MetricsSink>(
     }
 }
 
+/// The governed form of [`query_via_connection_metered`]: the same
+/// canonical-connection plan, with every join checkpointed against the
+/// [`Governor`] and its output charged to the governor's memory budget, and
+/// any engine panic contained as [`EngineError::WorkerPanic`].
+pub fn query_via_connection_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    contain_panics(|| {
+        let plan = plan_connection(db.schema(), x);
+        let mut acc: Option<Relation> = None;
+        for &i in &plan.objects {
+            let r = &db.relations()[i];
+            acc = Some(match acc {
+                None => r.clone(),
+                Some(a) => a.join_governed(r, policy, sink, gov)?,
+            });
+        }
+        Ok(match acc {
+            Some(a) => a.project(x),
+            None => Relation::new("∅", x.clone()),
+        })
+    })
+}
+
 /// Answers the query by joining **all** objects (the universal relation) and
 /// projecting — the naive baseline.
 pub fn query_via_full_join(db: &Database, x: &NodeSet) -> Relation {
@@ -110,11 +141,26 @@ pub fn query_via_full_join_metered<M: MetricsSink>(
     db.full_join_metered(policy, sink).project(x)
 }
 
+/// The governed form of [`query_via_full_join_metered`]: the naive
+/// all-objects join under a [`Governor`], with panics contained.  The
+/// checkpoints matter most here — this is the one engine whose intermediate
+/// results can explode, which is exactly what a deadline or memory budget
+/// is for.
+pub fn query_via_full_join_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    contain_panics(|| Ok(db.full_join_governed(policy, sink, gov)?.project(x)))
+}
+
 /// Answers the query with the Yannakakis algorithm: over the schema's join
 /// tree when it is acyclic, or through the hypertree-decomposition pipeline
 /// ([`yannakakis_join_any`]) when it is cyclic.  Fails only on an edgeless
 /// schema.
-pub fn query_yannakakis(db: &Database, x: &NodeSet) -> Result<Relation, DbError> {
+pub fn query_yannakakis(db: &Database, x: &NodeSet) -> Result<Relation, EngineError> {
     yannakakis_join_any(db, x, &ExecPolicy::default())
 }
 
@@ -126,12 +172,27 @@ pub fn query_yannakakis_metered<M: MetricsSink>(
     x: &NodeSet,
     policy: &ExecPolicy,
     sink: &M,
-) -> Result<Relation, DbError> {
+) -> Result<Relation, EngineError> {
     yannakakis_join_any_metered(db, x, policy, sink)
 }
 
+/// The governed form of [`query_yannakakis_metered`]: the same routed
+/// pipeline under a [`Governor`] — cancellation, deadline and budget
+/// checkpoints at every level and kernel batch, panic containment, and the
+/// cyclic path's budget degradation ladder
+/// ([`yannakakis_join_any_governed`]).
+pub fn query_yannakakis_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    yannakakis_join_any_governed(db, x, policy, sink, gov)
+}
+
 /// Convenience: answer a query given attribute names.
-pub fn query_attributes(db: &Database, names: &[&str]) -> Result<Relation, DbError> {
+pub fn query_attributes(db: &Database, names: &[&str]) -> Result<Relation, EngineError> {
     let x = db.attributes(names.iter().copied())?;
     Ok(query_via_connection(db, &x))
 }

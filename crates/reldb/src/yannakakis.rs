@@ -17,6 +17,7 @@
 
 use crate::database::Database;
 use crate::exec::{ExecPolicy, Job, WorkerLease, WorkerPool};
+use crate::govern::{unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
 use acyclic::JoinTree;
@@ -90,16 +91,17 @@ fn placeholder() -> Relation {
 /// worker while the rest idle.  Sorting by estimated cost (target tuples
 /// plus source tuples) approximates longest-processing-time scheduling
 /// without a work queue.
-fn run_level<M: MetricsSink>(
+fn run_level<M: MetricsSink, G: Governor>(
     relations: &mut Vec<Relation>,
     removed: &mut [usize],
     mut jobs: Vec<LevelJob>,
     policy: &ExecPolicy,
     lease: &WorkerLease,
     sink: &M,
-) {
+    gov: &G,
+) -> Result<(), EngineError> {
     if jobs.is_empty() {
-        return;
+        return Ok(());
     }
     let threads = lease.threads();
     if threads <= 1 || jobs.len() == 1 {
@@ -108,10 +110,10 @@ fn run_level<M: MetricsSink>(
         for job in &jobs {
             for &s in &job.sources {
                 let (t, src) = pair_mut(relations, job.target, s);
-                removed[job.target] += t.retain_semijoin_metered(src, policy, probe, sink);
+                removed[job.target] += t.retain_semijoin_governed(src, policy, probe, sink, gov)?;
             }
         }
-        return;
+        return Ok(());
     }
     let cost = |j: &LevelJob| -> usize {
         relations[j.target].len() + j.sources.iter().map(|&s| relations[s].len()).sum::<usize>()
@@ -135,18 +137,30 @@ fn run_level<M: MetricsSink>(
             let policy = policy.clone();
             let tx = tx.clone();
             let sink = sink.clone();
+            let gov = gov.clone();
             Box::new(move || {
                 let mut removed_here = 0usize;
+                let mut res = Ok(());
                 for &s in &job.sources {
-                    removed_here += target.retain_semijoin_metered(
+                    match target.retain_semijoin_governed(
                         &shared[s],
                         &policy,
                         &WorkerLease::inline(),
                         &sink,
-                    );
+                        &gov,
+                    ) {
+                        Ok(n) => removed_here += n,
+                        Err(e) => {
+                            res = Err(e);
+                            break;
+                        }
+                    }
                 }
                 drop(shared);
-                let _ = tx.send((job.target, target, removed_here));
+                // The target relation is sent back even on abort: a governed
+                // semijoin that errors leaves it untouched, so reassembly
+                // below restores the level exactly as it was.
+                let _ = tx.send((job.target, target, removed_here, res));
             }) as Job
         })
         .collect();
@@ -154,9 +168,17 @@ fn run_level<M: MetricsSink>(
     lease.run(work);
     *relations = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| unreachable!("level jobs returned their shared handles"));
-    for (t, rel, rem) in rx.try_iter() {
+    let mut first_err = None;
+    for (t, rel, rem, res) in rx.try_iter() {
         relations[t] = rel;
         removed[t] += rem;
+        if let Err(e) = res {
+            first_err = first_err.or(Some(e));
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -202,30 +224,56 @@ pub fn full_reduce_metered<M: MetricsSink>(
     policy: &ExecPolicy,
     sink: &M,
 ) -> Reduced {
+    unfail(full_reduce_governed(db, tree, policy, sink, &NoopGovernor))
+}
+
+/// The governed form of [`full_reduce_metered`]: the same two semijoin
+/// passes, with the [`Governor`]'s checkpoints consulted before every tree
+/// level and at every [`CHECK_BATCH`](crate::govern::CHECK_BATCH) rows
+/// inside the semijoin kernels.  An abort — cancellation, deadline, budget
+/// or injected failpoint — surfaces as `Err(EngineError)` and leaves `db`
+/// untouched: the reducer operates on copies of the stored relations, and
+/// every checkpoint fires during read-only kernel phases.
+/// [`full_reduce_metered`] is this function monomorphized over
+/// [`NoopGovernor`], which compiles the checkpoints away.
+pub fn full_reduce_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    tree: &JoinTree,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Reduced, EngineError> {
     let lease = policy.lease(db.tuple_count());
     if M::ENABLED {
         sink.record_lease(lease.threads(), WorkerPool::idle_workers());
     }
-    full_reduce_leased(db, tree, policy, &lease, sink)
+    full_reduce_leased(db, tree, policy, &lease, sink, gov)
 }
 
 /// The reducer body, on an already-acquired lease — shared by
-/// [`full_reduce_metered`] and [`yannakakis_join_metered`] so the join
+/// [`full_reduce_governed`] and [`yannakakis_join_governed`] so the join
 /// pipeline leases its workers exactly once for both phases.
-fn full_reduce_leased<M: MetricsSink>(
+fn full_reduce_leased<M: MetricsSink, G: Governor>(
     db: &Database,
     tree: &JoinTree,
     policy: &ExecPolicy,
     lease: &WorkerLease,
     sink: &M,
-) -> Reduced {
+    gov: &G,
+) -> Result<Reduced, EngineError> {
     let mut relations: Vec<Relation> = db.relations().to_vec();
     let mut removed: Vec<usize> = vec![0; relations.len()];
     let levels = tree.levels();
     let rebuilds_before: usize = relations.iter().map(Relation::index_rebuild_count).sum();
 
-    // Upward pass: parent ⋉ each child, deepest parent level first.
+    // Upward pass: parent ⋉ each child, deepest parent level first.  The
+    // governor is consulted once per level even when the level has no
+    // semijoin work, so a zero deadline trips deterministically on any
+    // tree, single-edge schemas included.
     for (depth, level) in levels.iter().enumerate().rev() {
+        if G::ENABLED {
+            gov.at_level(Phase::ReduceUp, depth)?;
+        }
         let jobs: Vec<LevelJob> = level
             .iter()
             .filter(|&&e| !tree.children(e).is_empty())
@@ -236,7 +284,7 @@ fn full_reduce_leased<M: MetricsSink>(
             .collect();
         let n = jobs.len();
         let t0 = M::ENABLED.then(Instant::now);
-        run_level(&mut relations, &mut removed, jobs, policy, lease, sink);
+        run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
         if let Some(t0) = t0 {
             if n > 0 {
                 sink.record_level(Phase::ReduceUp, depth, n, t0.elapsed().as_nanos() as u64);
@@ -245,6 +293,9 @@ fn full_reduce_leased<M: MetricsSink>(
     }
     // Downward pass: child ⋉ parent, top-down.
     for (depth, level) in levels.iter().enumerate().skip(1) {
+        if G::ENABLED {
+            gov.at_level(Phase::ReduceDown, depth)?;
+        }
         let jobs: Vec<LevelJob> = level
             .iter()
             .map(|&e| LevelJob {
@@ -254,7 +305,7 @@ fn full_reduce_leased<M: MetricsSink>(
             .collect();
         let n = jobs.len();
         let t0 = M::ENABLED.then(Instant::now);
-        run_level(&mut relations, &mut removed, jobs, policy, lease, sink);
+        run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
         if let Some(t0) = t0 {
             if n > 0 {
                 sink.record_level(Phase::ReduceDown, depth, n, t0.elapsed().as_nanos() as u64);
@@ -269,7 +320,7 @@ fn full_reduce_leased<M: MetricsSink>(
         let after: usize = relations.iter().map(Relation::index_rebuild_count).sum();
         sink.record_index_rebuilds((after - rebuilds_before) as u64);
     }
-    Reduced { relations, removed }
+    Ok(Reduced { relations, removed })
 }
 
 /// Computes the projection of the full join onto `output` by the Yannakakis
@@ -336,12 +387,37 @@ pub fn yannakakis_join_metered<M: MetricsSink>(
     policy: &ExecPolicy,
     sink: &M,
 ) -> Relation {
+    unfail(yannakakis_join_governed(
+        db,
+        tree,
+        output,
+        policy,
+        sink,
+        &NoopGovernor,
+    ))
+}
+
+/// The governed form of [`yannakakis_join_metered`]: the same
+/// reduce-then-join pipeline, with the [`Governor`]'s checkpoints consulted
+/// before every reducer and join level and inside every kernel loop, and
+/// output allocations charged against its memory budget.  An abort surfaces
+/// as `Err(EngineError)`; `db` is never mutated, so an aborted query leaves
+/// the database exactly as loaded.  [`yannakakis_join_metered`] is this
+/// function monomorphized over [`NoopGovernor`].
+pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
+    db: &Database,
+    tree: &JoinTree,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
     // One lease serves the reducer passes and the join levels alike.
     let lease = policy.lease(db.tuple_count());
     if M::ENABLED {
         sink.record_lease(lease.threads(), WorkerPool::idle_workers());
     }
-    let reduced = full_reduce_leased(db, tree, policy, &lease, sink);
+    let reduced = full_reduce_leased(db, tree, policy, &lease, sink, gov)?;
     let mut relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
@@ -364,6 +440,9 @@ pub fn yannakakis_join_metered<M: MetricsSink>(
     let levels = tree.levels_bottom_up();
     let threads = lease.threads();
     for (li, level) in levels.iter().enumerate() {
+        if G::ENABLED {
+            gov.at_level(Phase::Join, li)?;
+        }
         let t0 = M::ENABLED.then(Instant::now);
         if threads <= 1 || level.len() <= 1 {
             for &e in level {
@@ -376,7 +455,8 @@ pub fn yannakakis_join_metered<M: MetricsSink>(
                     output,
                     policy,
                     sink,
-                ));
+                    gov,
+                )?);
             }
         } else {
             // Biggest subtree jobs first, for the same longest-processing-
@@ -404,19 +484,27 @@ pub fn yannakakis_join_metered<M: MetricsSink>(
                     let policy = policy.clone();
                     let tx = tx.clone();
                     let sink = sink.clone();
+                    let gov = gov.clone();
                     let idx = e.index();
                     Box::new(move || {
                         let _ = tx.send((
                             idx,
-                            join_subtree(base, &children, keep, &output, &policy, &sink),
+                            join_subtree(base, &children, keep, &output, &policy, &sink, &gov),
                         ));
                     }) as Job
                 })
                 .collect();
             drop(tx);
             lease.run(work);
-            for (idx, rel) in rx.try_iter() {
-                partial[idx] = Some(rel);
+            let mut first_err = None;
+            for (idx, res) in rx.try_iter() {
+                match res {
+                    Ok(rel) => partial[idx] = Some(rel),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
         }
         if let Some(t0) = t0 {
@@ -426,7 +514,7 @@ pub fn yannakakis_join_metered<M: MetricsSink>(
     let root_result = partial[tree.root().index()]
         .take()
         .expect("root processed last");
-    root_result.project(output)
+    Ok(root_result.project(output))
 }
 
 /// Takes edge `e`'s children's partial results out of their slots (they are
@@ -442,20 +530,21 @@ fn take_children(tree: &JoinTree, e: EdgeId, partial: &mut [Option<Relation>]) -
 /// children's subtree results (in child order, matching the sequential
 /// walk) and projects onto the attributes still needed above it — the
 /// output attributes surfaced so far plus the separator towards the parent.
-fn join_subtree<M: MetricsSink>(
+fn join_subtree<M: MetricsSink, G: Governor>(
     base: Relation,
     children: &[Relation],
     mut keep: NodeSet,
     output: &NodeSet,
     policy: &ExecPolicy,
     sink: &M,
-) -> Relation {
+    gov: &G,
+) -> Result<Relation, EngineError> {
     let mut acc = base;
     for child in children {
-        acc = acc.join_metered(child, policy, sink);
+        acc = acc.join_governed(child, policy, sink, gov)?;
     }
     keep.union_with(&acc.attributes().intersection(output));
-    acc.project(&keep)
+    Ok(acc.project(&keep))
 }
 
 /// The same projection computed naively: join every relation, then project.

@@ -1,0 +1,265 @@
+//! Property suite for the governance layer: limits must bound the engine,
+//! never corrupt it.
+//!
+//! Three invariant families over random acyclic *and* cyclic databases:
+//!
+//! 1. **Transparency** — a governor with no limits set yields tuple-for-tuple
+//!    the same answer as the ungoverned path (the same code monomorphized
+//!    over [`NoopGovernor`]).
+//! 2. **No wrong answers** — a racing deadline either returns the correct
+//!    answer or `Err(DeadlineExceeded)`; it never returns a wrong relation.
+//! 3. **Abort hygiene** — however a query is aborted (cancellation, a zero
+//!    deadline, a starved budget, or an injected failpoint), the loaded
+//!    database is left bit-identical and the next ungoverned query over it
+//!    still matches the naive-join oracle.
+
+use acyclic_hypergraphs::acyclic::join_tree;
+use acyclic_hypergraphs::hypergraph::{Hypergraph, NodeSet};
+use acyclic_hypergraphs::reldb::{
+    full_reduce, full_reduce_governed, query_via_full_join, query_yannakakis,
+    query_yannakakis_governed, CancelToken, Database, EngineError, ExecPolicy, NoopMetrics,
+    QueryGovernor, Tuple,
+};
+use acyclic_hypergraphs::workload::{chain, random_database, ring, snowflake, star, DataParams};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Acyclic benchmark families plus the cyclic ring, so the governed paths
+/// through both the join tree and the hypertree decomposition are covered.
+fn schema(family: usize, shape: usize) -> Hypergraph {
+    match family % 4 {
+        0 => chain(2 + shape % 4, 2 + shape % 2, 1),
+        1 => star(2 + shape % 4, 2),
+        2 => snowflake(2 + shape % 2, 2, 2),
+        _ => ring(4 + shape % 3),
+    }
+}
+
+fn db_for(family: usize, shape: usize, tuples: usize, domain: i64, seed: u64) -> Database {
+    random_database(
+        &schema(family, shape),
+        DataParams {
+            tuples_per_relation: tuples,
+            domain,
+            skew: 0.0,
+            key_cap: 0,
+        },
+        seed,
+    )
+}
+
+/// Output attributes selected by a bitmask, never empty.
+fn select(db: &Database, selector: u64) -> NodeSet {
+    let nodes: Vec<_> = db.schema().nodes().iter().collect();
+    let x: NodeSet = nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| selector & (1 << (i % 63)) != 0)
+        .map(|(_, &n)| n)
+        .collect();
+    if x.is_empty() {
+        std::iter::once(nodes[0]).collect()
+    } else {
+        x
+    }
+}
+
+/// The database's observable state: every relation's exact tuple sequence.
+fn snapshot(db: &Database) -> Vec<Vec<Tuple>> {
+    db.relations()
+        .iter()
+        .map(|r| r.tuples().collect())
+        .collect()
+}
+
+/// Asserts the strongest abort guarantee: the database is bit-identical to
+/// `before`, and a fresh ungoverned query still matches the oracle.
+fn assert_untouched(db: &Database, before: &[Vec<Tuple>], x: &NodeSet) {
+    assert_eq!(snapshot(db), before, "abort mutated the database");
+    let oracle = query_via_full_join(db, x);
+    let after = query_yannakakis(db, x).expect("post-abort query must succeed");
+    assert!(
+        after.same_contents(&oracle),
+        "post-abort query disagrees with the oracle"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transparency: a governor with no limits is invisible — the reducer
+    /// and the routed Yannakakis query agree tuple-for-tuple with the
+    /// ungoverned paths.
+    #[test]
+    fn unlimited_governor_does_not_perturb_results(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        seed in any::<u64>(),
+        selector in any::<u64>(),
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let x = select(&db, selector);
+        let policy = ExecPolicy::default();
+        let gov = QueryGovernor::new();
+        if let Some(tree) = join_tree(db.schema()) {
+            let governed = full_reduce_governed(&db, &tree, &policy, &NoopMetrics, &gov)
+                .expect("no limit can trip");
+            let plain = full_reduce(&db, &tree);
+            prop_assert_eq!(&governed.removed, &plain.removed);
+            for (g, p) in governed.relations.iter().zip(&plain.relations) {
+                prop_assert!(g.same_contents(p), "governed reducer changed a relation");
+            }
+        }
+        let governed = query_yannakakis_governed(&db, &x, &policy, &NoopMetrics, &gov)
+            .expect("no limit can trip");
+        let plain = query_yannakakis(&db, &x).expect("ungoverned query");
+        prop_assert!(governed.same_contents(&plain), "governed query changed the answer");
+    }
+
+    /// No wrong answers under deadline pressure: whatever instant the clock
+    /// runs out, the governed query either completes correctly or surfaces
+    /// `DeadlineExceeded` — never a wrong relation, never a panic.
+    #[test]
+    fn racing_deadline_is_timeout_or_correct_never_wrong(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        seed in any::<u64>(),
+        selector in any::<u64>(),
+        deadline_us in 0u64..200,
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let x = select(&db, selector);
+        let gov = QueryGovernor::new().with_deadline(Duration::from_micros(deadline_us));
+        match query_yannakakis_governed(&db, &x, &ExecPolicy::default(), &NoopMetrics, &gov) {
+            Ok(answer) => {
+                let oracle = query_via_full_join(&db, &x);
+                prop_assert!(answer.same_contents(&oracle),
+                    "a governed query beat its deadline with a wrong answer");
+            }
+            Err(EngineError::DeadlineExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected abort: {other}"),
+        }
+    }
+
+    /// Abort hygiene: cancellation, a zero deadline and a one-byte budget
+    /// all abort with the documented error, leave the database bit-identical
+    /// and keep the next query correct.
+    #[test]
+    fn aborted_query_leaves_database_unchanged(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..16,
+        domain in 1i64..5,
+        seed in any::<u64>(),
+        selector in any::<u64>(),
+    ) {
+        let db = db_for(family, shape, tuples, domain, seed);
+        let x = select(&db, selector);
+        let policy = ExecPolicy::default();
+        let before = snapshot(&db);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = QueryGovernor::with_token(token);
+        match query_yannakakis_governed(&db, &x, &policy, &NoopMetrics, &gov) {
+            Err(EngineError::Cancelled) => {}
+            other => prop_assert!(false, "cancelled token must abort, got {other:?}"),
+        }
+        assert_untouched(&db, &before, &x);
+
+        let gov = QueryGovernor::new().with_deadline(Duration::ZERO);
+        match query_yannakakis_governed(&db, &x, &policy, &NoopMetrics, &gov) {
+            Err(EngineError::DeadlineExceeded { .. }) => {}
+            other => prop_assert!(false, "zero deadline must abort, got {other:?}"),
+        }
+        assert_untouched(&db, &before, &x);
+
+        // One byte of budget: anything that materializes a row trips; a
+        // query whose every intermediate is empty may legitimately finish.
+        let gov = QueryGovernor::new().with_memory_budget(1);
+        match query_yannakakis_governed(&db, &x, &policy, &NoopMetrics, &gov) {
+            Err(EngineError::BudgetExceeded { .. }) => {}
+            Ok(answer) => {
+                let oracle = query_via_full_join(&db, &x);
+                prop_assert!(answer.same_contents(&oracle),
+                    "a starved query that finished must still be correct");
+            }
+            Err(other) => prop_assert!(false, "unexpected abort: {other}"),
+        }
+        assert_untouched(&db, &before, &x);
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use acyclic_hypergraphs::reldb::{FailMode, FailpointGovernor};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A fault injected at a random semijoin either never fires (the
+        /// query is correct) or aborts cleanly with the database untouched.
+        #[test]
+        fn random_semijoin_failpoint_aborts_cleanly(
+            family in 0usize..4,
+            shape in 0usize..4,
+            tuples in 1usize..16,
+            domain in 1i64..5,
+            seed in any::<u64>(),
+            selector in any::<u64>(),
+            nth in 1u64..8,
+        ) {
+            let db = db_for(family, shape, tuples, domain, seed);
+            let x = select(&db, selector);
+            let before = snapshot(&db);
+            let gov = FailpointGovernor::new().fail_at_semijoin(nth);
+            match query_yannakakis_governed(&db, &x, &ExecPolicy::default(), &NoopMetrics, &gov) {
+                Ok(answer) => {
+                    let oracle = query_via_full_join(&db, &x);
+                    prop_assert!(answer.same_contents(&oracle),
+                        "failpoint never fired but the answer is wrong");
+                }
+                Err(EngineError::Cancelled) => {}
+                Err(other) => prop_assert!(false, "unexpected abort: {other}"),
+            }
+            assert_untouched(&db, &before, &x);
+        }
+
+        /// Same failpoint, panic flavor: the injected panic is contained to
+        /// `Err(WorkerPanic)` — it never escapes the public API — and the
+        /// database survives untouched.
+        #[test]
+        fn injected_panic_is_contained_and_leaves_database_unchanged(
+            family in 0usize..4,
+            shape in 0usize..4,
+            tuples in 2usize..16,
+            domain in 1i64..4,
+            seed in any::<u64>(),
+            selector in any::<u64>(),
+        ) {
+            let db = db_for(family, shape, tuples, domain, seed);
+            let x = select(&db, selector);
+            let before = snapshot(&db);
+            let gov = FailpointGovernor::new()
+                .fail_at_semijoin(1)
+                .fail_mode(FailMode::Panic);
+            match query_yannakakis_governed(&db, &x, &ExecPolicy::default(), &NoopMetrics, &gov) {
+                Err(EngineError::WorkerPanic(msg)) => {
+                    prop_assert!(msg.contains("injected"), "payload: {msg}");
+                }
+                Ok(_) => {
+                    // Single-relation schemas have no semijoin to fail at.
+                    prop_assert!(db.relations().len() == 1,
+                        "the first-semijoin panic failpoint never fired");
+                }
+                Err(other) => prop_assert!(false, "unexpected abort: {other}"),
+            }
+            assert_untouched(&db, &before, &x);
+        }
+    }
+}
