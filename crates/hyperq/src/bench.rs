@@ -4,9 +4,14 @@
 //! acyclicity micro-benchmarks at fixed workload sizes, timing both the
 //! columnar engine and the retained naive reference engine, and writes the
 //! results as `BENCH_results.json` so the perf trajectory accumulates in
-//! CI artifacts.  With `--check <baseline.json>` it additionally compares
-//! the measured columnar `full_reduce` and `yannakakis_join` numbers (the
-//! sequential and pool-leased parallel engines) against a checked-in
+//! CI artifacts.  The full profile (and `--scale` alone) adds the
+//! 10⁶-tuple-per-relation scale rows: `data_load` (binary snapshot decode
+//! vs text parse — the ≥20× load-speedup acceptance row) and the
+//! sequential vs morsel-driven engines on the same workload.  With
+//! `--check <baseline.json>` it additionally compares the measured
+//! columnar `full_reduce` and `yannakakis_join` numbers (the sequential,
+//! pool-leased parallel and morsel engines), the `cyclic_join`
+//! decomposition rows and the `data_load` rows against a checked-in
 //! baseline and fails on a regression beyond `--max-regression` (default
 //! 2×, deliberately generous to tolerate runner noise).
 
@@ -126,15 +131,18 @@ fn measure<T>(mut f: impl FnMut() -> T) -> (usize, f64) {
 }
 
 /// Which workload sizes to run: the full trajectory, the trimmed CI set,
-/// or a smoke-sized profile for tests.
+/// a smoke-sized profile for tests, or the scale-up rows alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
-    /// All sizes (200/1000/4000 tuples per relation).
+    /// All sizes (200/1000/4000 tuples per relation), plus the scale rows.
     Full,
     /// CI sizes (200/1000) — fast enough for every push.
     Quick,
     /// Smoke sizes (60) — for the CLI test suite under debug builds.
     Tiny,
+    /// Only the 10⁶-tuple scale rows (snapshot-load vs text-parse, and the
+    /// morsel-parallel engine) — the CI `scale` job's profile.
+    Scale,
 }
 
 /// One benchmark schema family: its name, schema, data skew, and which
@@ -203,6 +211,7 @@ fn query_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecord
         Profile::Full => &[200, 1000, 4000],
         Profile::Quick => &[200, 1000],
         Profile::Tiny => &[60],
+        Profile::Scale => &[],
     };
     let workloads = vec![
         QueryWorkload {
@@ -400,6 +409,7 @@ fn cyclic_records(profile: Profile, threads: usize, records: &mut Vec<BenchRecor
         Profile::Full => &[200, 1000],
         Profile::Quick => &[200],
         Profile::Tiny => &[60],
+        Profile::Scale => &[],
     };
     let workloads = [
         ("ring-8", ring(8)),
@@ -476,6 +486,7 @@ fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
         Profile::Full => &[64, 256],
         Profile::Quick => &[64],
         Profile::Tiny => &[16],
+        Profile::Scale => &[],
     };
     for &size in sizes {
         let schema = chain(size, 3, 1);
@@ -497,14 +508,103 @@ fn acyclicity_records(profile: Profile, records: &mut Vec<BenchRecord>) {
     }
 }
 
+/// The scale workload: the first bench rows at 10⁶ tuples/relation.
+///
+/// One schema (a 3-relation chain), one size, four kinds of rows:
+///
+/// * `data_load` / `text-parse` vs `data_load` / `snapshot-load` — parsing
+///   the text rendering of the database against decoding its binary
+///   snapshot, on byte-identical data (the ≥20× snapshot payoff the
+///   format exists for);
+/// * `full_reduce` / `yannakakis_join` on the sequential `columnar` engine
+///   and on `columnar-morsel` — the pool-leased parallel engine whose
+///   probe loops pull [`reldb::MorselQueue`] morsels (at 10⁶ rows a join
+///   spans ~61 default-sized morsels, so the work-pull path is exercised
+///   for real rather than falling back to sequential).
+///
+/// The value domain equals the relation size, so each probe key expects
+/// about one match and the pipeline stays O(n): the rows measure kernel
+/// and load throughput, not join-output materialization.
+fn scale_records(threads: usize, records: &mut Vec<BenchRecord>) {
+    let schema = chain(3, 2, 1);
+    let size = 1_000_000;
+    let tree = join_tree(&schema).expect("chains are acyclic");
+    let x = far_apart(&schema);
+    let db: Database = random_database(
+        &schema,
+        DataParams {
+            tuples_per_relation: size,
+            domain: size as i64,
+            skew: 0.0,
+            key_cap: 0,
+        },
+        9,
+    );
+    let units = db.tuple_count();
+    let mut push =
+        |op: &str, engine: &str, (iters, ns): (usize, f64), metrics: Option<RowMetrics>| {
+            records.push(BenchRecord {
+                op: op.to_owned(),
+                engine: engine.to_owned(),
+                workload: "scale-chain-3".to_owned(),
+                size,
+                units,
+                iters,
+                ns_per_iter: ns,
+                metrics,
+            });
+        };
+    let text = crate::load::render_database(&db);
+    let bytes = db.to_snapshot_bytes();
+    push(
+        "data_load",
+        "text-parse",
+        measure(|| crate::load::parse_database(&schema, &text).expect("rendered text re-parses")),
+        None,
+    );
+    push(
+        "data_load",
+        "snapshot-load",
+        measure(|| Database::from_snapshot_bytes(&bytes).expect("fresh snapshot decodes")),
+        None,
+    );
+    let seq = ExecPolicy::sequential(JoinStrategy::Hash);
+    let morsel = ExecPolicy::parallel(JoinStrategy::Hash, threads);
+    for (engine, policy) in [("columnar", &seq), ("columnar-morsel", &morsel)] {
+        push(
+            "full_reduce",
+            engine,
+            measure(|| full_reduce_with(&db, &tree, policy)),
+            Some(RowMetrics::capture(|s| {
+                full_reduce_metered(&db, &tree, policy, s);
+            })),
+        );
+        push(
+            "yannakakis_join",
+            engine,
+            measure(|| yannakakis_join_with(&db, &tree, &x, policy)),
+            Some(RowMetrics::capture(|s| {
+                yannakakis_join_metered(&db, &tree, &x, policy, s);
+            })),
+        );
+    }
+}
+
 /// Runs every benchmark, returning the records.  `threads` pins the worker
 /// count of the `columnar-parallel` engine rows (CI passes a fixed value so
-/// the trajectory is reproducible across runners).
+/// the trajectory is reproducible across runners).  The 10⁶-tuple scale
+/// rows run under the [`Profile::Full`] trajectory and alone under
+/// [`Profile::Scale`]; the per-push Quick/Tiny profiles skip them.
 pub fn run_all(profile: Profile, threads: usize) -> Vec<BenchRecord> {
     let mut records = Vec::new();
-    query_records(profile, threads, &mut records);
-    cyclic_records(profile, threads, &mut records);
-    acyclicity_records(profile, &mut records);
+    if profile != Profile::Scale {
+        query_records(profile, threads, &mut records);
+        cyclic_records(profile, threads, &mut records);
+        acyclicity_records(profile, &mut records);
+    }
+    if matches!(profile, Profile::Full | Profile::Scale) {
+        scale_records(threads, &mut records);
+    }
     records
 }
 
@@ -559,7 +659,7 @@ fn measure_min<T>(mut f: impl FnMut() -> T) -> f64 {
 /// sweep dialed in.
 pub fn calibrate(profile: Profile) -> String {
     let sizes: &[usize] = match profile {
-        Profile::Full => &[1000, 4000],
+        Profile::Full | Profile::Scale => &[1000, 4000],
         Profile::Quick => &[1000],
         Profile::Tiny => &[200],
     };
@@ -693,16 +793,19 @@ pub fn check_baseline(
         // Guard the sequential hash engine and the parallel (pool-leased)
         // engine alike, on the reducer, the full join pipeline, *and* the
         // cyclic decomposition pipeline: a regression in any of them is a
-        // regression in a production path.
+        // regression in a production path.  The scale rows join the guard
+        // too — the morsel-parallel engine, and both sides of the
+        // snapshot-vs-text load shoot-out (a snapshot decoder that slows
+        // toward text-parse speed has lost its reason to exist).
         let guarded = matches!(
             (r.op.as_str(), r.engine.as_str()),
             (
                 "full_reduce" | "yannakakis_join",
-                "columnar" | "columnar-parallel" | "columnar-governed"
+                "columnar" | "columnar-parallel" | "columnar-governed" | "columnar-morsel"
             ) | (
                 "cyclic_join",
                 "columnar-decomp" | "columnar-decomp-parallel"
-            )
+            ) | ("data_load", "snapshot-load" | "text-parse")
         );
         if !guarded {
             continue;
@@ -1050,6 +1153,75 @@ mod tests {
             record("cyclic_join", "naive", "ring-8", 200, 1e9),
         ];
         assert!(check_baseline(&naive_only, &baseline, 2.0).is_ok());
+    }
+
+    #[test]
+    fn baseline_check_covers_the_scale_rows() {
+        let baseline = to_json(&[
+            record(
+                "data_load",
+                "snapshot-load",
+                "scale-chain-3",
+                1_000_000,
+                1e8,
+            ),
+            record("data_load", "text-parse", "scale-chain-3", 1_000_000, 4e9),
+            record(
+                "full_reduce",
+                "columnar-morsel",
+                "scale-chain-3",
+                1_000_000,
+                1e9,
+            ),
+        ]);
+        let ok = vec![
+            record(
+                "data_load",
+                "snapshot-load",
+                "scale-chain-3",
+                1_000_000,
+                9e7,
+            ),
+            record("data_load", "text-parse", "scale-chain-3", 1_000_000, 4e9),
+            record(
+                "full_reduce",
+                "columnar-morsel",
+                "scale-chain-3",
+                1_000_000,
+                1.1e9,
+            ),
+        ];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        // A snapshot decoder drifting toward text-parse speed trips the
+        // guard like any other regression.
+        let slow_load = vec![record(
+            "data_load",
+            "snapshot-load",
+            "scale-chain-3",
+            1_000_000,
+            3e8,
+        )];
+        let err = check_baseline(&slow_load, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("snapshot-load"), "err: {err}");
+        // So does the morsel-parallel engine.
+        let slow_morsel = vec![record(
+            "full_reduce",
+            "columnar-morsel",
+            "scale-chain-3",
+            1_000_000,
+            5e9,
+        )];
+        let err = check_baseline(&slow_morsel, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("columnar-morsel"), "err: {err}");
+        // A scale row missing from the baseline is flagged, not skipped.
+        let unknown = vec![record(
+            "yannakakis_join",
+            "columnar-morsel",
+            "scale-chain-3",
+            1_000_000,
+            10.0,
+        )];
+        assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
     }
 
     #[test]

@@ -349,6 +349,84 @@ pub fn run_decompose(h: &Hypergraph, heuristic: Heuristic, dot: bool) -> Result<
     Ok(out)
 }
 
+/// `hyperq snapshot save`: writes an already-loaded database as a binary
+/// snapshot.  The report echoes what was written so scripts can log it.
+pub fn run_snapshot_save(db: &Database, out_path: &str) -> Result<String, CliError> {
+    db.save_snapshot(out_path).map_err(CliError::from)?;
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "snapshot: wrote {out_path} ({} relations, {} tuples, {bytes} bytes)\n",
+        db.relations().len(),
+        db.tuple_count(),
+    ))
+}
+
+/// `hyperq snapshot load`: loads a binary snapshot and prints its summary —
+/// the verification half of a save/load round trip, and a quick way to
+/// inspect what a snapshot holds without a schema file.
+pub fn run_snapshot_load(path: &str) -> Result<String, CliError> {
+    let db = Database::load_snapshot(path).map_err(|e| CliError {
+        code: 2,
+        message: format!("{path}: {e}"),
+    })?;
+    let schema = db.schema();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "snapshot: {path} ({} nodes, {} relations, {} tuples)\n",
+        schema.node_count(),
+        schema.edge_count(),
+        db.tuple_count(),
+    ));
+    for (e, r) in schema.edges().iter().zip(db.relations()) {
+        out.push_str(&format!(
+            "  {} ({})  {} tuples\n",
+            e.label,
+            e.nodes.names(schema.universe()).join(", "),
+            r.len(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `hyperq gen`: writes a deterministic random dataset for `schema` —
+/// `tuples` per relation, values drawn from `0..domain` with Zipf exponent
+/// `skew` — as a text tuple file, or as a binary snapshot with `snapshot`
+/// set.  The same seed and parameters always produce the same bytes, so
+/// CI scale scenarios are reproducible.
+pub fn run_gen(
+    schema: &Hypergraph,
+    tuples: usize,
+    domain: i64,
+    skew: f64,
+    seed: u64,
+    out_path: &str,
+    snapshot: bool,
+) -> Result<String, CliError> {
+    let db = workload::random_database(
+        schema,
+        workload::DataParams {
+            tuples_per_relation: tuples,
+            domain,
+            skew,
+            key_cap: 0,
+        },
+        seed,
+    );
+    if snapshot {
+        db.save_snapshot(out_path).map_err(CliError::from)?;
+    } else {
+        std::fs::write(out_path, crate::load::render_database(&db))
+            .map_err(|e| CliError::from(format!("cannot write {out_path}: {e}")))?;
+    }
+    let bytes = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "gen: wrote {out_path} ({} relations, {} tuples, {bytes} bytes, {})\n",
+        db.relations().len(),
+        db.tuple_count(),
+        if snapshot { "snapshot" } else { "text" },
+    ))
+}
+
 /// `hyperq stats`: structural summary of a schema.
 pub fn run_stats(h: &Hypergraph) -> String {
     let u = h.universe();

@@ -146,6 +146,86 @@ pub fn parse_database(schema: &Hypergraph, text: &str) -> Result<Database, Parse
     Ok(db)
 }
 
+/// Loads the data file at `path` for `schema`: binary snapshots
+/// (recognized by their [`reldb::is_snapshot`] magic signature) load
+/// directly through [`Database::load_snapshot`]'s machinery, anything else
+/// parses as a text tuple file — so a snapshot is accepted anywhere a data
+/// file is.  A snapshot embeds its own schema; it must agree with the
+/// schema file the user passed (same labeled edges over the same attribute
+/// names), otherwise the mismatch is reported rather than silently
+/// answering against the wrong schema.
+pub fn load_data(schema: &Hypergraph, path: &str) -> Result<Database, crate::commands::CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| crate::commands::CliError::from(format!("cannot read {path}: {e}")))?;
+    if reldb::is_snapshot(&bytes) {
+        let db = Database::from_snapshot_bytes(&bytes).map_err(|e| crate::commands::CliError {
+            code: 2,
+            message: format!("{path}: {e}"),
+        })?;
+        if !same_schema(db.schema(), schema) {
+            return Err(crate::commands::CliError::from(format!(
+                "{path}: snapshot schema does not match the given schema file"
+            )));
+        }
+        return Ok(db);
+    }
+    let text = String::from_utf8(bytes).map_err(|e| {
+        crate::commands::CliError::from(format!("{path}: not UTF-8 text (and not a snapshot): {e}"))
+    })?;
+    parse_database(schema, &text).map_err(|e| crate::commands::CliError::parse(path, e))
+}
+
+/// Renders a database back into the text data format of
+/// [`parse_database`]: one `LABEL: A=1 B=2` line per tuple, attributes in
+/// edge order.  The inverse only holds for values the text format carries
+/// losslessly — integers, and strings without whitespace, `#` or `=` —
+/// which covers everything the workload generators emit; it exists so
+/// `hyperq gen` and the scale benchmarks can produce text datasets and
+/// compare text parsing against snapshot loading on identical data.
+pub fn render_database(db: &Database) -> String {
+    use std::fmt::Write as _;
+    let schema = db.schema();
+    let mut out = String::new();
+    for (edge, rel) in schema.edges().iter().zip(db.relations()) {
+        for t in rel.tuples() {
+            out.push_str(&edge.label);
+            out.push(':');
+            for node in edge.nodes.iter() {
+                let v = t
+                    .get(node)
+                    .expect("relation tuples assign every edge attribute");
+                let name = schema.universe().name(node);
+                match v {
+                    Value::Int(n) => {
+                        let _ = write!(out, " {name}={n}");
+                    }
+                    Value::Str(s) => {
+                        let _ = write!(out, " {name}={s}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Whether two schemas describe the same labeled edges over the same
+/// attribute names, irrespective of internal node numbering.
+pub fn same_schema(a: &Hypergraph, b: &Hypergraph) -> bool {
+    a.edge_count() == b.edge_count()
+        && a.edges().iter().zip(b.edges()).all(|(ea, eb)| {
+            let names_a: Vec<&str> = ea.nodes.iter().map(|n| a.universe().name(n)).collect();
+            let names_b: Vec<&str> = eb.nodes.iter().map(|n| b.universe().name(n)).collect();
+            ea.label == eb.label && {
+                let (mut sa, mut sb) = (names_a, names_b);
+                sa.sort_unstable();
+                sb.sort_unstable();
+                sa == sb
+            }
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +269,20 @@ R4: A C E
         let h = parse_schema("R: A B\n").unwrap();
         let db = parse_database(&h, "R: A=1 B=x\nR: A=2 B=y\n").unwrap();
         assert_eq!(db.tuple_count(), 2);
+    }
+
+    #[test]
+    fn render_database_round_trips_through_the_parser() {
+        let h = parse_schema("R: A B\nS: B C\n").unwrap();
+        let db = parse_database(&h, "R: A=1 B=x\nR: A=-2 B=y\nS: B=x C=3\n").unwrap();
+        let text = render_database(&db);
+        let back = parse_database(&h, &text).unwrap();
+        assert_eq!(back.tuple_count(), db.tuple_count());
+        for (a, b) in db.relations().iter().zip(back.relations()) {
+            let ta: Vec<_> = a.tuples().collect();
+            let tb: Vec<_> = b.tuples().collect();
+            assert_eq!(ta, tb);
+        }
     }
 
     #[test]

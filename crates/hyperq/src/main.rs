@@ -44,8 +44,11 @@ USAGE:
     hyperq decompose <schema> [--heuristic HEURISTIC] [--dot]
     hyperq dot       <schema> [--name NAME]
     hyperq stats     <schema>
+    hyperq snapshot  save <schema> <data> <out> | load <snapshot>
+    hyperq gen       <schema> <out> [--tuples N] [--domain N] [--skew F]
+                     [--seed N] [--snapshot]
     hyperq bench     [--out FILE] [--check BASELINE] [--max-regression F]
-                     [--threads N] [--quick | --tiny] [--calibrate]
+                     [--threads N] [--quick | --tiny | --scale] [--calibrate]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -70,11 +73,26 @@ COMMANDS:
     dot        Emit the schema as Graphviz DOT (bipartite incidence view)
     stats      Print a structural summary (degree hierarchy, articulation
                sets, incidence table)
+    snapshot   save: load <schema>+<data> (text tuples or an existing
+               snapshot) and write the versioned binary snapshot format to
+               <out>; load: read a snapshot back and print its summary.
+               Snapshots are also accepted directly as the <data> argument
+               of query — recognized by their magic bytes — loading a
+               10^6-tuple database in milliseconds instead of re-parsing
+               text
+    gen        Write a deterministic random dataset for <schema> to <out>:
+               --tuples per relation (default 64), --domain value range
+               (default: the tuple count, about one join match per key),
+               --skew Zipf exponent (default 0 = uniform), --seed (default
+               9).  Text tuple format by default; --snapshot writes the
+               binary snapshot directly
     bench      Run the query/acyclicity benchmarks at fixed workload sizes
                (columnar engine vs naive reference); --out writes machine-
                readable JSON, --check fails on a columnar full_reduce
                regression beyond --max-regression (default 2.0) against a
                baseline JSON, --quick trims the workload sizes for CI,
+               --scale runs only the 10^6-tuple rows (snapshot-load vs
+               text-parse, morsel-parallel engine),
                --threads pins the parallel-engine worker count (default 4;
                0 = auto-detect the machine's parallelism) so CI runs are
                reproducible across runners.  --calibrate instead sweeps
@@ -85,7 +103,8 @@ COMMANDS:
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
-    <data>     One tuple per line: 'LABEL: A=1 B=text ...'
+    <data>     One tuple per line: 'LABEL: A=1 B=text ...', or a binary
+               snapshot written by 'hyperq snapshot save'
 
 EXIT CODES:
     0   success
@@ -199,8 +218,7 @@ fn run(started: Instant) -> Result<String, CliError> {
             };
             let schema = load::parse_schema(&read(schema_path)?)
                 .map_err(|e| CliError::parse(schema_path, e))?;
-            let db = load::parse_database(&schema, &read(data_path)?)
-                .map_err(|e| CliError::parse(data_path, e))?;
+            let db = load::load_data(&schema, data_path)?;
             let attrs: Vec<&str> = select
                 .split(',')
                 .map(str::trim)
@@ -228,6 +246,67 @@ fn run(started: Instant) -> Result<String, CliError> {
             };
             commands::run_query(&db, &attrs, engine, metrics, governor.as_ref())
         }
+        "snapshot" => {
+            if args.is_empty() {
+                return Err("snapshot expects a subcommand: save or load".into());
+            }
+            let sub = args.remove(0);
+            match sub.as_str() {
+                "save" => {
+                    let [schema_path, data_path, out_path] = args.as_slice() else {
+                        return Err("snapshot save expects <schema> <data> <out> files".into());
+                    };
+                    let schema = load::parse_schema(&read(schema_path)?)
+                        .map_err(|e| CliError::parse(schema_path, e))?;
+                    // The data file may itself be a snapshot — save then
+                    // doubles as a format re-write / verification pass.
+                    let db = load::load_data(&schema, data_path)?;
+                    commands::run_snapshot_save(&db, out_path)
+                }
+                "load" => {
+                    let [path] = args.as_slice() else {
+                        return Err("snapshot load expects exactly one <snapshot> file".into());
+                    };
+                    commands::run_snapshot_load(path)
+                }
+                other => Err(format!("unknown snapshot subcommand {other:?}").into()),
+            }
+        }
+        "gen" => {
+            let tuples = match take_flag(&mut args, "--tuples")? {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| format!("--tuples: expected a tuple count, got {s:?}"))?,
+                None => 64,
+            };
+            let domain = match take_flag(&mut args, "--domain")? {
+                Some(s) => s
+                    .parse::<i64>()
+                    .map_err(|_| format!("--domain: expected a value range, got {s:?}"))?,
+                // One expected join match per key: joins on the generated
+                // data stay O(n), the regime the scale scenarios want.
+                None => (tuples as i64).max(2),
+            };
+            let skew = match take_flag(&mut args, "--skew")? {
+                Some(s) => s
+                    .parse::<f64>()
+                    .map_err(|_| format!("--skew: expected a Zipf exponent, got {s:?}"))?,
+                None => 0.0,
+            };
+            let seed = match take_flag(&mut args, "--seed")? {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: expected an integer seed, got {s:?}"))?,
+                None => 9,
+            };
+            let snapshot = take_switch(&mut args, "--snapshot");
+            let [schema_path, out_path] = args.as_slice() else {
+                return Err("gen expects <schema> and <out> paths".into());
+            };
+            let schema = load::parse_schema(&read(schema_path)?)
+                .map_err(|e| CliError::parse(schema_path, e))?;
+            commands::run_gen(&schema, tuples, domain, skew, seed, out_path, snapshot)
+        }
         "bench" => {
             let out_path = take_flag(&mut args, "--out")?;
             let check_path = take_flag(&mut args, "--check")?;
@@ -254,14 +333,17 @@ fn run(started: Instant) -> Result<String, CliError> {
             };
             let quick = take_switch(&mut args, "--quick");
             let tiny = take_switch(&mut args, "--tiny");
+            let scale = take_switch(&mut args, "--scale");
             let calibrate = take_switch(&mut args, "--calibrate");
             if !args.is_empty() {
                 return Err(format!("bench takes no positional arguments, got {args:?}").into());
             }
-            let profile = match (tiny, quick) {
-                (true, _) => bench::Profile::Tiny,
-                (false, true) => bench::Profile::Quick,
-                (false, false) => bench::Profile::Full,
+            let profile = match (tiny, quick, scale) {
+                (true, false, false) => bench::Profile::Tiny,
+                (false, true, false) => bench::Profile::Quick,
+                (false, false, true) => bench::Profile::Scale,
+                (false, false, false) => bench::Profile::Full,
+                _ => return Err("--quick, --tiny and --scale are mutually exclusive".into()),
             };
             if calibrate {
                 // The calibration sweep replaces the benchmark run: its

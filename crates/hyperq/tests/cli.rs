@@ -457,6 +457,119 @@ fn parse_errors_exit_2_with_file_and_line() {
 }
 
 #[test]
+fn snapshot_save_load_round_trips_and_feeds_query() {
+    let snap = std::env::temp_dir().join(format!("hyperq_cli_{}.hqs", std::process::id()));
+    let snap = snap.to_str().expect("utf-8 path");
+
+    // save: text data in, binary snapshot out.
+    let out = hyperq(&[
+        "snapshot",
+        "save",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        snap,
+    ]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(
+        stdout(&out).contains("snapshot: wrote"),
+        "got: {}",
+        stdout(&out)
+    );
+
+    // load: summary of what the snapshot holds.
+    let out = hyperq(&["snapshot", "load", snap]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = stdout(&out);
+    assert!(text.contains("4 relations"), "got: {text}");
+
+    // A snapshot is accepted anywhere a text data file is: the query
+    // answer must be identical to the text-data run.
+    let from_snap = hyperq(&["query", &fixture("fig1.hg"), snap, "--select", "B,D"]);
+    assert!(from_snap.status.success(), "stderr: {:?}", from_snap.stderr);
+    let from_text = hyperq(&[
+        "query",
+        &fixture("fig1.hg"),
+        &fixture("fig1.data"),
+        "--select",
+        "B,D",
+    ]);
+    assert_eq!(stdout(&from_snap), stdout(&from_text));
+    assert!(stdout(&from_snap).contains("answer (4 tuples):"));
+
+    // Corrupt snapshots are structured parse errors (exit 2), not panics.
+    let mut bytes = std::fs::read(snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes.truncate(mid);
+    std::fs::write(snap, &bytes).unwrap();
+    let out = hyperq(&["snapshot", "load", snap]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {:?}", out.stderr);
+    // The diagnostic carries the byte offset in the standard line field.
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("line "), "stderr: {err}");
+
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn gen_writes_text_and_snapshot_datasets() {
+    let dir = std::env::temp_dir();
+    let text = dir.join(format!("hyperq_gen_{}.data", std::process::id()));
+    let snap = dir.join(format!("hyperq_gen_{}.hqs", std::process::id()));
+    let (text, snap) = (text.to_str().unwrap(), snap.to_str().unwrap());
+
+    let out = hyperq(&[
+        "gen",
+        &fixture("chain3.hg"),
+        text,
+        "--tuples",
+        "100",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(stdout(&out).contains("300 tuples"), "got: {}", stdout(&out));
+
+    let out = hyperq(&[
+        "gen",
+        &fixture("chain3.hg"),
+        snap,
+        "--tuples",
+        "100",
+        "--seed",
+        "7",
+        "--snapshot",
+    ]);
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(stdout(&out).contains("snapshot"), "got: {}", stdout(&out));
+
+    // Same generator parameters, two encodings, one answer.
+    let a = hyperq(&["query", &fixture("chain3.hg"), text, "--select", "A,D"]);
+    let b = hyperq(&["query", &fixture("chain3.hg"), snap, "--select", "A,D"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(stdout(&a), stdout(&b));
+
+    let _ = std::fs::remove_file(text);
+    let _ = std::fs::remove_file(snap);
+}
+
+#[test]
+fn bench_profile_flags_are_mutually_exclusive() {
+    for args in [
+        ["bench", "--quick", "--tiny"].as_slice(),
+        &["bench", "--quick", "--scale"],
+        &["bench", "--tiny", "--scale"],
+    ] {
+        let out = hyperq(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+            "{args:?}: {:?}",
+            out.stderr
+        );
+    }
+}
+
+#[test]
 fn bad_usage_fails_with_diagnostics() {
     let out = hyperq(&["classify", "/nonexistent/schema.hg"]);
     assert!(!out.status.success());

@@ -33,6 +33,7 @@
 //! safe Rust hand them to threads that outlive any one call.
 
 use std::any::Any;
+use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -122,6 +123,77 @@ pub const AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 0.55;
 /// hardware where the trade-off measures differently.
 pub const AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO: f64 = 1.0;
 
+/// Default morsel size for [`ExecPolicy::morsel_rows`]: the number of rows
+/// one worker claims from a [`MorselQueue`] per pull.
+///
+/// Chosen so a morsel's row span (tens of KiB of handles at typical widths)
+/// stays cache-friendly while keeping the queue's atomic traffic far below
+/// per-row cost: a 10⁷-row probe is ~600 pulls, a 10⁵-row probe still
+/// splits into enough morsels to balance a handful of workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 16_384;
+
+/// A shared work queue over the row range `0..total`, handing out
+/// fixed-size chunks ("morsels") to whoever asks next.
+///
+/// This is the engine's work-stealing primitive: instead of pre-slicing a
+/// row range into one shard per worker (which serializes on the slowest
+/// shard when selectivity is uneven), every worker loops
+/// `while let Some(range) = queue.next()` and pulls the next unclaimed
+/// morsel.  The cursor is a single atomic fetch-add, so claiming a morsel
+/// is contention-free in practice at [`DEFAULT_MORSEL_ROWS`] granularity.
+///
+/// # Examples
+///
+/// ```
+/// use reldb::exec::MorselQueue;
+///
+/// let q = MorselQueue::new(10, 4);
+/// assert_eq!(q.morsels(), 3);
+/// assert_eq!(q.next(), Some(0..4));
+/// assert_eq!(q.next(), Some(4..8));
+/// assert_eq!(q.next(), Some(8..10)); // final partial morsel
+/// assert_eq!(q.next(), None);
+/// ```
+#[derive(Debug)]
+pub struct MorselQueue {
+    cursor: AtomicUsize,
+    total: usize,
+    morsel: usize,
+}
+
+impl MorselQueue {
+    /// A queue over `0..total` rows in chunks of `morsel_rows` (clamped to
+    /// at least 1).
+    pub fn new(total: usize, morsel_rows: usize) -> Self {
+        Self {
+            cursor: AtomicUsize::new(0),
+            total,
+            morsel: morsel_rows.max(1),
+        }
+    }
+
+    /// Claims the next unclaimed morsel, or `None` when the range is
+    /// exhausted.  Safe to call from any number of threads; every row is
+    /// handed out exactly once.
+    pub fn next(&self) -> Option<Range<usize>> {
+        let start = self.cursor.fetch_add(self.morsel, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..self.total.min(start + self.morsel))
+    }
+
+    /// Total rows the queue spans.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// How many morsels the range splits into.
+    pub fn morsels(&self) -> usize {
+        self.total.div_ceil(self.morsel)
+    }
+}
+
 /// How the Yannakakis reducer and join execute: join strategy plus the
 /// worker-thread parallelism knobs.
 ///
@@ -167,6 +239,13 @@ pub struct ExecPolicy {
     /// default) instead of spawning fresh threads per call (`false`, kept
     /// for benchmarking the pool against the spawn overhead it removes).
     pub reuse_pool: bool,
+    /// Rows per morsel for the work-pulling parallel paths (join probe
+    /// sharding, level-wide reduction, bag materialization): workers claim
+    /// chunks of this many rows from a shared [`MorselQueue`] instead of
+    /// receiving one pre-sliced shard each.  Inputs smaller than one morsel
+    /// fall back to the sequential kernel.  Defaults to
+    /// [`DEFAULT_MORSEL_ROWS`]; `0` is treated as `1`.
+    pub morsel_rows: usize,
 }
 
 impl Default for ExecPolicy {
@@ -178,6 +257,7 @@ impl Default for ExecPolicy {
             auto_sortmerge_max_distinct_ratio: AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             auto_semijoin_sortmerge_max_distinct_ratio: AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             reuse_pool: true,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -217,6 +297,11 @@ impl ExecPolicy {
             0 => std::thread::available_parallelism().map_or(1, usize::from),
             t => t,
         }
+    }
+
+    /// The morsel queue this policy prescribes for a scan of `rows` rows.
+    pub fn morsels(&self, rows: usize) -> MorselQueue {
+        MorselQueue::new(rows, self.morsel_rows)
     }
 
     /// Acquires the workers this policy wants for a workload of
@@ -573,6 +658,60 @@ mod tests {
                 .abs()
                 > 1e-12
         );
+    }
+
+    #[test]
+    fn morsel_queue_covers_range_exactly_once() {
+        let q = MorselQueue::new(100, 32);
+        assert_eq!(q.total(), 100);
+        assert_eq!(q.morsels(), 4);
+        let mut seen = [false; 100];
+        while let Some(r) = q.next() {
+            for i in r {
+                assert!(!seen[i], "row {i} handed out twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "queue skipped rows");
+        assert_eq!(q.next(), None, "exhausted queue stays exhausted");
+        // Degenerate shapes.
+        assert_eq!(MorselQueue::new(0, 8).next(), None);
+        assert_eq!(MorselQueue::new(5, 0).next(), Some(0..1)); // clamped to 1
+        assert_eq!(MorselQueue::new(3, 100).next(), Some(0..3));
+    }
+
+    /// Concurrent pullers partition the range: no row is claimed twice and
+    /// none is dropped, whatever the interleaving.
+    #[test]
+    fn morsel_queue_is_safe_under_concurrent_pull() {
+        let q = Arc::new(MorselQueue::new(10_000, 7));
+        let claimed = Arc::new(AtomicUsize::new(0));
+        let lease = WorkerPool::lease(4);
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let claimed = Arc::clone(&claimed);
+                Box::new(move || {
+                    while let Some(r) = q.next() {
+                        claimed.fetch_add(r.len(), Ordering::SeqCst);
+                    }
+                }) as Job
+            })
+            .collect();
+        lease.run(jobs);
+        assert_eq!(claimed.load(Ordering::SeqCst), 10_000);
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn policy_carries_morsel_rows() {
+        assert_eq!(ExecPolicy::default().morsel_rows, DEFAULT_MORSEL_ROWS);
+        let p = ExecPolicy {
+            morsel_rows: 64,
+            ..ExecPolicy::parallel(JoinStrategy::Hash, 2)
+        };
+        let q = p.morsels(130);
+        assert_eq!(q.morsels(), 3);
     }
 
     /// Every lease mode runs every job exactly once and waits for all of

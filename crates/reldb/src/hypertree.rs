@@ -30,16 +30,18 @@
 //! take the direct join-tree path, cyclic schemas the decomposition path.
 
 use crate::database::Database;
-use crate::exec::{ExecPolicy, Job};
+use crate::exec::{ExecPolicy, Job, WorkerLease};
 use crate::govern::{contain_panics, unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
 use crate::yannakakis::yannakakis_join_governed;
 use acyclic::join_tree;
 use decomp::{decompose, Decomposition, Heuristic};
-use hypergraph::NodeSet;
+use hypergraph::{Edge, Hypergraph, NodeSet};
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Materializes one bag: joins its cover relations (assigned edges first,
@@ -60,6 +62,7 @@ fn materialize_one<M: MetricsSink, G: Governor>(
     bag: usize,
     relations: &[Relation],
     policy: &ExecPolicy,
+    probe: &WorkerLease,
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
@@ -70,6 +73,7 @@ fn materialize_one<M: MetricsSink, G: Governor>(
         &bag_edge.nodes,
         &bag_edge.label,
         policy,
+        probe,
         sink,
         gov,
     )
@@ -86,22 +90,66 @@ fn trim_to_bag<'a>(r: &'a Relation, bag_nodes: &NodeSet) -> Cow<'a, Relation> {
     }
 }
 
+/// Greedily orders a bag's cover relations smallest-estimated-intermediate
+/// first: start from the smallest relation, then repeatedly append the
+/// relation minimizing the estimated join output against everything joined
+/// so far, using the same sampled distinct-key estimator the `Auto`
+/// strategy planner runs on.  The estimate is the textbook
+/// `|A|·|B| / max(d_B(shared), 1)` with `d_B` the sampled distinct count of
+/// the shared columns on the candidate's side; relations sharing no
+/// attribute degenerate to the cross-product estimate and naturally sort
+/// last.  Joins are commutative under set semantics, so any order is
+/// correct — this one just keeps intermediates small.
+fn order_cover(cover: &mut [Cow<'_, Relation>]) {
+    let n = cover.len();
+    if n <= 1 {
+        return;
+    }
+    let first = (0..n).min_by_key(|&i| cover[i].len()).expect("nonempty");
+    cover.swap(0, first);
+    let mut acc_attrs = cover[0].attributes().clone();
+    let mut acc_est = cover[0].len() as f64;
+    for k in 1..n - 1 {
+        let estimate = |r: &Relation| -> f64 {
+            let d = (r.estimate_distinct_ratio_on(&acc_attrs) * r.len() as f64).max(1.0);
+            acc_est * r.len() as f64 / d
+        };
+        let best = (k..n)
+            .min_by(|&i, &j| {
+                estimate(&cover[i])
+                    .partial_cmp(&estimate(&cover[j]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty tail");
+        cover.swap(k, best);
+        acc_est = estimate(&cover[k]).max(1.0);
+        acc_attrs.union_with(cover[k].attributes());
+    }
+}
+
 /// The single bag-join fold both materialization paths run: joins the
-/// (already trimmed) cover relations in cover order and projects onto the
-/// bag's nodes.
+/// (already trimmed) cover relations — reordered smallest estimated
+/// intermediate first by [`order_cover`] — and projects onto the bag's
+/// nodes.  Large probe sides shard over `probe`'s workers at morsel
+/// granularity ([`Relation::join_sharded_governed`]); single-bag
+/// materializations pass the whole lease here so one wide bag still uses
+/// every worker.
 fn join_cover<'a, M: MetricsSink, G: Governor>(
     cover: impl IntoIterator<Item = Cow<'a, Relation>>,
     bag_nodes: &NodeSet,
     name: &str,
     policy: &ExecPolicy,
+    probe: &WorkerLease,
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
+    let mut cover: Vec<Cow<'a, Relation>> = cover.into_iter().collect();
+    order_cover(&mut cover);
     let mut acc: Option<Relation> = None;
     for r in cover {
         acc = Some(match acc {
             None => r.into_owned(),
-            Some(a) => a.join_governed(&r, policy, sink, gov)?,
+            Some(a) => a.join_sharded_governed(&r, policy, probe, sink, gov)?,
         });
     }
     let Some(joined) = acc else {
@@ -172,12 +220,22 @@ pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
     }
     let t0 = M::ENABLED.then(Instant::now);
     let relations: Vec<Relation> = if lease.threads() <= 1 || nbags <= 1 {
+        // One bag (or one worker): instead of bag-level fan-out, the whole
+        // lease shards the bag's join probe loops at morsel granularity.
         let mut rels = Vec::with_capacity(nbags);
         for b in 0..nbags {
             if G::ENABLED {
                 gov.at_bag(b)?;
             }
-            rels.push(materialize_one(d, b, db.relations(), policy, sink, gov)?);
+            rels.push(materialize_one(
+                d,
+                b,
+                db.relations(),
+                policy,
+                &lease,
+                sink,
+                gov,
+            )?);
         }
         rels
     } else {
@@ -224,6 +282,7 @@ pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
                         &bag_nodes,
                         &name,
                         &policy,
+                        &WorkerLease::inline(),
                         &sink,
                         &gov,
                     );
@@ -312,38 +371,119 @@ pub fn yannakakis_join_decomposed_governed<M: MetricsSink, G: Governor>(
     yannakakis_join_governed(&bag_db, d.tree(), output, policy, sink, gov)
 }
 
+/// Both heuristics' decompositions of one schema, in preference order, plus
+/// the width evidence a metered cache hit replays into its sink.
+struct DecompPair {
+    /// The smaller-width decomposition (ties go to min-fill).
+    chosen: Decomposition,
+    /// The runner-up, kept for the budget degradation ladder.
+    other: Decomposition,
+    /// Width of the min-fill decomposition.
+    fill_width: usize,
+    /// Width of the min-degree decomposition.
+    degree_width: usize,
+    /// Which heuristic won (`"min-fill"` or `"min-degree"`).
+    chosen_label: &'static str,
+}
+
+/// The structural identity of a schema for decomposition caching: its node
+/// names in id order plus its labeled edge set.  Two hypergraphs with equal
+/// keys decompose identically — bags, labels and tree are all functions of
+/// exactly this data — so the cache can never serve a decomposition that
+/// `verify` would reject for the queried schema.
+type SchemaKey = (Vec<String>, Vec<Edge>);
+
+fn schema_key(schema: &Hypergraph) -> SchemaKey {
+    let names = schema
+        .nodes()
+        .iter()
+        .map(|n| schema.universe().name(n).to_owned())
+        .collect();
+    (names, schema.edges().to_vec())
+}
+
+/// Process-wide decomposition cache behind [`decompose_pair`].  Schemas are
+/// immutable once built and decomposition is pure graph work, so entries
+/// never invalidate; the map is bounded — a full cache is cleared rather
+/// than grown, which keeps the common server shape (a handful of hot
+/// schemas queried repeatedly) permanently cached.
+static DECOMP_CACHE: OnceLock<Mutex<HashMap<SchemaKey, Arc<DecompPair>>>> = OnceLock::new();
+
+/// Entry cap for [`DECOMP_CACHE`].
+const DECOMP_CACHE_CAP: usize = 64;
+
+fn decomp_cache() -> &'static Mutex<HashMap<SchemaKey, Arc<DecompPair>>> {
+    DECOMP_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Decomposes a cyclic schema with **both** elimination-order heuristics
-/// (min-fill and min-degree) and returns `(chosen, other)` where `chosen`
-/// is the smaller-width result — the heuristics genuinely disagree on some
-/// schemas, and width bounds the bag cross products, so a cheap second
-/// decomposition run (pure graph work, no data) regularly saves real join
-/// work.  Ties go to min-fill, the historical default.  Both widths are
-/// recorded into `sink`; the runner-up is kept because the budget
-/// degradation ladder may still prefer it (smaller *estimated rows* can
-/// beat smaller width on skewed covers).
+/// (min-fill and min-degree) and returns the pair with the smaller-width
+/// result as `chosen` — the heuristics genuinely disagree on some schemas,
+/// and width bounds the bag cross products, so a cheap second decomposition
+/// run (pure graph work, no data) regularly saves real join work.  Ties go
+/// to min-fill, the historical default.  Both widths are recorded into
+/// `sink`; the runner-up is kept because the budget degradation ladder may
+/// still prefer it (smaller *estimated rows* can beat smaller width on
+/// skewed covers).
+///
+/// Results are cached process-wide keyed by the schema's structural
+/// identity ([`SchemaKey`]): schemas are immutable, so a repeated query
+/// against the same schema — the server shape — skips both elimination
+/// runs entirely.  Hits and misses are recorded into `sink`
+/// ([`MetricsSink::record_decomp_cache`]); a hit replays the cached width
+/// report so metered output is identical either way.
 fn decompose_pair<M: MetricsSink>(
-    schema: &hypergraph::Hypergraph,
+    schema: &Hypergraph,
     sink: &M,
-) -> Result<(Decomposition, Decomposition), EngineError> {
+) -> Result<Arc<DecompPair>, EngineError> {
+    let key = schema_key(schema);
+    let cached = decomp_cache()
+        .lock()
+        .expect("decomp cache lock")
+        .get(&key)
+        .cloned();
+    if let Some(pair) = cached {
+        if M::ENABLED {
+            sink.record_decomp_cache(true);
+            sink.record_widths(pair.fill_width, pair.degree_width, pair.chosen_label);
+        }
+        return Ok(pair);
+    }
     let cannot = |e: decomp::DecompError| -> EngineError {
         EngineError::SchemaMismatch(format!("cannot decompose schema: {e}"))
     };
+    // Decompose outside the lock: a concurrent miss on the same schema
+    // duplicates pure graph work at worst, and never blocks other schemas.
     let fill = decompose(schema, Heuristic::MinFill).map_err(cannot)?;
     let degree = decompose(schema, Heuristic::MinDegree).map_err(cannot)?;
     let (fill_width, degree_width) = (fill.width(), degree.width());
-    if M::ENABLED {
-        let chosen = if degree_width < fill_width {
-            "min-degree"
-        } else {
-            "min-fill"
-        };
-        sink.record_widths(fill_width, degree_width, chosen);
-    }
-    if degree_width < fill_width {
-        Ok((degree, fill))
+    let pair = Arc::new(if degree_width < fill_width {
+        DecompPair {
+            chosen: degree,
+            other: fill,
+            fill_width,
+            degree_width,
+            chosen_label: "min-degree",
+        }
     } else {
-        Ok((fill, degree))
+        DecompPair {
+            chosen: fill,
+            other: degree,
+            fill_width,
+            degree_width,
+            chosen_label: "min-fill",
+        }
+    });
+    if M::ENABLED {
+        sink.record_decomp_cache(false);
+        sink.record_widths(fill_width, degree_width, pair.chosen_label);
     }
+    let mut cache = decomp_cache().lock().expect("decomp cache lock");
+    if cache.len() >= DECOMP_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, Arc::clone(&pair));
+    Ok(pair)
 }
 
 /// Pessimistic cost of the widest bag of `d` against `db`: the product of
@@ -453,15 +593,16 @@ pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
     contain_panics(|| match join_tree(db.schema()) {
         Some(tree) => yannakakis_join_governed(db, &tree, output, policy, sink, gov),
         None => {
-            let (chosen, other) = decompose_pair(db.schema(), sink)?;
+            let pair = decompose_pair(db.schema(), sink)?;
+            let (chosen, other) = (&pair.chosen, &pair.other);
             if G::ENABLED {
-                let (rows, width) = worst_bag_estimate(db, &chosen);
+                let (rows, width) = worst_bag_estimate(db, chosen);
                 if gov.alloc_would_exceed(rows, width) {
-                    let (orows, owidth) = worst_bag_estimate(db, &other);
+                    let (orows, owidth) = worst_bag_estimate(db, other);
                     if !gov.alloc_would_exceed(orows, owidth) {
                         // Rung 2: the runner-up heuristic's worst bag fits.
                         return yannakakis_join_decomposed_governed(
-                            db, &other, output, policy, sink, gov,
+                            db, other, output, policy, sink, gov,
                         );
                     }
                     // Rung 3: both estimates blow the budget — stream the
@@ -475,16 +616,16 @@ pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
                     let smaller = if orows.saturating_mul(owidth as u64)
                         < rows.saturating_mul(width as u64)
                     {
-                        &other
+                        other
                     } else {
-                        &chosen
+                        chosen
                     };
                     return yannakakis_join_decomposed_governed(
                         db, smaller, output, &streaming, sink, gov,
                     );
                 }
             }
-            yannakakis_join_decomposed_governed(db, &chosen, output, policy, sink, gov)
+            yannakakis_join_decomposed_governed(db, chosen, output, policy, sink, gov)
         }
     })
 }

@@ -34,7 +34,8 @@
 //! | `query` | the declarative [`Query`] layer: tableau-expressible output + equality selections, selection pushdown |
 //! | `yannakakis` | the Yannakakis full reducer and bottom-up join over a join tree, level-synchronous in both phases (§7's efficiency payoff) |
 //! | [`hypertree`] | cyclic schemas: bag materialization over a hypertree decomposition (`decomp` crate) and the acyclic-vs-cyclic router [`yannakakis_join_any`] |
-//! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, and the leased [`WorkerPool`] the parallel engine runs on |
+//! | [`snapshot`] | the versioned binary snapshot format behind [`Database::save_snapshot`] / [`Database::load_snapshot`] — scale-up loads in milliseconds instead of re-parsing text |
+//! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, the [`MorselQueue`] work-pull cursor, and the leased [`WorkerPool`] the parallel engine runs on |
 //! | [`metrics`] | zero-cost-when-off observability: the [`MetricsSink`] threaded through every kernel, collected into a [`QueryMetrics`] report |
 //! | [`govern`] | zero-cost-when-off governance: the [`Governor`] checkpoints (cancellation, deadlines, memory budgets) threaded through every kernel, structured [`EngineError`] aborts, and the `failpoints` fault-injection harness |
 //! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
@@ -70,6 +71,7 @@ mod pool;
 mod query;
 pub mod reference;
 mod relation;
+pub mod snapshot;
 mod universal;
 mod value;
 mod yannakakis;
@@ -79,8 +81,9 @@ pub use consistency::{
 };
 pub use database::{Database, DbError};
 pub use exec::{
-    ExecPolicy, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
-    AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SORTMERGE_MAX_DISTINCT_RATIO,
+    ExecPolicy, JoinStrategy, MorselQueue, WorkerLease, WorkerPool,
+    AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    AUTO_SORTMERGE_MAX_DISTINCT_RATIO, DEFAULT_MORSEL_ROWS,
 };
 pub use govern::{CancelToken, EngineError, Governor, NoopGovernor, QueryGovernor};
 #[cfg(feature = "failpoints")]
@@ -94,6 +97,7 @@ pub use metrics::{CollectingSink, MetricsSink, NoopMetrics, Phase, QueryMetrics}
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
+pub use snapshot::is_snapshot;
 pub use universal::{
     plan_connection, query_attributes, query_via_connection, query_via_connection_governed,
     query_via_connection_metered, query_via_full_join, query_via_full_join_governed,

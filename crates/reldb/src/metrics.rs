@@ -167,6 +167,11 @@ pub trait MetricsSink: Clone + Send + Sync + 'static {
     /// Both decomposition heuristics ran; their widths and the winner.
     #[inline]
     fn record_widths(&self, _min_fill: usize, _min_degree: usize, _chosen: &'static str) {}
+
+    /// The schema-keyed decomposition cache answered a lookup (`_hit` says
+    /// whether the elimination runs were skipped).
+    #[inline]
+    fn record_decomp_cache(&self, _hit: bool) {}
 }
 
 /// The default sink: records nothing, costs nothing.  Every unmetered entry
@@ -312,6 +317,10 @@ pub struct QueryMetrics {
     pub index_rebuilds: u64,
     /// Decomposition widths, when the cyclic pipeline ran both heuristics.
     pub widths: Option<WidthReport>,
+    /// Schema-keyed decomposition cache hits (elimination runs skipped).
+    pub decomp_cache_hits: u64,
+    /// Schema-keyed decomposition cache misses (both heuristics ran).
+    pub decomp_cache_misses: u64,
 }
 
 impl QueryMetrics {
@@ -375,6 +384,10 @@ impl QueryMetrics {
         }
         out.push_str("]},\n");
         out.push_str(&format!("  \"index_rebuilds\": {},\n", self.index_rebuilds));
+        out.push_str(&format!(
+            "  \"decomp_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            self.decomp_cache_hits, self.decomp_cache_misses
+        ));
         match &self.widths {
             Some(w) => out.push_str(&format!(
                 "  \"decomposition\": {{\"min_fill_width\": {}, \"min_degree_width\": {}, \"chosen\": \"{}\"}}\n",
@@ -438,6 +451,12 @@ impl QueryMetrics {
             }
         }
         out.push_str(&format!("index rebuilds: {}\n", self.index_rebuilds));
+        if self.decomp_cache_hits + self.decomp_cache_misses > 0 {
+            out.push_str(&format!(
+                "decomposition cache: {} hit(s), {} miss(es)\n",
+                self.decomp_cache_hits, self.decomp_cache_misses
+            ));
+        }
         if let Some(w) = &self.widths {
             out.push_str(&format!(
                 "decomposition widths: min-fill {} / min-degree {} (chosen: {})\n",
@@ -547,6 +566,16 @@ impl MetricsSink for CollectingSink {
                 min_degree,
                 chosen,
             })
+        });
+    }
+
+    fn record_decomp_cache(&self, hit: bool) {
+        self.with(|m| {
+            if hit {
+                m.decomp_cache_hits += 1;
+            } else {
+                m.decomp_cache_misses += 1;
+            }
         });
     }
 }

@@ -14,15 +14,68 @@
 
 use crate::value::Value;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Arc, Mutex};
 
 /// Handle reserved as "no handle" (used by row tables and translations).
 pub(crate) const NO_HANDLE: u32 = u32::MAX;
 
+/// A fast, non-cryptographic hasher for the dedup index (rotate-xor-
+/// multiply over 8-byte chunks, the classic FxHash construction).
+/// Interning sits on the data-load hot path — 10⁶-value snapshots, bulk
+/// text parses — where SipHash's DoS resistance buys nothing: handles are
+/// engine-internal, and a pathological dataset degrades one load, not a
+/// shared service.
+#[derive(Debug, Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0.rotate_left(5) ^ u64::from_le_bytes(buf))
+                .wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
 #[derive(Debug, Default)]
 struct PoolInner {
     values: Vec<Value>,
-    index: HashMap<Value, u32>,
+    index: FastMap<Value, u32>,
+    /// How many of `values` are reflected in `index`.  A snapshot load
+    /// installs the whole dictionary with `indexed == 0` (the loader has
+    /// already validated the values distinct), and the first operation
+    /// that needs the dedup index folds the tail in — queries that never
+    /// intern never pay for the index at all.
+    indexed: usize,
+}
+
+impl PoolInner {
+    /// Folds `values[indexed..]` into the dedup index.  The tail is
+    /// distinct by construction (interns go through the index; snapshot
+    /// loads validate), so first-handle-wins is only a debug concern.
+    fn catch_up(&mut self) {
+        if self.indexed == self.values.len() {
+            return;
+        }
+        self.index.reserve(self.values.len() - self.indexed);
+        for h in self.indexed..self.values.len() {
+            let prev = self.index.insert(
+                self.values[h].clone(),
+                u32::try_from(h).expect("value pool overflow"),
+            );
+            debug_assert!(prev.is_none(), "duplicate value in unindexed pool tail");
+        }
+        self.indexed = self.values.len();
+    }
 }
 
 /// A shared, thread-safe dictionary interning [`Value`]s to `u32` handles.
@@ -53,6 +106,7 @@ impl ValuePool {
     }
 
     fn intern_locked(inner: &mut PoolInner, v: &Value) -> u32 {
+        inner.catch_up();
         if let Some(&h) = inner.index.get(v) {
             return h;
         }
@@ -60,6 +114,7 @@ impl ValuePool {
         assert!(h < NO_HANDLE - 1, "value pool overflow");
         inner.values.push(v.clone());
         inner.index.insert(v.clone(), h);
+        inner.indexed = inner.values.len();
         h
     }
 
@@ -75,14 +130,31 @@ impl ValuePool {
         }
     }
 
+    /// Builds a pool whose dictionary is exactly `values`, `values[h]`
+    /// behind handle `h`, *without* building the dedup index — the
+    /// snapshot loader's "dedup-index-free" path.  The caller must have
+    /// validated `values` distinct (the loader's sorted-dictionary scan
+    /// does); the index is rebuilt lazily by the first `intern`/`get`.
+    ///
+    /// # Panics
+    /// Panics if `values` is too large for `u32` handles.
+    pub(crate) fn from_dense_values(values: Vec<Value>) -> Self {
+        let n = u32::try_from(values.len()).expect("value pool overflow");
+        assert!(n < NO_HANDLE - 1, "value pool overflow");
+        Self {
+            inner: Arc::new(Mutex::new(PoolInner {
+                values,
+                index: FastMap::default(),
+                indexed: 0,
+            })),
+        }
+    }
+
     /// The handle of `v`, if it has been interned.
     pub fn get(&self, v: &Value) -> Option<u32> {
-        self.inner
-            .lock()
-            .expect("value pool lock")
-            .index
-            .get(v)
-            .copied()
+        let mut inner = self.inner.lock().expect("value pool lock");
+        inner.catch_up();
+        inner.index.get(v).copied()
     }
 
     /// The value behind `h`.
@@ -120,6 +192,7 @@ impl ValuePool {
         // Snapshot first so the two pool locks are never held together.
         let values: Vec<Value> = self.inner.lock().expect("value pool lock").values.clone();
         let mut to_inner = to.inner.lock().expect("value pool lock");
+        to_inner.catch_up();
         values
             .iter()
             .map(|v| {
@@ -160,6 +233,24 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0], out[2]);
         assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn dense_pools_rebuild_their_index_lazily() {
+        let pool =
+            ValuePool::from_dense_values(vec![Value::Int(20), Value::str("x"), Value::Int(30)]);
+        // `value` never needs the index…
+        assert_eq!(pool.value(1), Value::str("x"));
+        // …but `get` and `intern` fold the tail in on first use.
+        assert_eq!(pool.get(&Value::str("x")), Some(1));
+        assert_eq!(pool.intern(&Value::Int(30)), 2);
+        assert_eq!(pool.intern(&Value::Int(99)), 3);
+        assert_eq!(pool.len(), 4);
+        // Translations into a dense pool also see the full dictionary.
+        let other = ValuePool::new();
+        other.intern(&Value::Int(20));
+        let dense = ValuePool::from_dense_values(vec![Value::Int(7), Value::Int(20)]);
+        assert_eq!(other.translation_to(&dense, false), vec![1]);
     }
 
     #[test]

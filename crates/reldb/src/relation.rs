@@ -21,8 +21,9 @@
 //! tuples; it is decoded from / encoded into rows only at the edges.
 
 use crate::exec::{
-    ExecPolicy, Job, JoinStrategy, WorkerLease, WorkerPool, AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
-    AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    ExecPolicy, Job, JoinStrategy, MorselQueue, WorkerLease, WorkerPool,
+    AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO, AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+    DEFAULT_MORSEL_ROWS,
 };
 use crate::govern::{unfail, EngineError, Governor, NoopGovernor, CHECK_BATCH};
 use crate::metrics::{Kernel, MetricsSink, NoopMetrics, OpKind, OpMetrics};
@@ -32,10 +33,6 @@ use hypergraph::{NodeId, NodeSet, Universe};
 use std::fmt;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
-
-/// Rows below which a semijoin probe loop is never sharded across threads
-/// (thread spawning would dominate the probes themselves).
-const PAR_MASK_MIN_ROWS: usize = 1024;
 
 /// What a semijoin mask kernel did, reported alongside the mask so metered
 /// callers can assemble one semijoin [`OpMetrics`] record.
@@ -648,6 +645,83 @@ impl Relation {
         true
     }
 
+    /// Appends already-encoded rows that are known to be distinct from each
+    /// other and from every stored row — the bulk merge path of the
+    /// morsel-parallel join (whose output rows are distinct by
+    /// construction) and the snapshot loader (whose rows were written from
+    /// a live, deduplicated relation).  The dedup-index rebuild is
+    /// deferred, so bulk loads never pay for an index they may not consult.
+    pub(crate) fn push_rows_unchecked(&mut self, rows: &[u32]) {
+        let w = self.width();
+        if w == 0 || rows.is_empty() {
+            return;
+        }
+        debug_assert_eq!(rows.len() % w, 0);
+        let new_len = self.len + rows.len() / w;
+        // Row ids share the u32 space with the NO_HANDLE sentinel.
+        assert!(
+            u32::try_from(new_len).is_ok_and(|v| v < NO_HANDLE),
+            "relation too large"
+        );
+        self.rows.extend_from_slice(rows);
+        self.len = new_len;
+        self.index_stale = true;
+    }
+
+    /// The flat row buffer (`len * width` handle words, schema column
+    /// order) — the snapshot writer's view of the stored rows.
+    pub(crate) fn raw_rows(&self) -> &[u32] {
+        &self.rows[..self.len * self.width()]
+    }
+
+    /// Planning-time selectivity probe: the sampled distinct-key ratio on
+    /// the columns shared with `attrs` (`1.0` when nothing is shared, i.e.
+    /// a join on those attributes would be a cross product).  Used by bag
+    /// materialization to order cover joins smallest-intermediate-first.
+    pub(crate) fn estimate_distinct_ratio_on(&self, attrs: &NodeSet) -> f64 {
+        let shared = self.attributes.intersection(attrs);
+        if shared.is_empty() {
+            return 1.0;
+        }
+        self.estimate_distinct_key_ratio(&positions(&shared, &self.cols))
+    }
+
+    /// Assembles a relation directly from a flat handle buffer — the
+    /// snapshot loader's entry.  Rows are trusted to be distinct (they were
+    /// written from a live relation, which enforces set semantics) and the
+    /// dedup index is left stale for lazy rebuild; handles are validated
+    /// against `pool` so a corrupt buffer yields `Err` instead of
+    /// out-of-bounds panics later.
+    pub(crate) fn from_raw_parts(
+        name: String,
+        attributes: NodeSet,
+        pool: ValuePool,
+        rows: Vec<u32>,
+        len: usize,
+    ) -> Result<Self, String> {
+        let mut out = Relation::with_pool(name, attributes, pool);
+        let w = out.width();
+        if rows.len() != len * w {
+            return Err(format!(
+                "row buffer holds {} words, expected {len} rows × {w} columns",
+                rows.len()
+            ));
+        }
+        if !u32::try_from(len).is_ok_and(|v| v < NO_HANDLE) {
+            return Err(format!("row count {len} exceeds the engine's row-id space"));
+        }
+        let pool_len = out.pool.len();
+        if let Some(&bad) = rows.iter().find(|&&h| h as usize >= pool_len) {
+            return Err(format!(
+                "row handle {bad} is outside the value pool ({pool_len} values)"
+            ));
+        }
+        out.rows = rows;
+        out.len = len;
+        out.index_stale = len > 0;
+        Ok(out)
+    }
+
     /// Builds a fresh dedup table over the current rows (known distinct).
     fn build_table(&self) -> RowTable {
         let w = self.width();
@@ -814,6 +888,8 @@ impl Relation {
             other,
             strategy,
             AUTO_JOIN_SORTMERGE_MAX_DISTINCT_RATIO,
+            &WorkerLease::inline(),
+            DEFAULT_MORSEL_ROWS,
             &NoopMetrics,
             &NoopGovernor,
         ))
@@ -836,13 +912,7 @@ impl Relation {
         policy: &ExecPolicy,
         sink: &M,
     ) -> Relation {
-        unfail(self.join_impl(
-            other,
-            policy.strategy,
-            policy.auto_sortmerge_max_distinct_ratio,
-            sink,
-            &NoopGovernor,
-        ))
+        unfail(self.join_governed(other, policy, sink, &NoopGovernor))
     }
 
     /// Natural join under an [`ExecPolicy`] with governance checkpoints:
@@ -851,6 +921,11 @@ impl Relation {
     /// the governor's error at the next probe-batch checkpoint after a
     /// cancellation, deadline overrun or budget exhaustion; neither input
     /// relation is ever mutated.
+    ///
+    /// When the policy asks for threads and the probe side spans more than
+    /// one morsel ([`ExecPolicy::morsel_rows`]), workers are leased and the
+    /// hash probe loop runs morsel-driven; callers already holding a lease
+    /// should use [`Relation::join_sharded_governed`] instead.
     pub fn join_governed<M: MetricsSink, G: Governor>(
         &self,
         other: &Relation,
@@ -858,20 +933,52 @@ impl Relation {
         sink: &M,
         gov: &G,
     ) -> Result<Relation, EngineError> {
+        let probe_rows = self.len.max(other.len);
+        // Only pay for a lease when the morsel path could actually engage.
+        let probe =
+            if probe_rows > policy.morsel_rows.max(1) && policy.effective_threads(probe_rows) > 1 {
+                policy.lease(probe_rows)
+            } else {
+                WorkerLease::inline()
+            };
+        self.join_sharded_governed(other, policy, &probe, sink, gov)
+    }
+
+    /// Natural join with the probe loop sharded across an explicit worker
+    /// lease: workers pull [`ExecPolicy::morsel_rows`]-row morsels of the
+    /// probe side from a shared [`MorselQueue`] and emit their output
+    /// chunks independently (the hash kernel's output rows are distinct by
+    /// construction — every output row embeds its probe row — so chunks
+    /// concatenate without a dedup pass).  This is the entry the
+    /// level-synchronous join phase uses when a level has fewer targets
+    /// than workers; [`Relation::join_governed`] is the self-leasing form.
+    pub fn join_sharded_governed<M: MetricsSink, G: Governor>(
+        &self,
+        other: &Relation,
+        policy: &ExecPolicy,
+        probe: &WorkerLease,
+        sink: &M,
+        gov: &G,
+    ) -> Result<Relation, EngineError> {
         self.join_impl(
             other,
             policy.strategy,
             policy.auto_sortmerge_max_distinct_ratio,
+            probe,
+            policy.morsel_rows,
             sink,
             gov,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn join_impl<M: MetricsSink, G: Governor>(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
+        probe_workers: &WorkerLease,
+        morsel_rows: usize,
         sink: &M,
         gov: &G,
     ) -> Result<Relation, EngineError> {
@@ -912,7 +1019,9 @@ impl Relation {
         };
         let (out, built) = match kernel {
             Kernel::SortMerge => self.sort_merge_join_into(other, &shared, out, gov)?,
-            Kernel::Hash => self.hash_join_into(other, &shared, out, gov)?,
+            Kernel::Hash => {
+                self.hash_join_into(other, &shared, out, probe_workers, morsel_rows, gov)?
+            }
         };
         if M::ENABLED {
             sink.record_op(OpMetrics {
@@ -932,11 +1041,17 @@ impl Relation {
     /// Pools are already unified.  Also returns the number of distinct keys
     /// the build side contributed (the table's entry count — the "built"
     /// metric).
+    ///
+    /// With a multi-worker lease and a probe side spanning more than one
+    /// morsel, the probe loop runs morsel-driven (see
+    /// [`Relation::join_sharded_governed`]); otherwise it runs inline.
     fn hash_join_into<G: Governor>(
         &self,
         other: &Relation,
         shared: &NodeSet,
         mut out: Relation,
+        probe_workers: &WorkerLease,
+        morsel_rows: usize,
         gov: &G,
     ) -> Result<(Relation, usize), EngineError> {
         let (build, probe) = if self.len <= other.len {
@@ -978,10 +1093,126 @@ impl Relation {
                 distinct += 1;
             }
         }
+        let k = probe_key.len();
+        let threads = probe_workers.threads();
+        let queue = MorselQueue::new(probe.len, morsel_rows);
+        if threads > 1 && queue.morsels() > 1 {
+            // Morsel-driven probe: clone the flat row buffers once into
+            // shared read-only state (jobs are 'static owned closures),
+            // then let every worker pull morsels from the queue and emit
+            // its output chunks.  Each output row embeds its (distinct)
+            // probe row, so chunks hold pairwise-distinct rows and
+            // concatenate — in morsel order, reproducing the sequential
+            // probe's output order — without a dedup pass.
+            if G::ENABLED {
+                // Charge the shared row-buffer clones (4 bytes per word).
+                gov.approve_alloc((build.rows.len() + probe.rows.len()) as u64, 1)?;
+            }
+            let out_w = out.width();
+            let bw = build.width();
+            let pw = probe.width();
+            let state = Arc::new((
+                table,
+                next,
+                build.rows.clone(),
+                probe.rows.clone(),
+                queue,
+                build_key,
+                probe_key,
+                sources,
+            ));
+            let (tx, rx) = channel();
+            let jobs: Vec<Job> = (0..threads)
+                .map(|_| {
+                    let state = Arc::clone(&state);
+                    let tx = tx.clone();
+                    let gov = gov.clone();
+                    Box::new(move || {
+                        let (table, next, brows, prows, queue, build_key, probe_key, sources) =
+                            &*state;
+                        let mut keybuf = vec![0u32; k];
+                        let mut rowbuf = vec![0u32; out_w];
+                        let mut step = 0usize;
+                        while let Some(range) = queue.next() {
+                            let mut chunk: Vec<u32> = Vec::new();
+                            let mut res = Ok(());
+                            let mut charged = 0usize;
+                            'rows: for pi in range.clone() {
+                                let prow = row_of(prows, pw, pi as u32);
+                                if G::ENABLED {
+                                    step += 1;
+                                    if step >= CHECK_BATCH {
+                                        step = 0;
+                                        let emitted = chunk.len() / out_w.max(1);
+                                        res = gov.checkpoint().and_then(|()| {
+                                            gov.approve_alloc((emitted - charged) as u64, out_w)
+                                        });
+                                        if res.is_err() {
+                                            break 'rows;
+                                        }
+                                        charged = emitted;
+                                    }
+                                }
+                                for (j, &p) in probe_key.iter().enumerate() {
+                                    keybuf[j] = prow[p];
+                                }
+                                let head = table.find(hash_row(&keybuf), |id| {
+                                    let b = row_of(brows, bw, id);
+                                    build_key.iter().zip(&keybuf).all(|(&p, &v)| b[p] == v)
+                                });
+                                let Some(mut cur) = head else { continue };
+                                loop {
+                                    let brow = row_of(brows, bw, cur);
+                                    for (c, &(from_probe, p)) in sources.iter().enumerate() {
+                                        rowbuf[c] = if from_probe { prow[p] } else { brow[p] };
+                                    }
+                                    chunk.extend_from_slice(&rowbuf);
+                                    if G::ENABLED {
+                                        step += 1;
+                                    }
+                                    if next[cur as usize] == NO_HANDLE {
+                                        break;
+                                    }
+                                    cur = next[cur as usize];
+                                }
+                            }
+                            if G::ENABLED && res.is_ok() {
+                                let emitted = chunk.len() / out_w.max(1);
+                                if emitted > charged {
+                                    res = gov.approve_alloc((emitted - charged) as u64, out_w);
+                                }
+                            }
+                            let failed = res.is_err();
+                            let _ = tx.send((range.start, res.map(|()| chunk)));
+                            if failed {
+                                break; // stop pulling; peers abort at their next checkpoint
+                            }
+                        }
+                    }) as Job
+                })
+                .collect();
+            drop(tx);
+            probe_workers.run(jobs);
+            let mut chunks: Vec<(usize, Vec<u32>)> = Vec::new();
+            let mut first_err = None;
+            for (start, chunk) in rx.try_iter() {
+                match chunk {
+                    Ok(chunk) => chunks.push((start, chunk)),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            chunks.sort_unstable_by_key(|&(start, _)| start);
+            for (_, chunk) in &chunks {
+                out.push_rows_unchecked(chunk);
+            }
+            return Ok((out, distinct));
+        }
         // Probe and emit.  Governance runs at batch granularity: every
         // CHECK_BATCH probed/emitted rows the kernel checkpoints and charges
         // the output growth since the last charge against the budget.
-        let k = probe_key.len();
         let mut keybuf = vec![0u32; k];
         let mut rowbuf = vec![0u32; out.width()];
         let mut step = 0usize;
@@ -1178,12 +1409,14 @@ impl Relation {
     /// can record one semijoin [`OpMetrics`]; `sample_ratio` additionally
     /// samples the distinct-key ratio under pinned strategies (`Auto`
     /// samples regardless).
+    #[allow(clippy::too_many_arguments)]
     fn semijoin_mask<G: Governor>(
         &self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
+        morsel_rows: usize,
         sample_ratio: bool,
         gov: &G,
     ) -> Result<(Vec<bool>, MaskStats), EngineError> {
@@ -1207,7 +1440,7 @@ impl Relation {
             self.resolve_kernel(strategy, &keys.left_pos, auto_ratio, sample_ratio);
         let (mask, built) = match kernel {
             Kernel::SortMerge => self.sort_merge_mask(&keys, &other_keys, gov)?,
-            Kernel::Hash => self.hash_mask(&keys, other_keys, probe, gov)?,
+            Kernel::Hash => self.hash_mask(&keys, other_keys, probe, morsel_rows, gov)?,
         };
         let stats = MaskStats {
             kernel,
@@ -1220,14 +1453,16 @@ impl Relation {
 
     /// Hash flavor of the semijoin mask: index `other`'s distinct keys,
     /// probe every row of `self`.  With a multi-worker `probe` lease and
-    /// enough rows the probe loop (embarrassingly parallel, read-only) is
-    /// sharded across the leased [`WorkerPool`] workers — the
-    /// intra-operator parallelism the level-synchronous reducer falls back
-    /// to when a tree level has fewer targets than workers (e.g. chain
-    /// schemas, whose levels are singletons).  Shards own their chunk
-    /// bounds and a handle on the shared probe state (key table + gathered
-    /// key columns behind an [`Arc`]), so they run as ordinary owned pool
-    /// jobs rather than scoped borrows.
+    /// more than one morsel of rows, the probe loop (embarrassingly
+    /// parallel, read-only) runs morsel-driven: every worker pulls
+    /// `morsel_rows`-row chunks from a shared [`MorselQueue`] until the
+    /// range is drained, so an uneven probe cannot serialize on one
+    /// pre-sliced shard — the intra-operator parallelism the
+    /// level-synchronous reducer falls back to when a tree level has fewer
+    /// targets than workers (e.g. chain schemas, whose levels are
+    /// singletons).  Workers own a handle on the shared probe state (key
+    /// table + gathered key columns + queue behind one [`Arc`]), so they
+    /// run as ordinary owned pool jobs rather than scoped borrows.
     /// Returns the mask plus the number of distinct keys indexed (the
     /// "built" metric).
     fn hash_mask<G: Governor>(
@@ -1235,6 +1470,7 @@ impl Relation {
         keys: &JoinKeys,
         other_keys: Vec<u32>,
         probe: &WorkerLease,
+        morsel_rows: usize,
         gov: &G,
     ) -> Result<(Vec<bool>, usize), EngineError> {
         let k = keys.k();
@@ -1260,7 +1496,8 @@ impl Relation {
             }
         }
         let threads = probe.threads();
-        if threads <= 1 || self.len < PAR_MASK_MIN_ROWS {
+        let queue = MorselQueue::new(self.len, morsel_rows);
+        if threads <= 1 || queue.morsels() <= 1 {
             let mut keybuf = vec![0u32; k];
             let mut mask = Vec::with_capacity(self.len);
             for row in self.rows_iter() {
@@ -1278,47 +1515,50 @@ impl Relation {
             }
             return Ok((mask, distinct));
         }
-        // Shard the probe loop across the leased workers.  Each shard owns
-        // its row range and probes the gathered key columns (shared
-        // read-only behind one Arc with the table), sending its chunk of
-        // the mask back tagged with the range start.  Shards carry their
-        // own governor handle and checkpoint per batch; the first shard
-        // error aborts the whole mask.
+        // Morsel-driven probe: one job per worker, each pulling row chunks
+        // from the shared queue and probing the gathered key columns
+        // (shared read-only behind one Arc with the table and the queue),
+        // sending each morsel's mask chunk back tagged with the range
+        // start.  Workers carry their own governor handle and checkpoint
+        // per batch; the first error anywhere aborts the whole mask.
         let my_keys = keys.gather(self, &keys.left_pos);
-        let shared = Arc::new((table, other_keys, my_keys));
-        let chunk_rows = self.len.div_ceil(threads);
+        let shared = Arc::new((table, other_keys, my_keys, queue));
         let (tx, rx) = channel();
-        let jobs: Vec<Job> = (0..self.len)
-            .step_by(chunk_rows)
-            .map(|start| {
-                let end = (start + chunk_rows).min(self.len);
+        let jobs: Vec<Job> = (0..threads)
+            .map(|_| {
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
                 let gov = gov.clone();
                 Box::new(move || {
-                    let (table, other_keys, my_keys) = &*shared;
-                    let mut bits = Vec::with_capacity(end - start);
-                    let mut res = Ok(());
+                    let (table, other_keys, my_keys, queue) = &*shared;
                     let mut step = 0usize;
-                    for i in start..end {
-                        if G::ENABLED {
-                            step += 1;
-                            if step >= CHECK_BATCH {
-                                step = 0;
-                                if let Err(e) = gov.checkpoint() {
-                                    res = Err(e);
-                                    break;
+                    while let Some(range) = queue.next() {
+                        let mut bits = Vec::with_capacity(range.len());
+                        let mut res = Ok(());
+                        for i in range.clone() {
+                            if G::ENABLED {
+                                step += 1;
+                                if step >= CHECK_BATCH {
+                                    step = 0;
+                                    if let Err(e) = gov.checkpoint() {
+                                        res = Err(e);
+                                        break;
+                                    }
                                 }
                             }
+                            bits.push(probe_key(
+                                table,
+                                other_keys,
+                                k,
+                                row_of(my_keys, k, i as u32),
+                            ));
                         }
-                        bits.push(probe_key(
-                            table,
-                            other_keys,
-                            k,
-                            row_of(my_keys, k, i as u32),
-                        ));
+                        let failed = res.is_err();
+                        let _ = tx.send((range.start, res.map(|()| bits)));
+                        if failed {
+                            break; // stop pulling; peers abort on their next checkpoint
+                        }
                     }
-                    let _ = tx.send((start, res.map(|()| bits)));
                 }) as Job
             })
             .collect();
@@ -1405,6 +1645,7 @@ impl Relation {
             strategy,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
+            DEFAULT_MORSEL_ROWS,
             false,
             &NoopGovernor,
         ));
@@ -1429,6 +1670,7 @@ impl Relation {
             JoinStrategy::Hash,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &WorkerLease::inline(),
+            DEFAULT_MORSEL_ROWS,
             false,
             &NoopGovernor,
         ))
@@ -1469,6 +1711,7 @@ impl Relation {
             strategy,
             AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
             &probe,
+            DEFAULT_MORSEL_ROWS,
             &NoopMetrics,
             &NoopGovernor,
         ))
@@ -1506,6 +1749,7 @@ impl Relation {
             policy.strategy,
             policy.auto_semijoin_sortmerge_max_distinct_ratio,
             probe,
+            policy.morsel_rows,
             sink,
             &NoopGovernor,
         ))
@@ -1533,17 +1777,20 @@ impl Relation {
             policy.strategy,
             policy.auto_semijoin_sortmerge_max_distinct_ratio,
             probe,
+            policy.morsel_rows,
             sink,
             gov,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn retain_semijoin_impl<M: MetricsSink, G: Governor>(
         &mut self,
         other: &Relation,
         strategy: JoinStrategy,
         auto_ratio: f64,
         probe: &WorkerLease,
+        morsel_rows: usize,
         sink: &M,
         gov: &G,
     ) -> Result<usize, EngineError> {
@@ -1551,8 +1798,15 @@ impl Relation {
         // Every governance checkpoint fires inside the mask computation,
         // which only reads `self`; an abort propagates here before any row
         // is moved, leaving the relation bit-identical.
-        let (mask, stats) =
-            self.semijoin_mask(other, strategy, auto_ratio, probe, M::ENABLED, gov)?;
+        let (mask, stats) = self.semijoin_mask(
+            other,
+            strategy,
+            auto_ratio,
+            probe,
+            morsel_rows,
+            M::ENABLED,
+            gov,
+        )?;
         let removed = mask.iter().filter(|&&b| !b).count();
         if removed > 0 {
             let w = self.width();
@@ -2091,7 +2345,7 @@ mod tests {
         );
         let mut r = Relation::new("R", h.node_set(["A", "B"]).unwrap());
         let mut s = Relation::with_pool("S", h.node_set(["B", "C"]).unwrap(), r.pool().clone());
-        // Enough rows to clear PAR_MASK_MIN_ROWS so the probe loop shards.
+        // Morsels smaller than the row count so the probe loop shards.
         for i in 0..3000i64 {
             r.insert(Tuple::from_pairs([(a, i), (b, i % 101)]));
             if i % 2 == 0 {
@@ -2104,6 +2358,7 @@ mod tests {
                 JoinStrategy::Hash,
                 AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
                 &WorkerLease::inline(),
+                256,
                 false,
                 &NoopGovernor,
             )
@@ -2114,6 +2369,7 @@ mod tests {
                 JoinStrategy::Hash,
                 AUTO_SEMIJOIN_SORTMERGE_MAX_DISTINCT_RATIO,
                 &WorkerPool::lease(4),
+                256,
                 false,
                 &NoopGovernor,
             )

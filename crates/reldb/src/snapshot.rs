@@ -1,0 +1,638 @@
+//! Versioned binary snapshots of a [`Database`].
+//!
+//! Text data files re-parse, re-validate and re-intern every tuple on every
+//! load; at 10⁶–10⁷ tuples that dominates end-to-end query time.  A
+//! snapshot instead dumps the engine's in-memory representation almost
+//! verbatim — the interning dictionaries and the fixed-width `u32`-handle
+//! row buffers — so loading is a handful of bulk reads plus cheap
+//! validation, and the dedup indexes are **not** stored or built at all:
+//! rows written from a live relation are distinct by construction, so the
+//! loader marks the row index stale ([`Relation`]'s usual deferred-rebuild
+//! machinery), and each pool's intern index is likewise left empty for the
+//! first `intern`/`get` to rebuild — queries that never intern never pay
+//! for it.  Pool dictionaries are stored *sorted by value* with a handle
+//! permutation alongside, so distinctness (the invariant handle equality
+//! rests on) is validated by a sequential neighbour scan instead of a
+//! 10⁶-probe hash-table build.
+//!
+//! # Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      8 B   b"HQSNAP\r\n"   (the \r\n catches text-mode mangling)
+//! version    u32   bumped on any incompatible change; readers reject
+//!                  other versions with a structured error
+//! schema     node_count u32, then node names in id order (u32 len + UTF-8);
+//!            edge_count u32, then per edge: label (u32 len + UTF-8),
+//!            node_count u32, node ids (u32 each)
+//! pools      pool_count u32, then per pool: value_count u32, then the
+//!            dictionary values in strictly ascending value order (tag u8:
+//!            0 = Int + i64, 1 = Str + u32 len + UTF-8) — strict order
+//!            doubles as the distinctness check — then value_count × u32:
+//!            the pool handle of each sorted value (a permutation; the
+//!            loader scatters values back into handle order)
+//! relations  one per schema edge, in edge order: pool index u32,
+//!            row count u64, then row_count × width u32 handles
+//! ```
+//!
+//! Databases whose relations live in different [`ValuePool`]s (cross-pool
+//! joins translate lazily) are preserved as-is: each distinct pool is
+//! dumped once and relations reference it by index, so a round trip
+//! changes neither contents nor pool sharing structure.
+//!
+//! # Failure semantics
+//!
+//! Corruption never panics.  Every read is bounds-checked and every
+//! structural invariant (handle ranges, row-buffer sizes, schema
+//! consistency) is validated before a [`Database`] is assembled, so a
+//! truncated, bit-flipped, wrong-version or wrong-magic file yields
+//! [`EngineError::Parse`] — with the byte offset in the `line` field — or
+//! [`EngineError::Io`], and the caller's existing state is untouched (the
+//! loader only ever builds a fresh database).
+
+use crate::database::Database;
+use crate::govern::EngineError;
+use crate::pool::ValuePool;
+use crate::relation::Relation;
+use crate::value::Value;
+use hypergraph::{Hypergraph, HypergraphBuilder};
+use std::path::Path;
+
+/// The 8-byte file signature. `\r\n` at the end catches accidental newline
+/// translation, the same trick as PNG's signature.
+pub(crate) const MAGIC: [u8; 8] = *b"HQSNAP\r\n";
+
+/// Current snapshot format version. Bumped on any incompatible layout
+/// change; readers reject every other version with a structured error.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+/// Whether `bytes` starts with the snapshot signature — the sniff the CLI
+/// uses to accept a snapshot anywhere a text data file is accepted.
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+fn corrupt(at: usize, message: impl Into<String>) -> EngineError {
+    EngineError::Parse {
+        line: at,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Serializes `db` into the version-1 snapshot byte layout.
+pub(crate) fn encode(db: &Database) -> Vec<u8> {
+    let schema = db.schema();
+    // Distinct pools in first-use order: the database's own pool first,
+    // then any relation pools not identical to one already collected.
+    let mut pools: Vec<ValuePool> = vec![db.pool().clone()];
+    let pool_index: Vec<u32> = db
+        .relations()
+        .iter()
+        .map(|r| match pools.iter().position(|p| p.same_pool(r.pool())) {
+            Some(i) => i as u32,
+            None => {
+                pools.push(r.pool().clone());
+                (pools.len() - 1) as u32
+            }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(64 + db.tuple_count() * 16);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+
+    // Schema: node names in id order fix the numbering, then labeled edges.
+    put_u32(&mut out, schema.node_count() as u32);
+    for n in schema.nodes().iter() {
+        put_str(&mut out, schema.universe().name(n));
+    }
+    put_u32(&mut out, schema.edge_count() as u32);
+    for e in schema.edges() {
+        put_str(&mut out, &e.label);
+        put_u32(&mut out, e.nodes.len() as u32);
+        for n in e.nodes.iter() {
+            put_u32(&mut out, n.0);
+        }
+    }
+
+    // Pools: each dictionary sorted by value, then the handle of each
+    // sorted value.  Saving pays an O(n log n) sort once so that every
+    // load can validate distinctness with a sequential neighbour scan
+    // and skip building the intern index entirely.
+    put_u32(&mut out, pools.len() as u32);
+    for p in &pools {
+        let values = p.snapshot();
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+        put_u32(&mut out, values.len() as u32);
+        for &h in &order {
+            put_value(&mut out, &values[h as usize]);
+        }
+        for &h in &order {
+            put_u32(&mut out, h);
+        }
+    }
+
+    // Relations: raw fixed-width handle rows, in schema-edge order.
+    for (r, &pi) in db.relations().iter().zip(&pool_index) {
+        put_u32(&mut out, pi);
+        put_u64(&mut out, r.len() as u64);
+        for &h in r.raw_rows() {
+            put_u32(&mut out, h);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounds-checked cursor over the snapshot buffer; every failure reports
+/// the byte offset it happened at.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], EngineError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(corrupt(
+                self.at,
+                format!("truncated snapshot: {n} byte(s) of {what} missing"),
+            )),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, EngineError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64, EngineError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, EngineError> {
+        let at = self.at;
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|e| corrupt(at, format!("{what} is not UTF-8: {e}")))
+    }
+
+    /// A length prefix for `per`-byte-sized items must leave the remaining
+    /// buffer plausible — this turns absurd (bit-flipped) counts into a
+    /// structured error instead of an out-of-memory allocation attempt.
+    fn checked_count(&self, n: u64, per: usize, what: &str) -> Result<usize, EngineError> {
+        let remaining = (self.buf.len() - self.at) as u64;
+        if n.saturating_mul(per as u64) > remaining {
+            return Err(corrupt(
+                self.at,
+                format!("{what} count {n} exceeds the remaining {remaining} byte(s)"),
+            ));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Reassembles a [`Database`] from snapshot bytes. See the module docs for
+/// the layout and failure semantics.
+pub(crate) fn decode(buf: &[u8]) -> Result<Database, EngineError> {
+    let mut r = Reader { buf, at: 0 };
+    let magic = r.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(corrupt(0, "not a snapshot: bad magic bytes"));
+    }
+    let version = r.u32("format version")?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(
+            MAGIC.len(),
+            format!("unsupported snapshot format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+
+    // Schema.
+    let raw_nodes: u64 = r.u32("node count")?.into();
+    let node_count = r.checked_count(raw_nodes, 5, "node")?;
+    let mut builder = HypergraphBuilder::new();
+    let mut names: Vec<String> = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        let name = r.str("node name")?;
+        if names.iter().any(|n| n == name) {
+            return Err(corrupt(r.at, format!("duplicate node name {name:?}")));
+        }
+        builder = builder.node(name);
+        names.push(name.to_owned());
+        let _ = i;
+    }
+    let raw_edges: u64 = r.u32("edge count")?.into();
+    let edge_count = r.checked_count(raw_edges, 8, "edge")?;
+    for _ in 0..edge_count {
+        let at = r.at;
+        let label = r.str("edge label")?.to_owned();
+        let raw_n: u64 = r.u32("edge node count")?.into();
+        let n = r.checked_count(raw_n, 4, "edge node")?;
+        let mut edge_nodes: Vec<&str> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u32("edge node id")? as usize;
+            let name = names
+                .get(id)
+                .ok_or_else(|| corrupt(at, format!("edge {label:?} references node id {id}")))?;
+            edge_nodes.push(name);
+        }
+        builder = builder.edge(label, edge_nodes);
+    }
+    let schema: Hypergraph = builder
+        .build()
+        .map_err(|e| corrupt(r.at, format!("invalid snapshot schema: {e}")))?;
+    if schema.node_count() != node_count {
+        return Err(corrupt(r.at, "schema node numbering is not dense"));
+    }
+
+    // Pools: values arrive sorted, so distinctness — the invariant handle
+    // equality rests on — is a neighbour comparison per value; the
+    // permutation scatters them back into handle order, and the intern
+    // index is left for the first `intern`/`get` to rebuild lazily.
+    let raw_pools: u64 = r.u32("pool count")?.into();
+    let pool_count = r.checked_count(raw_pools, 4, "pool")?;
+    if pool_count == 0 {
+        return Err(corrupt(r.at, "snapshot declares zero value pools"));
+    }
+    let mut pools: Vec<ValuePool> = Vec::with_capacity(pool_count);
+    for _ in 0..pool_count {
+        let raw_n: u64 = r.u32("pool value count")?.into();
+        // ≥ 9 bytes per value: tag + payload is at least 5, the
+        // permutation entry another 4.
+        let n = r.checked_count(raw_n, 9, "pool value")?;
+        let mut sorted: Vec<Value> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.at;
+            let v = match r.u8("value tag")? {
+                0 => Value::Int(r.i64("integer value")?),
+                1 => Value::Str(r.str("string value")?.to_owned()),
+                t => return Err(corrupt(at, format!("unknown value tag {t}"))),
+            };
+            if let Some(prev) = sorted.last() {
+                if *prev >= v {
+                    return Err(corrupt(
+                        at,
+                        format!("pool dictionary not strictly ascending ({prev} then {v})"),
+                    ));
+                }
+            }
+            sorted.push(v);
+        }
+        let perm_at = r.at;
+        let perm = r.take(n * 4, "pool handle permutation")?;
+        let mut dict: Vec<Value> = vec![Value::Int(0); n];
+        let mut seen = vec![false; n];
+        for (v, c) in sorted.into_iter().zip(perm.chunks_exact(4)) {
+            let h = u32::from_le_bytes(c.try_into().unwrap()) as usize;
+            if h >= n || seen[h] {
+                return Err(corrupt(
+                    perm_at,
+                    format!("pool handle permutation is invalid at handle {h}"),
+                ));
+            }
+            seen[h] = true;
+            dict[h] = v;
+        }
+        pools.push(ValuePool::from_dense_values(dict));
+    }
+
+    // Relations, one per schema edge in edge order.
+    let mut relations: Vec<Relation> = Vec::with_capacity(schema.edge_count());
+    for e in schema.edges() {
+        let at = r.at;
+        let pi = r.u32("relation pool index")? as usize;
+        let pool = pools
+            .get(pi)
+            .ok_or_else(|| corrupt(at, format!("relation {:?} references pool {pi}", e.label)))?
+            .clone();
+        let width = e.nodes.len();
+        let raw_len = r.u64("relation row count")?;
+        let len = r.checked_count(raw_len, width * 4, "row")?;
+        let mut rows: Vec<u32> = Vec::with_capacity(len * width);
+        let bytes = r.take(len * width * 4, "row data")?;
+        rows.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        let rel = Relation::from_raw_parts(e.label.clone(), e.nodes.clone(), pool, rows, len)
+            .map_err(|m| corrupt(at, format!("relation {:?}: {m}", e.label)))?;
+        relations.push(rel);
+    }
+    if r.at != r.buf.len() {
+        return Err(corrupt(
+            r.at,
+            format!(
+                "{} trailing byte(s) after the last relation",
+                r.buf.len() - r.at
+            ),
+        ));
+    }
+    Database::new(schema, relations).map_err(|e| {
+        corrupt(
+            0,
+            format!("snapshot assembles an inconsistent database: {e}"),
+        )
+    })
+}
+
+// ------------------------------------------------------------- public API
+
+impl Database {
+    /// Serializes the database into the versioned binary snapshot format
+    /// (see the [module docs](self) for the layout) and writes it to
+    /// `path`.  I/O failures surface as [`EngineError::Io`].
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        let path = path.as_ref();
+        std::fs::write(path, encode(self))
+            .map_err(|e| EngineError::Io(format!("cannot write snapshot {}: {e}", path.display())))
+    }
+
+    /// The snapshot byte image [`save_snapshot`](Database::save_snapshot)
+    /// writes — for callers managing their own I/O.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        encode(self)
+    }
+
+    /// Loads a database from a snapshot file written by
+    /// [`save_snapshot`](Database::save_snapshot).
+    ///
+    /// Corruption in any form — wrong magic, unsupported version,
+    /// truncation, out-of-range handles or counts — yields a structured
+    /// [`EngineError::Parse`] (whose `line` field carries the byte offset)
+    /// and never panics; I/O failures yield [`EngineError::Io`].  The
+    /// loader only ever constructs a fresh database, so a failed load
+    /// cannot disturb existing state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypergraph::{EdgeId, Hypergraph};
+    /// use reldb::{Database, Tuple};
+    ///
+    /// let schema = Hypergraph::from_edges([vec!["A", "B"]]).unwrap();
+    /// let (a, b) = (schema.node("A").unwrap(), schema.node("B").unwrap());
+    /// let mut db = Database::empty(schema);
+    /// db.insert(EdgeId(0), Tuple::from_pairs([(a, 1), (b, 2)]));
+    ///
+    /// let path = std::env::temp_dir().join("hq-snapshot-doc.hqs");
+    /// db.save_snapshot(&path).unwrap();
+    /// let loaded = Database::load_snapshot(&path).unwrap();
+    /// assert_eq!(loaded.tuple_count(), 1);
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Database, EngineError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            EngineError::Io(format!("cannot read snapshot {}: {e}", path.display()))
+        })?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+
+    /// Reassembles a database from in-memory snapshot bytes — the
+    /// file-free core of [`load_snapshot`](Database::load_snapshot), with
+    /// the same failure semantics.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Database, EngineError> {
+        decode(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Tuple;
+    use hypergraph::EdgeId;
+
+    fn sample_db() -> Database {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut db = Database::empty(h);
+        for i in 0..50i64 {
+            db.insert(EdgeId(0), Tuple::from_pairs([(a, i), (b, i % 7)]));
+            db.insert(
+                EdgeId(1),
+                Tuple::from_pairs([(b, Value::Int(i % 7)), (c, Value::str(format!("v{i}")))]),
+            );
+        }
+        db
+    }
+
+    fn same_database(x: &Database, y: &Database) -> bool {
+        x.schema().same_edge_sets(y.schema())
+            && x.relations().len() == y.relations().len()
+            && x.relations()
+                .iter()
+                .zip(y.relations())
+                .all(|(a, b)| a.same_contents(b))
+    }
+
+    #[test]
+    fn round_trip_preserves_contents() {
+        let db = sample_db();
+        let loaded = Database::from_snapshot_bytes(&db.to_snapshot_bytes()).unwrap();
+        assert!(same_database(&db, &loaded));
+        // One shared pool in, one shared pool out.
+        assert!(loaded.relations()[0]
+            .pool()
+            .same_pool(loaded.relations()[1].pool()));
+    }
+
+    #[test]
+    fn round_trip_preserves_cross_pool_structure() {
+        let h = Hypergraph::from_edges([vec!["A", "B"], vec!["B", "C"]]).unwrap();
+        let (a, b, c) = (
+            h.node("A").unwrap(),
+            h.node("B").unwrap(),
+            h.node("C").unwrap(),
+        );
+        let mut r = Relation::new("e0", h.node_set(["A", "B"]).unwrap());
+        let mut s = Relation::new("e1", h.node_set(["B", "C"]).unwrap());
+        r.insert(Tuple::from_pairs([(a, 1), (b, 2)]));
+        s.insert(Tuple::from_pairs([(b, 2), (c, 3)]));
+        let db = Database::new(h, vec![r, s]).unwrap();
+        assert!(!db.relations()[0].pool().same_pool(db.relations()[1].pool()));
+        let loaded = Database::from_snapshot_bytes(&db.to_snapshot_bytes()).unwrap();
+        assert!(same_database(&db, &loaded));
+        assert!(!loaded.relations()[0]
+            .pool()
+            .same_pool(loaded.relations()[1].pool()));
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let h = Hypergraph::from_edges([vec!["A", "B"]]).unwrap();
+        let db = Database::empty(h);
+        let loaded = Database::from_snapshot_bytes(&db.to_snapshot_bytes()).unwrap();
+        assert!(same_database(&db, &loaded));
+        assert_eq!(loaded.tuple_count(), 0);
+    }
+
+    #[test]
+    fn wrong_magic_is_a_structured_error() {
+        let mut bytes = sample_db().to_snapshot_bytes();
+        bytes[0] = b'X';
+        match Database::from_snapshot_bytes(&bytes) {
+            Err(EngineError::Parse { line: 0, message }) => {
+                assert!(message.contains("magic"), "{message}")
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_a_structured_error() {
+        let mut bytes = sample_db().to_snapshot_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        match Database::from_snapshot_bytes(&bytes) {
+            Err(EngineError::Parse { message, .. }) => {
+                assert!(message.contains("version 99"), "{message}")
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_never_panics() {
+        let bytes = sample_db().to_snapshot_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    Database::from_snapshot_bytes(&bytes[..cut]),
+                    Err(EngineError::Parse { .. })
+                ),
+                "prefix of {cut} byte(s) must fail structurally"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_db().to_snapshot_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Database::from_snapshot_bytes(&bytes),
+            Err(EngineError::Parse { .. })
+        ));
+    }
+
+    /// A minimal hand-built image — schema `R(A)`, one pool with the given
+    /// sorted-value section and handle permutation, zero rows — for
+    /// exercising the pool-section validators directly.
+    fn image_with_pool(sorted: &[Value], perm: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, 1); // node count
+        put_str(&mut out, "A");
+        put_u32(&mut out, 1); // edge count
+        put_str(&mut out, "R");
+        put_u32(&mut out, 1); // edge width
+        put_u32(&mut out, 0); // node id
+        put_u32(&mut out, 1); // pool count
+        put_u32(&mut out, sorted.len() as u32);
+        for v in sorted {
+            put_value(&mut out, v);
+        }
+        for &h in perm {
+            put_u32(&mut out, h);
+        }
+        put_u32(&mut out, 0); // relation pool index
+        put_u64(&mut out, 0); // row count
+        out
+    }
+
+    #[test]
+    fn pool_permutation_scatters_values_back_into_handle_order() {
+        let ok = image_with_pool(&[Value::Int(1), Value::Int(2)], &[1, 0]);
+        let db = Database::from_snapshot_bytes(&ok).unwrap();
+        let pool = db.relations()[0].pool();
+        assert_eq!(pool.value(0), Value::Int(2));
+        assert_eq!(pool.value(1), Value::Int(1));
+        // The lazily rebuilt intern index agrees with the dictionary.
+        assert_eq!(pool.get(&Value::Int(1)), Some(1));
+    }
+
+    #[test]
+    fn duplicate_or_disordered_pool_values_are_rejected() {
+        for sorted in [
+            [Value::Int(1), Value::Int(1)], // duplicate
+            [Value::Int(2), Value::Int(1)], // out of order
+        ] {
+            let bytes = image_with_pool(&sorted, &[0, 1]);
+            match Database::from_snapshot_bytes(&bytes) {
+                Err(EngineError::Parse { message, .. }) => {
+                    assert!(message.contains("ascending"), "{message}")
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_pool_permutations_are_rejected() {
+        for perm in [[0u32, 0], [0, 5]] {
+            let bytes = image_with_pool(&[Value::Int(1), Value::Int(2)], &perm);
+            match Database::from_snapshot_bytes(&bytes) {
+                Err(EngineError::Parse { message, .. }) => {
+                    assert!(message.contains("permutation"), "{message}")
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_not_panic() {
+        match Database::load_snapshot("/nonexistent/dir/x.hqs") {
+            Err(EngineError::Io(m)) => assert!(m.contains("cannot read")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -445,6 +445,11 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
         }
         let t0 = M::ENABLED.then(Instant::now);
         if threads <= 1 || level.len() <= 1 {
+            // Fewer targets than workers (chains: every join level is a
+            // singleton): parallelism drops *inside* the join instead — the
+            // whole lease pulls probe morsels from the shared queue
+            // ([`Relation::join_sharded_governed`]), so one huge binary
+            // join no longer serializes the level.
             for &e in level {
                 let base = std::mem::replace(&mut relations[e.index()], placeholder());
                 let children = take_children(tree, e, &mut partial);
@@ -454,6 +459,7 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
                     keep_for(e),
                     output,
                     policy,
+                    &lease,
                     sink,
                     gov,
                 )?);
@@ -489,7 +495,16 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
                     Box::new(move || {
                         let _ = tx.send((
                             idx,
-                            join_subtree(base, &children, keep, &output, &policy, &sink, &gov),
+                            join_subtree(
+                                base,
+                                &children,
+                                keep,
+                                &output,
+                                &policy,
+                                &WorkerLease::inline(),
+                                &sink,
+                                &gov,
+                            ),
                         ));
                     }) as Job
                 })
@@ -530,18 +545,20 @@ fn take_children(tree: &JoinTree, e: EdgeId, partial: &mut [Option<Relation>]) -
 /// children's subtree results (in child order, matching the sequential
 /// walk) and projects onto the attributes still needed above it — the
 /// output attributes surfaced so far plus the separator towards the parent.
+#[allow(clippy::too_many_arguments)]
 fn join_subtree<M: MetricsSink, G: Governor>(
     base: Relation,
     children: &[Relation],
     mut keep: NodeSet,
     output: &NodeSet,
     policy: &ExecPolicy,
+    probe: &WorkerLease,
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
     let mut acc = base;
     for child in children {
-        acc = acc.join_governed(child, policy, sink, gov)?;
+        acc = acc.join_sharded_governed(child, policy, probe, sink, gov)?;
     }
     keep.union_with(&acc.attributes().intersection(output));
     Ok(acc.project(&keep))

@@ -14,7 +14,7 @@ use acyclic_hypergraphs::reldb::reference::{
 };
 use acyclic_hypergraphs::reldb::{
     full_reduce, full_reduce_with, yannakakis_join, yannakakis_join_with, Database, ExecPolicy,
-    JoinStrategy, Relation, Tuple, Value,
+    JoinStrategy, Relation, Tuple, Value, DEFAULT_MORSEL_ROWS,
 };
 use acyclic_hypergraphs::workload::{
     chain, random_database, snowflake, snowflake_tree, star, DataParams,
@@ -368,6 +368,61 @@ proptest! {
         }
         let slow = naive_yannakakis_join(&split_db, &tree, &output);
         prop_assert!(slow.agrees_with(&want), "cross-pool oracle diverged");
+    }
+
+    /// Morsel-driven execution is tuple-for-tuple identical to the
+    /// sequential engine and the reference oracle at every morsel size:
+    /// one-row morsels (maximal scheduling interleaving), the default, and
+    /// morsels larger than any input (degenerating to one chunk per scan).
+    /// Covers both pipeline phases — reduce and the bottom-up join with its
+    /// materialized output — across schema families and Zipf skew.
+    #[test]
+    fn morsel_sizes_match_sequential_and_reference(
+        family in 0usize..4,
+        shape in 0usize..4,
+        tuples in 1usize..32,
+        domain in 1i64..6,
+        skew_tenths in 0usize..16,
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+        pick in 0usize..64,
+    ) {
+        let db = db_for_skewed(family, shape, tuples, domain, skew_tenths as f64 / 10.0, seed);
+        let tree = join_tree(db.schema()).expect("generator schemas are acyclic");
+        let output: NodeSet = db
+            .schema()
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick & (1 << (i % 6)) != 0)
+            .map(|(_, n)| n)
+            .collect();
+        let sequential = ExecPolicy::sequential(JoinStrategy::Hash);
+        let reduced = full_reduce_with(&db, &tree, &sequential);
+        let joined = yannakakis_join_with(&db, &tree, &output, &sequential);
+        for morsel_rows in [1usize, 3, DEFAULT_MORSEL_ROWS, usize::MAX / 2] {
+            let policy = ExecPolicy {
+                morsel_rows,
+                ..ExecPolicy::parallel(JoinStrategy::Hash, threads)
+            };
+            let r = full_reduce_with(&db, &tree, &policy);
+            prop_assert_eq!(&reduced.removed, &r.removed,
+                "removed counts diverged at morsel_rows={}", morsel_rows);
+            for (s, p) in reduced.relations.iter().zip(&r.relations) {
+                prop_assert!(s.same_contents(p),
+                    "morsel reducer diverged at morsel_rows={morsel_rows}");
+            }
+            let j = yannakakis_join_with(&db, &tree, &output, &policy);
+            prop_assert!(joined.same_contents(&j),
+                "morsel join diverged at morsel_rows={morsel_rows}");
+        }
+        let (naive_rels, naive_removed) = naive_full_reduce(&db, &tree);
+        prop_assert_eq!(&reduced.removed, &naive_removed, "reduce diverged from oracle");
+        for (n, s) in naive_rels.iter().zip(&reduced.relations) {
+            prop_assert!(n.agrees_with(s), "reduced contents diverged from oracle");
+        }
+        let slow = naive_yannakakis_join(&db, &tree, &output);
+        prop_assert!(slow.agrees_with(&joined), "join diverged from oracle");
     }
 
     /// The full Yannakakis pipeline agrees with the reference under every
