@@ -1,0 +1,241 @@
+//! The `hyperq client` subcommand: a protocol client for `hyperqd`.
+//!
+//! Speaks one request per invocation over TCP — the same line-oriented
+//! JSON frames defined in [`hyperqd::protocol`] — and maps server error
+//! responses onto the CLI exit-code contract (`kind.code()`: 3 deadline or
+//! cancelled, 4 budget, 5 engine panic, 2 everything else), so shell
+//! scripts and the CI `server` job can assert on `$?` exactly as they do
+//! for one-shot `hyperq query`.
+
+use crate::commands::CliError;
+use hyperqd::json::Json;
+use hyperqd::protocol::{
+    parse_response, render_request, EngineKind, Overrides, QuerySpec, Request, Response,
+    StrategyKind, MAX_LINE,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Runs `hyperq client <addr> <op> ...`.  `args` holds everything after
+/// the `client` word; flags are extracted in place, positionals remain.
+pub fn run_client(args: &mut Vec<String>) -> Result<String, CliError> {
+    let raw = crate::take_switch(args, "--raw");
+    if args.len() < 2 {
+        return Err("client expects <addr> and an operation \
+                    (ping | list | query | prepare | run | shutdown)"
+            .into());
+    }
+    let addr = args.remove(0);
+    let op = args.remove(0);
+    let request = match op.as_str() {
+        "ping" => Request::Ping,
+        "list" => Request::List,
+        "shutdown" => Request::Shutdown {
+            now: crate::take_switch(args, "--now"),
+        },
+        "query" => {
+            let overrides = take_overrides(args)?;
+            let engine = take_engine(args)?;
+            let select = take_select(args)?;
+            let [db] = args.as_slice() else {
+                return Err("client query expects exactly one <db> name".into());
+            };
+            let db = db.clone();
+            args.truncate(0);
+            Request::Query(QuerySpec {
+                db,
+                select,
+                engine,
+                overrides,
+            })
+        }
+        "prepare" => {
+            let overrides = take_overrides(args)?;
+            let engine = take_engine(args)?;
+            let select = take_select(args)?;
+            let [name, db] = args.as_slice() else {
+                return Err("client prepare expects <name> and <db>".into());
+            };
+            let (name, db) = (name.clone(), db.clone());
+            args.truncate(0);
+            Request::Prepare {
+                name,
+                spec: QuerySpec {
+                    db,
+                    select,
+                    engine,
+                    overrides,
+                },
+            }
+        }
+        "run" => {
+            let overrides = take_overrides(args)?;
+            let [name] = args.as_slice() else {
+                return Err("client run expects exactly one prepared-query <name>".into());
+            };
+            let name = name.clone();
+            args.truncate(0);
+            Request::Run { name, overrides }
+        }
+        other => return Err(format!("unknown client operation {other:?}").into()),
+    };
+    if !args.is_empty() {
+        return Err(format!("client {op}: unexpected arguments {args:?}").into());
+    }
+    let line = exchange(&addr, &render_request(&request))?;
+    if raw {
+        return Ok(format!("{line}\n"));
+    }
+    let response = parse_response(&line)
+        .map_err(|e| CliError::from(format!("{addr}: unparseable response ({e}): {line}")))?;
+    render(&addr, response)
+}
+
+/// One request/response exchange: connect, send the frame, read one line.
+fn exchange(addr: &str, request_line: &str) -> Result<String, CliError> {
+    let io_err = |what: &str, e: std::io::Error| CliError::from(format!("{addr}: {what}: {e}"));
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("cannot connect", e))?;
+    stream
+        .write_all(request_line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_err("cannot send request", e))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Cap the read at the protocol frame limit: a server bug cannot make
+    // the client buffer without bound.
+    reader
+        .by_ref()
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(|e| io_err("cannot read response", e))?;
+    if line.is_empty() {
+        return Err(format!("{addr}: server closed the connection without a response").into());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Renders a parsed response for the terminal; server errors become
+/// [`CliError`]s carrying the protocol's exit code.
+fn render(addr: &str, response: Response) -> Result<String, CliError> {
+    match response {
+        Response::Pong => Ok("pong\n".to_owned()),
+        Response::Bye => Ok("bye\n".to_owned()),
+        Response::Prepared { name } => Ok(format!("prepared {name}\n")),
+        Response::Listing { databases, queries } => {
+            let mut out = String::new();
+            for d in &databases {
+                out.push_str(&format!(
+                    "database {}: {} relations, {} tuples, {}\n",
+                    d.name,
+                    d.relations,
+                    d.tuples,
+                    if d.acyclic { "acyclic" } else { "cyclic" }
+                ));
+            }
+            for q in &queries {
+                out.push_str(&format!("prepared {q}\n"));
+            }
+            if out.is_empty() {
+                out.push_str("(nothing served)\n");
+            }
+            Ok(out)
+        }
+        Response::Answer {
+            attrs,
+            rows,
+            metrics,
+        } => {
+            let mut out = String::new();
+            out.push_str(&attrs.join(" | "));
+            out.push('\n');
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(cell).collect();
+                out.push_str(&cells.join(" | "));
+                out.push('\n');
+            }
+            out.push_str(&format!("({} tuples)\n", rows.len()));
+            if let Some(m) = metrics {
+                out.push_str(&format!("metrics: {m}\n"));
+            }
+            Ok(out)
+        }
+        Response::Error(e) => Err(CliError {
+            code: e.kind.code(),
+            message: format!("{addr}: server error: {e}"),
+        }),
+    }
+}
+
+/// A row cell for display: strings bare (matching the CLI's relation
+/// printer), everything else in JSON form.
+fn cell(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn take_select(args: &mut Vec<String>) -> Result<Vec<String>, CliError> {
+    let select = crate::take_flag(args, "--select")?.ok_or("client requires --select A,B[,..]")?;
+    let attrs: Vec<String> = select
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if attrs.is_empty() {
+        return Err("--select needs at least one attribute".into());
+    }
+    Ok(attrs)
+}
+
+fn take_engine(args: &mut Vec<String>) -> Result<Option<EngineKind>, CliError> {
+    Ok(match crate::take_flag(args, "--engine")?.as_deref() {
+        None => None,
+        Some("yannakakis") => Some(EngineKind::Yannakakis),
+        Some("connection") => Some(EngineKind::Connection),
+        Some("naive") => Some(EngineKind::Naive),
+        Some(other) => return Err(format!("unknown engine {other:?}").into()),
+    })
+}
+
+/// Extracts the shared override flags (`--strategy`, `--threads`,
+/// `--timeout-ms`, `--mem-budget-mb`, `--metrics`, and the
+/// failpoints-feature fault-injection pair).
+fn take_overrides(args: &mut Vec<String>) -> Result<Overrides, CliError> {
+    let strategy = match crate::take_flag(args, "--strategy")?.as_deref() {
+        None => None,
+        Some("hash") => Some(StrategyKind::Hash),
+        Some("sort-merge") => Some(StrategyKind::SortMerge),
+        Some("auto") => Some(StrategyKind::Auto),
+        Some(other) => return Err(format!("unknown strategy {other:?}").into()),
+    };
+    let mut o = Overrides {
+        strategy,
+        ..Overrides::default()
+    };
+    for (flag, slot) in [
+        ("--threads", &mut o.threads),
+        ("--timeout-ms", &mut o.timeout_ms),
+        ("--mem-budget-mb", &mut o.mem_budget_mb),
+        ("--fail-at-semijoin", &mut o.fail_at_semijoin),
+    ] {
+        if let Some(s) = crate::take_flag(args, flag)? {
+            *slot = Some(
+                s.parse::<u64>()
+                    .map_err(|_| format!("{flag}: expected a non-negative integer, got {s:?}"))?,
+            );
+        }
+    }
+    if crate::take_switch(args, "--metrics") {
+        o.metrics = Some(true);
+    }
+    if crate::take_switch(args, "--fail-panic") {
+        o.fail_panic = Some(true);
+    }
+    Ok(o)
+}

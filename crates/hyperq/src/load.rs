@@ -1,150 +1,15 @@
 //! Parsers for the `hyperq` on-disk formats.
 //!
-//! **Schema files** are edge lists, one hyperedge per line:
-//!
-//! ```text
-//! # Fig. 1 of the paper
-//! R1: A B C
-//! R2: C D E
-//! A E F        # unlabeled edges get e<index> labels
-//! ```
-//!
-//! **Data files** hold one tuple per line, bound to a schema edge by label:
-//!
-//! ```text
-//! R1: A=1 B=2 C=paris
-//! ```
-//!
-//! Values that parse as `i64` become integers; everything else is a string.
+//! The parsing core (schema edge-lists, `LABEL: A=1 B=x` tuple files,
+//! snapshot schema matching) moved to [`hyperqd::load`] when the server
+//! grew out of this CLI — both binaries read exactly the same formats.
+//! This module re-exports it and keeps the CLI-flavored
+//! [`load_data`] wrapper that maps failures onto exit codes.
 
-use hypergraph::{EdgeId, Hypergraph, HypergraphBuilder};
-use reldb::{Database, Tuple, Value};
+pub use hyperqd::load::{parse_database, parse_schema, render_database, same_schema, ParseError};
 
-/// A parse failure, carrying the 1-based line number and a message.
-#[derive(Debug)]
-pub struct ParseError {
-    /// 1-based line number in the offending file.
-    pub line: usize,
-    /// Human-readable description of what went wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        message: message.into(),
-    }
-}
-
-/// Strips a trailing `# comment` and surrounding whitespace.
-fn strip_comment(line: &str) -> &str {
-    line.split('#').next().unwrap_or("").trim()
-}
-
-/// Parses a schema file (see module docs) into a hypergraph.
-pub fn parse_schema(text: &str) -> Result<Hypergraph, ParseError> {
-    let mut builder = HypergraphBuilder::new();
-    let mut edge_index = 0usize;
-    let mut labels: Vec<String> = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = strip_comment(raw);
-        if line.is_empty() {
-            continue;
-        }
-        let (label, rest) = match line.split_once(':') {
-            Some((l, r)) => (l.trim().to_owned(), r),
-            None => (format!("e{edge_index}"), line),
-        };
-        if label.is_empty() {
-            return Err(err(i + 1, "empty edge label before ':'"));
-        }
-        if labels.contains(&label) {
-            return Err(err(i + 1, format!("duplicate edge label {label:?}")));
-        }
-        let nodes: Vec<&str> = rest.split_whitespace().collect();
-        if nodes.is_empty() {
-            return Err(err(i + 1, format!("edge {label:?} has no nodes")));
-        }
-        builder = builder.edge(label.clone(), nodes);
-        labels.push(label);
-        edge_index += 1;
-    }
-    if edge_index == 0 {
-        return Err(err(0, "schema file defines no edges"));
-    }
-    builder
-        .build()
-        .map_err(|e| err(0, format!("invalid schema: {e}")))
-}
-
-/// Parses one `ATTR=value` pair.
-fn parse_assignment(s: &str, line: usize) -> Result<(&str, Value), ParseError> {
-    let (attr, value) = s
-        .split_once('=')
-        .ok_or_else(|| err(line, format!("expected ATTR=value, got {s:?}")))?;
-    if attr.is_empty() || value.is_empty() {
-        return Err(err(line, format!("empty attribute or value in {s:?}")));
-    }
-    let v = match value.parse::<i64>() {
-        Ok(n) => Value::Int(n),
-        Err(_) => Value::str(value),
-    };
-    Ok((attr, v))
-}
-
-/// Parses a data file against `schema`, producing a populated database.
-pub fn parse_database(schema: &Hypergraph, text: &str) -> Result<Database, ParseError> {
-    let mut db = Database::empty(schema.clone());
-    for (i, raw) in text.lines().enumerate() {
-        let line = strip_comment(raw);
-        if line.is_empty() {
-            continue;
-        }
-        let (label, rest) = line
-            .split_once(':')
-            .ok_or_else(|| err(i + 1, "expected 'EDGE_LABEL: A=1 B=2 ...'"))?;
-        let label = label.trim();
-        let edge_idx = schema
-            .edges()
-            .iter()
-            .position(|e| e.label == label)
-            .ok_or_else(|| err(i + 1, format!("unknown edge label {label:?}")))?;
-        let edge = &schema.edges()[edge_idx];
-        let mut tuple = Tuple::new();
-        for part in rest.split_whitespace() {
-            let (attr, value) = parse_assignment(part, i + 1)?;
-            let node = schema
-                .node(attr)
-                .map_err(|_| err(i + 1, format!("unknown attribute {attr:?}")))?;
-            if !edge.nodes.contains(node) {
-                return Err(err(
-                    i + 1,
-                    format!("attribute {attr:?} is not in edge {label:?}"),
-                ));
-            }
-            tuple.set(node, value);
-        }
-        if tuple.attributes() != edge.nodes {
-            return Err(err(
-                i + 1,
-                format!(
-                    "tuple for {label:?} must assign exactly the attributes {}",
-                    edge.nodes.display(schema.universe())
-                ),
-            ));
-        }
-        db.insert(EdgeId(edge_idx as u32), tuple);
-    }
-    Ok(db)
-}
+use hypergraph::Hypergraph;
+use reldb::Database;
 
 /// Loads the data file at `path` for `schema`: binary snapshots
 /// (recognized by their [`reldb::is_snapshot`] magic signature) load
@@ -173,124 +38,4 @@ pub fn load_data(schema: &Hypergraph, path: &str) -> Result<Database, crate::com
         crate::commands::CliError::from(format!("{path}: not UTF-8 text (and not a snapshot): {e}"))
     })?;
     parse_database(schema, &text).map_err(|e| crate::commands::CliError::parse(path, e))
-}
-
-/// Renders a database back into the text data format of
-/// [`parse_database`]: one `LABEL: A=1 B=2` line per tuple, attributes in
-/// edge order.  The inverse only holds for values the text format carries
-/// losslessly — integers, and strings without whitespace, `#` or `=` —
-/// which covers everything the workload generators emit; it exists so
-/// `hyperq gen` and the scale benchmarks can produce text datasets and
-/// compare text parsing against snapshot loading on identical data.
-pub fn render_database(db: &Database) -> String {
-    use std::fmt::Write as _;
-    let schema = db.schema();
-    let mut out = String::new();
-    for (edge, rel) in schema.edges().iter().zip(db.relations()) {
-        for t in rel.tuples() {
-            out.push_str(&edge.label);
-            out.push(':');
-            for node in edge.nodes.iter() {
-                let v = t
-                    .get(node)
-                    .expect("relation tuples assign every edge attribute");
-                let name = schema.universe().name(node);
-                match v {
-                    Value::Int(n) => {
-                        let _ = write!(out, " {name}={n}");
-                    }
-                    Value::Str(s) => {
-                        let _ = write!(out, " {name}={s}");
-                    }
-                }
-            }
-            out.push('\n');
-        }
-    }
-    out
-}
-
-/// Whether two schemas describe the same labeled edges over the same
-/// attribute names, irrespective of internal node numbering.
-pub fn same_schema(a: &Hypergraph, b: &Hypergraph) -> bool {
-    a.edge_count() == b.edge_count()
-        && a.edges().iter().zip(b.edges()).all(|(ea, eb)| {
-            let names_a: Vec<&str> = ea.nodes.iter().map(|n| a.universe().name(n)).collect();
-            let names_b: Vec<&str> = eb.nodes.iter().map(|n| b.universe().name(n)).collect();
-            ea.label == eb.label && {
-                let (mut sa, mut sb) = (names_a, names_b);
-                sa.sort_unstable();
-                sb.sort_unstable();
-                sa == sb
-            }
-        })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const FIG1: &str = "\
-# Fig. 1
-R1: A B C
-R2: C D E
-R3: A E F
-R4: A C E
-";
-
-    #[test]
-    fn schema_roundtrip_with_labels_and_comments() {
-        let h = parse_schema(FIG1).unwrap();
-        assert_eq!(h.edge_count(), 4);
-        assert_eq!(h.node_count(), 6);
-        assert_eq!(h.edges()[0].label, "R1");
-        assert_eq!(h.edges()[3].label, "R4");
-    }
-
-    #[test]
-    fn unlabeled_edges_get_generated_labels() {
-        let h = parse_schema("A B\nB C\n").unwrap();
-        assert_eq!(h.edges()[0].label, "e0");
-        assert_eq!(h.edges()[1].label, "e1");
-    }
-
-    #[test]
-    fn schema_errors_are_reported_with_lines() {
-        assert!(parse_schema("").is_err());
-        let e = parse_schema("R1: A\nR1: B\n").unwrap_err();
-        assert_eq!(e.line, 2);
-        assert!(e.message.contains("duplicate"));
-        let e = parse_schema("R1:\n").unwrap_err();
-        assert!(e.message.contains("no nodes"));
-    }
-
-    #[test]
-    fn database_parses_ints_and_strings() {
-        let h = parse_schema("R: A B\n").unwrap();
-        let db = parse_database(&h, "R: A=1 B=x\nR: A=2 B=y\n").unwrap();
-        assert_eq!(db.tuple_count(), 2);
-    }
-
-    #[test]
-    fn render_database_round_trips_through_the_parser() {
-        let h = parse_schema("R: A B\nS: B C\n").unwrap();
-        let db = parse_database(&h, "R: A=1 B=x\nR: A=-2 B=y\nS: B=x C=3\n").unwrap();
-        let text = render_database(&db);
-        let back = parse_database(&h, &text).unwrap();
-        assert_eq!(back.tuple_count(), db.tuple_count());
-        for (a, b) in db.relations().iter().zip(back.relations()) {
-            let ta: Vec<_> = a.tuples().collect();
-            let tb: Vec<_> = b.tuples().collect();
-            assert_eq!(ta, tb);
-        }
-    }
-
-    #[test]
-    fn database_rejects_bad_rows() {
-        let h = parse_schema("R: A B\nS: B C\n").unwrap();
-        assert!(parse_database(&h, "T: A=1\n").is_err());
-        assert!(parse_database(&h, "R: A=1\n").is_err()); // missing B
-        assert!(parse_database(&h, "R: A=1 C=2\n").is_err()); // C not in R
-        assert!(parse_database(&h, "R A=1\n").is_err()); // no colon
-    }
 }

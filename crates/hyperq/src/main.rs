@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod bench;
+mod client;
 mod commands;
 mod load;
 
@@ -49,6 +50,12 @@ USAGE:
                      [--seed N] [--snapshot]
     hyperq bench     [--out FILE] [--check BASELINE] [--max-regression F]
                      [--threads N] [--quick | --tiny | --scale] [--calibrate]
+    hyperq client    <addr> ping | list | shutdown [--now]
+    hyperq client    <addr> query <db> --select A,B[,..] [--engine ENGINE]
+                     [--strategy hash|sort-merge|auto] [--threads N]
+                     [--timeout-ms N] [--mem-budget-mb N] [--metrics] [--raw]
+    hyperq client    <addr> prepare <name> <db> --select A,B[,..] [flags]
+    hyperq client    <addr> run <name> [override flags] [--raw]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -100,6 +107,15 @@ COMMANDS:
                ratios and reports the measured hash vs sort-merge
                crossover per operator (the measurement behind the Auto
                planner's shipped thresholds)
+    client     Talk to a running hyperqd server at <addr> (HOST:PORT):
+               ping, list the served databases and prepared queries,
+               run ad-hoc or prepared queries with per-request policy and
+               governance overrides, or ask the server to shut down
+               (--now cancels in-flight queries instead of draining).
+               --raw prints the server's response frame verbatim.  Server
+               errors map to the exit codes below via the protocol's
+               \"code\" field, so scripts assert on $? exactly as for the
+               one-shot query command
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)
@@ -366,6 +382,7 @@ fn run(started: Instant) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "client" => client::run_client(&mut args),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     }
 }

@@ -1,0 +1,855 @@
+//! The `hyperqd` wire protocol: one JSON object per `\n`-terminated line.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"list"}
+//! {"op":"query","db":"fig1","select":["B","D"],"engine":"yannakakis",
+//!  "strategy":"auto","threads":2,"timeout_ms":500,"mem_budget_mb":64,
+//!  "metrics":true}
+//! {"op":"prepare","name":"bd","db":"fig1","select":["B","D"]}
+//! {"op":"run","name":"bd","timeout_ms":250}
+//! {"op":"shutdown"}            // graceful: drain in-flight queries
+//! {"op":"shutdown","mode":"now"}  // cancel in-flight queries, then stop
+//! ```
+//!
+//! # Responses
+//!
+//! Every response carries `"ok"` plus an `"op"` tag; errors carry the
+//! machine-readable `"kind"` and the `"code"` a CLI client should exit
+//! with (the same contract as one-shot `hyperq`: 3 deadline/cancelled,
+//! 4 budget, 5 engine panic, 2 everything else).
+//!
+//! ```text
+//! {"ok":true,"op":"answer","attrs":["B","D"],"tuples":4,"rows":[[1,4],…]}
+//! {"ok":false,"op":"error","kind":"deadline","message":"…","code":3}
+//! ```
+//!
+//! Serialization is canonical — fixed field order, optional fields omitted
+//! — so `parse ∘ render` is the identity on every frame; the protocol
+//! proptests pin that, and the differential soak harness relies on it for
+//! byte-identical response comparison.
+
+use crate::json::{obj, parse as parse_json, Json};
+use reldb::EngineError;
+
+/// Hard cap on one protocol line, terminator included.  A peer that sends
+/// more without a newline gets a structured [`ErrorKind::Proto`] response
+/// and its connection closed (the line can no longer be framed).
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Which query engine a request selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The production path: Yannakakis over the join tree, routed through
+    /// the hypertree decomposition when the schema is cyclic.
+    #[default]
+    Yannakakis,
+    /// Join only the canonical connection `CC(X)` (paper §7).
+    Connection,
+    /// Join every object, then project — the naive baseline.
+    Naive,
+}
+
+impl EngineKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Yannakakis => "yannakakis",
+            EngineKind::Connection => "connection",
+            EngineKind::Naive => "naive",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "yannakakis" => Some(EngineKind::Yannakakis),
+            "connection" => Some(EngineKind::Connection),
+            "naive" => Some(EngineKind::Naive),
+            _ => None,
+        }
+    }
+}
+
+/// Physical join-kernel selection, mirroring [`reldb::JoinStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Hash join/semijoin kernels.
+    Hash,
+    /// Sort-merge kernels.
+    SortMerge,
+    /// The calibrated per-operator planner.
+    Auto,
+}
+
+impl StrategyKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            StrategyKind::Hash => "hash",
+            StrategyKind::SortMerge => "sort-merge",
+            StrategyKind::Auto => "auto",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "hash" => Some(StrategyKind::Hash),
+            "sort-merge" => Some(StrategyKind::SortMerge),
+            "auto" => Some(StrategyKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request execution and governance overrides.  Every field is
+/// optional; on a prepared query, request-time overrides win over the
+/// values stored at `prepare` time, field by field.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Overrides {
+    /// Join-kernel selection ([`reldb::ExecPolicy::strategy`]).
+    pub strategy: Option<StrategyKind>,
+    /// Worker threads ([`reldb::ExecPolicy::threads`]; 0 = auto).
+    pub threads: Option<u64>,
+    /// Wall-clock deadline for the query, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Memory budget for intermediate results, in mebibytes.
+    pub mem_budget_mb: Option<u64>,
+    /// Attach per-query [`reldb::QueryMetrics`] to the answer.
+    pub metrics: Option<bool>,
+    /// Fault injection: arm a failpoint at the n-th semijoin of this query.
+    /// Honored only by servers compiled with the `failpoints` feature;
+    /// otherwise the request is rejected with a [`ErrorKind::Proto`] error.
+    pub fail_at_semijoin: Option<u64>,
+    /// Fault injection: a fired failpoint panics (contained to this query)
+    /// instead of returning a typed error.  Same feature gate as
+    /// [`Overrides::fail_at_semijoin`].
+    pub fail_panic: Option<bool>,
+}
+
+impl Overrides {
+    /// True when no field is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Overrides::default()
+    }
+
+    /// Request-time overrides layered over prepared defaults.
+    pub fn layered_over(&self, base: &Overrides) -> Overrides {
+        Overrides {
+            strategy: self.strategy.or(base.strategy),
+            threads: self.threads.or(base.threads),
+            timeout_ms: self.timeout_ms.or(base.timeout_ms),
+            mem_budget_mb: self.mem_budget_mb.or(base.mem_budget_mb),
+            metrics: self.metrics.or(base.metrics),
+            fail_at_semijoin: self.fail_at_semijoin.or(base.fail_at_semijoin),
+            fail_panic: self.fail_panic.or(base.fail_panic),
+        }
+    }
+
+    fn push_fields(&self, pairs: &mut Vec<(String, Json)>) {
+        if let Some(s) = self.strategy {
+            pairs.push(("strategy".to_owned(), Json::str(s.as_str())));
+        }
+        if let Some(n) = self.threads {
+            pairs.push(("threads".to_owned(), Json::Int(n as i64)));
+        }
+        if let Some(n) = self.timeout_ms {
+            pairs.push(("timeout_ms".to_owned(), Json::Int(n as i64)));
+        }
+        if let Some(n) = self.mem_budget_mb {
+            pairs.push(("mem_budget_mb".to_owned(), Json::Int(n as i64)));
+        }
+        if let Some(b) = self.metrics {
+            pairs.push(("metrics".to_owned(), Json::Bool(b)));
+        }
+        if let Some(n) = self.fail_at_semijoin {
+            pairs.push(("fail_at_semijoin".to_owned(), Json::Int(n as i64)));
+        }
+        if let Some(b) = self.fail_panic {
+            pairs.push(("fail_panic".to_owned(), Json::Bool(b)));
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Overrides, WireError> {
+        let mut o = Overrides::default();
+        if let Some(s) = v.get("strategy") {
+            let name = s
+                .as_str()
+                .ok_or_else(|| proto("strategy must be a string"))?;
+            o.strategy = Some(
+                StrategyKind::from_str(name)
+                    .ok_or_else(|| proto(format!("unknown strategy {name:?}")))?,
+            );
+        }
+        for (field, slot) in [
+            ("threads", &mut o.threads),
+            ("timeout_ms", &mut o.timeout_ms),
+            ("mem_budget_mb", &mut o.mem_budget_mb),
+            ("fail_at_semijoin", &mut o.fail_at_semijoin),
+        ] {
+            if let Some(n) = v.get(field) {
+                *slot = Some(
+                    n.as_u64()
+                        .ok_or_else(|| proto(format!("{field} must be a non-negative integer")))?,
+                );
+            }
+        }
+        if let Some(b) = v.get("metrics") {
+            o.metrics = Some(
+                b.as_bool()
+                    .ok_or_else(|| proto("metrics must be a boolean"))?,
+            );
+        }
+        if let Some(b) = v.get("fail_panic") {
+            o.fail_panic = Some(
+                b.as_bool()
+                    .ok_or_else(|| proto("fail_panic must be a boolean"))?,
+            );
+        }
+        Ok(o)
+    }
+}
+
+/// An ad-hoc (or prepared) query: which database, which attributes, which
+/// engine, plus overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The database name, as registered at server startup.
+    pub db: String,
+    /// The universal-relation attribute set `X`, by name.
+    pub select: Vec<String>,
+    /// Engine selection; `None` means [`EngineKind::Yannakakis`].
+    pub engine: Option<EngineKind>,
+    /// Execution and governance overrides.
+    pub overrides: Overrides,
+}
+
+impl QuerySpec {
+    fn push_fields(&self, pairs: &mut Vec<(String, Json)>) {
+        pairs.push(("db".to_owned(), Json::str(&self.db)));
+        pairs.push((
+            "select".to_owned(),
+            Json::Arr(self.select.iter().map(Json::str).collect()),
+        ));
+        if let Some(e) = self.engine {
+            pairs.push(("engine".to_owned(), Json::str(e.as_str())));
+        }
+        self.overrides.push_fields(pairs);
+    }
+
+    fn from_json(v: &Json) -> Result<QuerySpec, WireError> {
+        let db = v
+            .get("db")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto("missing \"db\" (string)"))?
+            .to_owned();
+        let select = v
+            .get("select")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| proto("missing \"select\" (array of attribute names)"))?
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| proto("\"select\" entries must be strings"))
+            })
+            .collect::<Result<Vec<String>, WireError>>()?;
+        let engine = match v.get("engine") {
+            None => None,
+            Some(e) => {
+                let name = e.as_str().ok_or_else(|| proto("engine must be a string"))?;
+                Some(
+                    EngineKind::from_str(name)
+                        .ok_or_else(|| proto(format!("unknown engine {name:?}")))?,
+                )
+            }
+        };
+        Ok(QuerySpec {
+            db,
+            select,
+            engine,
+            overrides: Overrides::from_json(v)?,
+        })
+    }
+}
+
+/// One client request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enumerate databases and prepared queries.
+    List,
+    /// Stop the server: gracefully (drain in-flight queries) or `now`
+    /// (cancel them through their governors first).
+    Shutdown {
+        /// Cancel in-flight queries instead of draining them.
+        now: bool,
+    },
+    /// Run an ad-hoc query.
+    Query(QuerySpec),
+    /// Register a named query for later `run` requests.
+    Prepare {
+        /// The name subsequent [`Request::Run`] frames will use.
+        name: String,
+        /// The stored query, including default overrides.
+        spec: QuerySpec,
+    },
+    /// Run a prepared query, with optional per-request overrides.
+    Run {
+        /// The prepared-query name.
+        name: String,
+        /// Overrides layered over the prepared defaults.
+        overrides: Overrides,
+    },
+}
+
+/// Renders a request as one canonical protocol line (no trailing newline).
+pub fn render_request(r: &Request) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    let op = |s: &str| ("op".to_owned(), Json::str(s));
+    match r {
+        Request::Ping => pairs.push(op("ping")),
+        Request::List => pairs.push(op("list")),
+        Request::Shutdown { now } => {
+            pairs.push(op("shutdown"));
+            if *now {
+                pairs.push(("mode".to_owned(), Json::str("now")));
+            }
+        }
+        Request::Query(spec) => {
+            pairs.push(op("query"));
+            spec.push_fields(&mut pairs);
+        }
+        Request::Prepare { name, spec } => {
+            pairs.push(op("prepare"));
+            pairs.push(("name".to_owned(), Json::str(name)));
+            spec.push_fields(&mut pairs);
+        }
+        Request::Run { name, overrides } => {
+            pairs.push(op("run"));
+            pairs.push(("name".to_owned(), Json::str(name)));
+            overrides.push_fields(&mut pairs);
+        }
+    }
+    Json::Obj(pairs).to_string()
+}
+
+/// Parses one request line.  Every failure is a [`WireError`] of kind
+/// [`ErrorKind::Proto`], ready to be sent back as a structured error
+/// response — malformed input never panics and never goes unanswered.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    if line.len() >= MAX_LINE {
+        return Err(proto(format!(
+            "request line exceeds MAX_LINE ({MAX_LINE} bytes)"
+        )));
+    }
+    let v = parse_json(line).map_err(|e| proto(format!("invalid JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(proto("request must be a JSON object"));
+    }
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("missing \"op\" (string)"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "list" => Ok(Request::List),
+        "shutdown" => {
+            let now = match v.get("mode") {
+                None => false,
+                Some(m) => match m.as_str() {
+                    Some("now") => true,
+                    Some("graceful") => false,
+                    _ => return Err(proto("shutdown mode must be \"graceful\" or \"now\"")),
+                },
+            };
+            Ok(Request::Shutdown { now })
+        }
+        "query" => Ok(Request::Query(QuerySpec::from_json(&v)?)),
+        "prepare" => {
+            let name = required_name(&v)?;
+            Ok(Request::Prepare {
+                name,
+                spec: QuerySpec::from_json(&v)?,
+            })
+        }
+        "run" => {
+            let name = required_name(&v)?;
+            Ok(Request::Run {
+                name,
+                overrides: Overrides::from_json(&v)?,
+            })
+        }
+        other => Err(proto(format!("unknown op {other:?}"))),
+    }
+}
+
+fn required_name(v: &Json) -> Result<String, WireError> {
+    v.get("name")
+        .and_then(Json::as_str)
+        .filter(|n| !n.is_empty())
+        .map(str::to_owned)
+        .ok_or_else(|| proto("missing \"name\" (non-empty string)"))
+}
+
+/// Machine-readable error classes, each with a fixed client exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed frame: bad JSON, unknown op, wrong field types.
+    Proto,
+    /// The request named a database the server does not hold.
+    UnknownDb,
+    /// The request named a prepared query that does not exist.
+    UnknownQuery,
+    /// Attribute/schema mismatch (e.g. `select` names an unknown column).
+    Schema,
+    /// Server-side file parse failure.
+    Parse,
+    /// Server-side I/O failure.
+    Io,
+    /// The query's deadline expired ([`EngineError::DeadlineExceeded`]).
+    Deadline,
+    /// The query was cancelled (shutdown `now`, or its token tripped).
+    Cancelled,
+    /// The query's memory budget was exceeded.
+    Budget,
+    /// The engine panicked; the panic was contained to this query.
+    Panic,
+    /// The server is shutting down and no longer accepts queries.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The exit code a CLI client maps this error to — the same contract
+    /// as one-shot `hyperq` (3 deadline/cancelled, 4 budget, 5 panic,
+    /// 2 everything else).
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorKind::Deadline | ErrorKind::Cancelled => 3,
+            ErrorKind::Budget => 4,
+            ErrorKind::Panic => 5,
+            _ => 2,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Proto => "proto",
+            ErrorKind::UnknownDb => "unknown-db",
+            ErrorKind::UnknownQuery => "unknown-query",
+            ErrorKind::Schema => "schema",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Io => "io",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Budget => "budget",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "proto" => ErrorKind::Proto,
+            "unknown-db" => ErrorKind::UnknownDb,
+            "unknown-query" => ErrorKind::UnknownQuery,
+            "schema" => ErrorKind::Schema,
+            "parse" => ErrorKind::Parse,
+            "io" => ErrorKind::Io,
+            "deadline" => ErrorKind::Deadline,
+            "cancelled" => ErrorKind::Cancelled,
+            "budget" => ErrorKind::Budget,
+            "panic" => ErrorKind::Panic,
+            "shutdown" => ErrorKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error, as carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The error class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Constructs an error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<EngineError> for WireError {
+    fn from(e: EngineError) -> Self {
+        let kind = match &e {
+            EngineError::Cancelled => ErrorKind::Cancelled,
+            EngineError::DeadlineExceeded { .. } => ErrorKind::Deadline,
+            EngineError::BudgetExceeded { .. } => ErrorKind::Budget,
+            EngineError::WorkerPanic(_) => ErrorKind::Panic,
+            EngineError::SchemaMismatch(_) => ErrorKind::Schema,
+            EngineError::Parse { .. } => ErrorKind::Parse,
+            EngineError::Io(_) => ErrorKind::Io,
+        };
+        WireError::new(kind, e.to_string())
+    }
+}
+
+fn proto(message: impl Into<String>) -> WireError {
+    WireError::new(ErrorKind::Proto, message)
+}
+
+/// Summary of one served database, for [`Response::Listing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbInfo {
+    /// The registered name.
+    pub name: String,
+    /// Relations (schema edges) in the database.
+    pub relations: u64,
+    /// Total stored tuples.
+    pub tuples: u64,
+    /// Whether the schema is acyclic (has a join tree).
+    pub acyclic: bool,
+}
+
+/// One server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::List`].
+    Listing {
+        /// The served databases.
+        databases: Vec<DbInfo>,
+        /// Names of prepared queries, sorted.
+        queries: Vec<String>,
+    },
+    /// Reply to [`Request::Shutdown`]; the connection closes after it.
+    Bye,
+    /// Reply to [`Request::Prepare`].
+    Prepared {
+        /// The registered name.
+        name: String,
+    },
+    /// A query answer.  `rows` are sorted lexicographically, so equal
+    /// relations serialize to byte-identical frames regardless of which
+    /// engine (or how many threads) produced them.
+    Answer {
+        /// Output attribute names, in schema-universe order.
+        attrs: Vec<String>,
+        /// One row per tuple; cells are `Json::Int` or `Json::Str`.
+        rows: Vec<Vec<Json>>,
+        /// Per-query metrics, when the request asked for them.
+        metrics: Option<Json>,
+    },
+    /// A structured error; the connection stays usable afterwards (except
+    /// after unframeable input, which closes it).
+    Error(WireError),
+}
+
+/// Renders a response as one canonical protocol line (no trailing newline).
+pub fn render_response(r: &Response) -> String {
+    let v = match r {
+        Response::Pong => obj([("ok", Json::Bool(true)), ("op", Json::str("pong"))]),
+        Response::Bye => obj([("ok", Json::Bool(true)), ("op", Json::str("bye"))]),
+        Response::Prepared { name } => obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("prepared")),
+            ("name", Json::str(name)),
+        ]),
+        Response::Listing { databases, queries } => obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("list")),
+            (
+                "databases",
+                Json::Arr(
+                    databases
+                        .iter()
+                        .map(|d| {
+                            obj([
+                                ("name", Json::str(&d.name)),
+                                ("relations", Json::Int(d.relations as i64)),
+                                ("tuples", Json::Int(d.tuples as i64)),
+                                ("acyclic", Json::Bool(d.acyclic)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "queries",
+                Json::Arr(queries.iter().map(Json::str).collect()),
+            ),
+        ]),
+        Response::Answer {
+            attrs,
+            rows,
+            metrics,
+        } => {
+            let mut pairs = vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("op".to_owned(), Json::str("answer")),
+                (
+                    "attrs".to_owned(),
+                    Json::Arr(attrs.iter().map(Json::str).collect()),
+                ),
+                ("tuples".to_owned(), Json::Int(rows.len() as i64)),
+                (
+                    "rows".to_owned(),
+                    Json::Arr(rows.iter().map(|r| Json::Arr(r.clone())).collect()),
+                ),
+            ];
+            if let Some(m) = metrics {
+                pairs.push(("metrics".to_owned(), m.clone()));
+            }
+            Json::Obj(pairs)
+        }
+        Response::Error(e) => obj([
+            ("ok", Json::Bool(false)),
+            ("op", Json::str("error")),
+            ("kind", Json::str(e.kind.as_str())),
+            ("message", Json::str(&e.message)),
+            ("code", Json::Int(e.kind.code() as i64)),
+        ]),
+    };
+    v.to_string()
+}
+
+/// Parses one response line (the client side of [`render_response`]).
+pub fn parse_response(line: &str) -> Result<Response, WireError> {
+    let v = parse_json(line).map_err(|e| proto(format!("invalid JSON: {e}")))?;
+    let ok = v
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| proto("missing \"ok\" (boolean)"))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| proto("missing \"op\" (string)"))?;
+    match (ok, op) {
+        (true, "pong") => Ok(Response::Pong),
+        (true, "bye") => Ok(Response::Bye),
+        (true, "prepared") => Ok(Response::Prepared {
+            name: required_name(&v)?,
+        }),
+        (true, "list") => {
+            let databases = v
+                .get("databases")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| proto("missing \"databases\""))?
+                .iter()
+                .map(|d| {
+                    Ok(DbInfo {
+                        name: d
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| proto("database entry missing \"name\""))?
+                            .to_owned(),
+                        relations: d
+                            .get("relations")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| proto("database entry missing \"relations\""))?,
+                        tuples: d
+                            .get("tuples")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| proto("database entry missing \"tuples\""))?,
+                        acyclic: d
+                            .get("acyclic")
+                            .and_then(Json::as_bool)
+                            .ok_or_else(|| proto("database entry missing \"acyclic\""))?,
+                    })
+                })
+                .collect::<Result<Vec<DbInfo>, WireError>>()?;
+            let queries = v
+                .get("queries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| proto("missing \"queries\""))?
+                .iter()
+                .map(|q| {
+                    q.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| proto("\"queries\" entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, WireError>>()?;
+            Ok(Response::Listing { databases, queries })
+        }
+        (true, "answer") => {
+            let attrs = v
+                .get("attrs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| proto("missing \"attrs\""))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| proto("\"attrs\" entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, WireError>>()?;
+            let rows = v
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| proto("missing \"rows\""))?
+                .iter()
+                .map(|r| {
+                    r.as_arr()
+                        .map(<[Json]>::to_vec)
+                        .ok_or_else(|| proto("\"rows\" entries must be arrays"))
+                })
+                .collect::<Result<Vec<Vec<Json>>, WireError>>()?;
+            Ok(Response::Answer {
+                attrs,
+                rows,
+                metrics: v.get("metrics").cloned(),
+            })
+        }
+        (false, "error") => {
+            let kind_name = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| proto("error frame missing \"kind\""))?;
+            let kind = ErrorKind::from_str(kind_name)
+                .ok_or_else(|| proto(format!("unknown error kind {kind_name:?}")))?;
+            let message = v
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or_else(|| proto("error frame missing \"message\""))?
+                .to_owned();
+            Ok(Response::Error(WireError { kind, message }))
+        }
+        (ok, op) => Err(proto(format!(
+            "unrecognized response frame ok={ok} op={op:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let specs = [
+            Request::Ping,
+            Request::List,
+            Request::Shutdown { now: false },
+            Request::Shutdown { now: true },
+            Request::Query(QuerySpec {
+                db: "fig1".into(),
+                select: vec!["B".into(), "D".into()],
+                engine: Some(EngineKind::Connection),
+                overrides: Overrides {
+                    strategy: Some(StrategyKind::SortMerge),
+                    threads: Some(2),
+                    timeout_ms: Some(500),
+                    mem_budget_mb: Some(64),
+                    metrics: Some(true),
+                    fail_at_semijoin: Some(3),
+                    fail_panic: Some(false),
+                },
+            }),
+            Request::Prepare {
+                name: "bd".into(),
+                spec: QuerySpec {
+                    db: "fig1".into(),
+                    select: vec!["B".into()],
+                    engine: None,
+                    overrides: Overrides::default(),
+                },
+            },
+            Request::Run {
+                name: "bd".into(),
+                overrides: Overrides {
+                    timeout_ms: Some(1),
+                    ..Overrides::default()
+                },
+            },
+        ];
+        for r in specs {
+            let line = render_request(&r);
+            assert_eq!(parse_request(&line).unwrap(), r, "frame: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_become_proto_errors() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"query\"}",
+            "{\"op\":\"query\",\"db\":3,\"select\":[]}",
+            "{\"op\":\"query\",\"db\":\"d\",\"select\":[1]}",
+            "{\"op\":\"run\"}",
+            "{\"op\":\"prepare\",\"name\":\"\"}",
+            "{\"op\":\"query\",\"db\":\"d\",\"select\":[],\"threads\":-1}",
+            "{\"op\":\"query\",\"db\":\"d\",\"select\":[],\"strategy\":\"quantum\"}",
+            "{\"op\":\"shutdown\",\"mode\":\"later\"}",
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Proto, "input {bad:?} gave {e:?}");
+        }
+    }
+
+    #[test]
+    fn error_codes_match_the_cli_contract() {
+        assert_eq!(ErrorKind::Deadline.code(), 3);
+        assert_eq!(ErrorKind::Cancelled.code(), 3);
+        assert_eq!(ErrorKind::Budget.code(), 4);
+        assert_eq!(ErrorKind::Panic.code(), 5);
+        assert_eq!(ErrorKind::Proto.code(), 2);
+        assert_eq!(ErrorKind::Schema.code(), 2);
+    }
+
+    #[test]
+    fn engine_error_mapping_matches_kinds() {
+        let e = WireError::from(EngineError::Cancelled);
+        assert_eq!(e.kind, ErrorKind::Cancelled);
+        let e = WireError::from(EngineError::WorkerPanic("boom".into()));
+        assert_eq!(e.kind, ErrorKind::Panic);
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let frames = [
+            Response::Pong,
+            Response::Bye,
+            Response::Prepared { name: "bd".into() },
+            Response::Listing {
+                databases: vec![DbInfo {
+                    name: "fig1".into(),
+                    relations: 4,
+                    tuples: 12,
+                    acyclic: true,
+                }],
+                queries: vec!["bd".into()],
+            },
+            Response::Answer {
+                attrs: vec!["B".into(), "D".into()],
+                rows: vec![
+                    vec![Json::Int(1), Json::str("x")],
+                    vec![Json::Int(2), Json::Int(9)],
+                ],
+                metrics: None,
+            },
+            Response::Error(WireError::new(ErrorKind::Deadline, "too slow")),
+        ];
+        for r in frames {
+            let line = render_response(&r);
+            assert_eq!(parse_response(&line).unwrap(), r, "frame: {line}");
+        }
+    }
+}

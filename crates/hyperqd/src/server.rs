@@ -1,0 +1,634 @@
+//! The `hyperqd` server: databases loaded once, thread-per-connection TCP,
+//! per-request governance, graceful shutdown.
+//!
+//! # Concurrency model
+//!
+//! The build environment is registry-less, so there is no async runtime:
+//! each accepted connection gets an OS thread that reads one line, answers
+//! it, and loops.  CPU between in-flight queries is arbitrated exactly as
+//! in the one-shot CLI — every query leases workers from the process-wide
+//! [`reldb::WorkerPool`] through its [`reldb::ExecPolicy`] (one lease per
+//! query, covering every phase), so N concurrent clients cannot
+//! oversubscribe the machine.
+//!
+//! Databases are immutable once loaded and shared as `Arc<Database>`: a
+//! query never mutates its database (governed pipelines abort by returning
+//! early, never by leaving partial state), which is what the differential
+//! soak harness verifies end to end — post-soak snapshots are bit-identical
+//! to pre-soak ones.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request stops the accept loop and *drains*: connections
+//! stop taking new queries, in-flight queries run to completion and their
+//! responses are flushed before [`Server::run`] returns.  `shutdown now`
+//! additionally cancels in-flight queries through the shared
+//! [`CancelToken`] wired into every per-request governor, so they abort at
+//! their next checkpoint with a typed `cancelled` error response.
+
+use crate::json;
+use crate::load::{load_source, DbSource};
+use crate::protocol::{
+    parse_request, render_response, DbInfo, EngineKind, ErrorKind, Overrides, QuerySpec, Request,
+    Response, StrategyKind, WireError, MAX_LINE,
+};
+use reldb::{
+    query_via_connection_governed, query_via_full_join_governed, query_yannakakis_governed,
+    CancelToken, CollectingSink, Database, ExecPolicy, Governor, JoinStrategy, MetricsSink,
+    NoopMetrics, QueryGovernor, Relation,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often an idle connection wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Upper bound on waiting for in-flight queries during a graceful drain.
+const DRAIN_LIMIT: Duration = Duration::from_secs(60);
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// The served databases, by name.
+    pub databases: Vec<(String, DbSource)>,
+}
+
+/// Counters reported by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Query/run requests executed (successful or not).
+    pub queries: u64,
+    /// Whether every in-flight query finished within the drain limit.
+    pub drained_clean: bool,
+}
+
+struct State {
+    dbs: BTreeMap<String, Arc<Database>>,
+    prepared: Mutex<BTreeMap<String, QuerySpec>>,
+    shutting_down: AtomicBool,
+    cancel_all: CancelToken,
+    active: Mutex<usize>,
+    drained: Condvar,
+    connections: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl State {
+    /// Marks a query/run request in flight.  The returned guard is held
+    /// across execution *and* the response flush, so a clean drain
+    /// guarantees every accepted query was answered on the wire.
+    fn begin_query(&self) -> QueryGuard<'_> {
+        *self.active.lock().expect("active lock") += 1;
+        QueryGuard(self)
+    }
+
+    fn end_query(&self) {
+        let mut n = self.active.lock().expect("active lock");
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// Guard so a connection thread that dies mid-query still decrements the
+/// in-flight counter and lets the drain finish.
+struct QueryGuard<'a>(&'a State);
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        self.0.end_query();
+    }
+}
+
+/// A bound, loaded server, ready to [`run`](Server::run) or
+/// [`spawn`](Server::spawn).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<State>,
+}
+
+/// Handle to a server running on a background thread (the in-process
+/// harness the test suites drive).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<ServeStats>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down and returns its counters.
+    pub fn join(self) -> ServeStats {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and loads
+    /// every configured database.  Loading happens once, here — queries
+    /// only ever read the shared `Arc<Database>`s.
+    pub fn bind(addr: &str, config: &ServerConfig) -> Result<Server, WireError> {
+        let mut databases = Vec::new();
+        for (name, source) in &config.databases {
+            let db = load_source(source).map_err(WireError::from)?;
+            databases.push((name.clone(), Arc::new(db)));
+        }
+        Server::bind_preloaded(addr, databases)
+    }
+
+    /// Binds `addr` and serves already-loaded databases — the in-process
+    /// entry point the differential soak and fault harnesses use.  Callers
+    /// keeping a clone of an `Arc<Database>` observe exactly the object the
+    /// server queries, so post-soak snapshot comparison proves the served
+    /// database was never mutated.
+    pub fn bind_preloaded(
+        addr: &str,
+        databases: Vec<(String, Arc<Database>)>,
+    ) -> Result<Server, WireError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| WireError::new(ErrorKind::Io, format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| WireError::new(ErrorKind::Io, format!("local_addr: {e}")))?;
+        let mut dbs = BTreeMap::new();
+        for (name, db) in databases {
+            if dbs.insert(name.clone(), db).is_some() {
+                return Err(WireError::new(
+                    ErrorKind::Io,
+                    format!("duplicate database name {name:?}"),
+                ));
+            }
+        }
+        Ok(Server {
+            listener,
+            addr: local,
+            state: Arc::new(State {
+                dbs,
+                prepared: Mutex::new(BTreeMap::new()),
+                shutting_down: AtomicBool::new(false),
+                cancel_all: CancelToken::new(),
+                active: Mutex::new(0),
+                drained: Condvar::new(),
+                connections: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains and returns.
+    pub fn run(self) -> ServeStats {
+        let Server {
+            listener,
+            addr,
+            state,
+        } = self;
+        for stream in listener.incoming() {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            state.connections.fetch_add(1, Ordering::Relaxed);
+            let state = Arc::clone(&state);
+            let server_addr = addr;
+            std::thread::spawn(move || handle_connection(&state, stream, server_addr));
+        }
+        // Drain: wait until no query is in flight (each one's response is
+        // flushed before the counter drops, so a clean drain means every
+        // accepted query was answered).
+        let deadline = Instant::now() + DRAIN_LIMIT;
+        let mut active = state.active.lock().expect("active lock");
+        let mut drained_clean = true;
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                drained_clean = false;
+                break;
+            }
+            let (guard, _timeout) = state
+                .drained
+                .wait_timeout(active, deadline - now)
+                .expect("drain wait");
+            active = guard;
+        }
+        drop(active);
+        ServeStats {
+            connections: state.connections.load(Ordering::Relaxed),
+            queries: state.queries.load(Ordering::Relaxed),
+            drained_clean,
+        }
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle { addr, join }
+    }
+}
+
+/// What reading one frame yielded.
+enum Frame {
+    Line(String),
+    /// Peer closed (or errored); stop serving this connection.
+    Closed,
+    /// The line exceeded [`MAX_LINE`]; the connection can no longer be
+    /// framed and must close after an error response.
+    TooLong,
+    /// Server is shutting down and the connection is idle.
+    ShuttingDown,
+}
+
+/// Reads one `\n`-terminated line, polling the shutdown flag while idle
+/// and enforcing [`MAX_LINE`] while reading.
+fn read_frame(reader: &mut BufReader<TcpStream>, state: &State) -> Frame {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if buf.len() > MAX_LINE {
+            return Frame::TooLong;
+        }
+        let budget = (MAX_LINE + 1 - buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF — or the `take` budget ran out exactly at the cap.
+                if buf.len() > MAX_LINE {
+                    return Frame::TooLong;
+                }
+                if buf.is_empty() {
+                    return Frame::Closed;
+                }
+                // A final, unterminated line still gets an answer.
+                return frame_from(buf);
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    return frame_from(buf);
+                }
+                // Budget exhausted mid-line; loop re-checks the cap.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.shutting_down.load(Ordering::SeqCst) && buf.is_empty() {
+                    return Frame::ShuttingDown;
+                }
+            }
+            Err(_) => return Frame::Closed,
+        }
+    }
+}
+
+fn frame_from(mut buf: Vec<u8>) -> Frame {
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Frame::Line(line),
+        // Invalid UTF-8 still yields a parseable-looking line so the
+        // request parser can reject it with a structured error.
+        Err(e) => Frame::Line(String::from_utf8_lossy(e.as_bytes()).into_owned()),
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    let mut line = render_response(response);
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+fn handle_connection(state: &State, stream: TcpStream, server_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, state) {
+            Frame::Closed | Frame::ShuttingDown => return,
+            Frame::TooLong => {
+                let e = WireError::new(
+                    ErrorKind::Proto,
+                    format!("request line exceeds MAX_LINE ({MAX_LINE} bytes); closing"),
+                );
+                let _ = send(&mut writer, &Response::Error(e));
+                return;
+            }
+            Frame::Line(line) => {
+                if line.is_empty() {
+                    continue; // blank keep-alive line
+                }
+                let request = match parse_request(&line) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Malformed frame: answer it, keep the connection.
+                        if !send(&mut writer, &Response::Error(e)) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                // The in-flight guard spans execution AND the response
+                // flush: the graceful drain in `Server::run` must not
+                // return while an answer is still in this thread's hands.
+                let guard = match &request {
+                    Request::Query(_) | Request::Run { .. } => Some(state.begin_query()),
+                    _ => None,
+                };
+                let (response, close) = handle_request(state, request);
+                let sent = send(&mut writer, &response);
+                drop(guard);
+                if close {
+                    // The farewell is on the wire (or the peer is gone);
+                    // only now unblock the accept loop so the process
+                    // cannot exit before this response is flushed.
+                    let _ = TcpStream::connect(server_addr);
+                    return;
+                }
+                if !sent {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_request(state: &State, request: Request) -> (Response, bool) {
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::List => (list(state), false),
+        Request::Shutdown { now } => {
+            state.shutting_down.store(true, Ordering::SeqCst);
+            if now {
+                state.cancel_all.cancel();
+            }
+            // The caller wakes the accept loop — after Bye is flushed.
+            (Response::Bye, true)
+        }
+        Request::Prepare { name, spec } => {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return (refuse_during_shutdown(), false);
+            }
+            match validate(state, &spec) {
+                Err(e) => (Response::Error(e), false),
+                Ok(()) => {
+                    state
+                        .prepared
+                        .lock()
+                        .expect("prepared lock")
+                        .insert(name.clone(), spec);
+                    (Response::Prepared { name }, false)
+                }
+            }
+        }
+        Request::Query(spec) => {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return (refuse_during_shutdown(), false);
+            }
+            (execute(state, &spec), false)
+        }
+        Request::Run { name, overrides } => {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return (refuse_during_shutdown(), false);
+            }
+            let stored = state
+                .prepared
+                .lock()
+                .expect("prepared lock")
+                .get(&name)
+                .cloned();
+            match stored {
+                None => (
+                    Response::Error(WireError::new(
+                        ErrorKind::UnknownQuery,
+                        format!("no prepared query named {name:?}"),
+                    )),
+                    false,
+                ),
+                Some(mut spec) => {
+                    spec.overrides = overrides.layered_over(&spec.overrides);
+                    (execute(state, &spec), false)
+                }
+            }
+        }
+    }
+}
+
+fn refuse_during_shutdown() -> Response {
+    Response::Error(WireError::new(
+        ErrorKind::Shutdown,
+        "server is shutting down; no new queries accepted",
+    ))
+}
+
+fn list(state: &State) -> Response {
+    let databases = state
+        .dbs
+        .iter()
+        .map(|(name, db)| DbInfo {
+            name: name.clone(),
+            relations: db.relations().len() as u64,
+            tuples: db.tuple_count() as u64,
+            acyclic: acyclic::join_tree(db.schema()).is_some(),
+        })
+        .collect();
+    let queries = state
+        .prepared
+        .lock()
+        .expect("prepared lock")
+        .keys()
+        .cloned()
+        .collect();
+    Response::Listing { databases, queries }
+}
+
+fn validate(state: &State, spec: &QuerySpec) -> Result<(), WireError> {
+    let db = state.dbs.get(&spec.db).ok_or_else(|| {
+        WireError::new(
+            ErrorKind::UnknownDb,
+            format!("no database named {:?}", spec.db),
+        )
+    })?;
+    db.attributes(spec.select.iter().map(String::as_str))
+        .map_err(|e| WireError::new(ErrorKind::Schema, format!("bad select: {e}")))?;
+    Ok(())
+}
+
+/// Builds the [`ExecPolicy`] a request asked for.
+fn policy_for(o: &Overrides) -> ExecPolicy {
+    let mut policy = ExecPolicy::default();
+    if let Some(s) = o.strategy {
+        policy.strategy = match s {
+            StrategyKind::Hash => JoinStrategy::Hash,
+            StrategyKind::SortMerge => JoinStrategy::SortMerge,
+            StrategyKind::Auto => JoinStrategy::Auto,
+        };
+    }
+    if let Some(t) = o.threads {
+        policy.threads = t as usize;
+    }
+    policy
+}
+
+/// Builds the per-request governor: the server-wide cancel token (so
+/// `shutdown now` aborts every in-flight query), plus the request's
+/// deadline and memory budget.
+fn governor_for(state: &State, o: &Overrides, started: Instant) -> QueryGovernor {
+    let mut g = QueryGovernor::with_token(state.cancel_all.clone()).started_at(started);
+    if let Some(ms) = o.timeout_ms {
+        g = g.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = o.mem_budget_mb {
+        g = g.with_memory_budget(mb.saturating_mul(1024 * 1024));
+    }
+    g
+}
+
+fn run_engine<M: MetricsSink, G: Governor>(
+    db: &Database,
+    spec: &QuerySpec,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, WireError> {
+    let x = db
+        .attributes(spec.select.iter().map(String::as_str))
+        .map_err(|e| WireError::new(ErrorKind::Schema, format!("bad select: {e}")))?;
+    let result = match spec.engine.unwrap_or_default() {
+        EngineKind::Yannakakis => query_yannakakis_governed(db, &x, policy, sink, gov),
+        EngineKind::Connection => query_via_connection_governed(db, &x, policy, sink, gov),
+        EngineKind::Naive => query_via_full_join_governed(db, &x, policy, sink, gov),
+    };
+    let answer = result.map_err(WireError::from)?;
+    // A result produced after the deadline still counts as a timeout —
+    // the same contract as the one-shot CLI.
+    gov.checkpoint().map_err(WireError::from)?;
+    Ok(answer)
+}
+
+/// Executes one query request end to end, producing its response frame.
+fn execute(state: &State, spec: &QuerySpec) -> Response {
+    let db = match state.dbs.get(&spec.db) {
+        Some(db) => Arc::clone(db),
+        None => {
+            return Response::Error(WireError::new(
+                ErrorKind::UnknownDb,
+                format!("no database named {:?}", spec.db),
+            ))
+        }
+    };
+    state.queries.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let policy = policy_for(&spec.overrides);
+    let base = governor_for(state, &spec.overrides, started);
+    let want_metrics = spec.overrides.metrics == Some(true);
+    let fail_requested =
+        spec.overrides.fail_at_semijoin.is_some() || spec.overrides.fail_panic == Some(true);
+
+    #[cfg(not(feature = "failpoints"))]
+    if fail_requested {
+        return Response::Error(WireError::new(
+            ErrorKind::Proto,
+            "fault injection requires a server built with the failpoints feature",
+        ));
+    }
+
+    let run = |sink_metrics: Option<&CollectingSink>| -> Result<Relation, WireError> {
+        macro_rules! with_gov {
+            ($gov:expr) => {
+                match sink_metrics {
+                    Some(sink) => run_engine(&db, spec, &policy, sink, $gov),
+                    None => run_engine(&db, spec, &policy, &NoopMetrics, $gov),
+                }
+            };
+        }
+        #[cfg(feature = "failpoints")]
+        if fail_requested {
+            let mut gov = reldb::FailpointGovernor::with_base(base.clone());
+            if let Some(n) = spec.overrides.fail_at_semijoin {
+                gov = gov.fail_at_semijoin(n);
+            }
+            if spec.overrides.fail_panic == Some(true) {
+                gov = gov.fail_mode(reldb::FailMode::Panic);
+            }
+            return with_gov!(&gov);
+        }
+        with_gov!(&base)
+    };
+
+    let (result, metrics) = if want_metrics {
+        let sink = CollectingSink::new();
+        let result = run(Some(&sink));
+        let metrics = json::parse(&sink.snapshot().to_json()).ok();
+        (result, metrics)
+    } else {
+        (run(None), None)
+    };
+
+    match result {
+        Err(e) => Response::Error(e),
+        Ok(answer) => answer_frame(&db, &answer, metrics),
+    }
+}
+
+/// Renders a relation as a canonical `answer` frame: attributes in schema
+/// universe order, rows sorted by value — so equal relations yield
+/// byte-identical frames no matter which engine or thread count produced
+/// them.  The differential soak harness depends on exactly this.
+pub fn answer_frame(db: &Database, answer: &Relation, metrics: Option<json::Json>) -> Response {
+    let universe = db.schema().universe();
+    let nodes: Vec<_> = answer.attributes().iter().collect();
+    let attrs: Vec<String> = nodes.iter().map(|&n| universe.name(n).to_owned()).collect();
+    let mut rows: Vec<Vec<reldb::Value>> = answer
+        .tuples()
+        .map(|t| {
+            nodes
+                .iter()
+                .map(|&n| {
+                    t.get(n)
+                        .expect("answer tuples cover their attributes")
+                        .clone()
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort_unstable();
+    let rows = rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|v| match v {
+                    reldb::Value::Int(n) => json::Json::Int(n),
+                    reldb::Value::Str(s) => json::Json::Str(s),
+                })
+                .collect()
+        })
+        .collect();
+    Response::Answer {
+        attrs,
+        rows,
+        metrics,
+    }
+}

@@ -34,7 +34,7 @@ use crate::exec::{ExecPolicy, Job, WorkerLease};
 use crate::govern::{contain_panics, unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
-use crate::yannakakis::yannakakis_join_governed;
+use crate::yannakakis::{yannakakis_join_governed, yannakakis_join_leased};
 use acyclic::join_tree;
 use decomp::{decompose, Decomposition, Heuristic};
 use hypergraph::{Edge, Hypergraph, NodeSet};
@@ -213,11 +213,25 @@ pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
     sink: &M,
     gov: &G,
 ) -> Result<Database, EngineError> {
-    let nbags = d.bag_count();
     let lease = policy.lease(db.tuple_count());
     if M::ENABLED {
         sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
     }
+    materialize_bags_leased(db, d, policy, &lease, sink, gov)
+}
+
+/// The materialization body, on an already-acquired lease — shared by
+/// [`materialize_bags_governed`] and [`yannakakis_join_decomposed_governed`]
+/// so the cyclic pipeline leases its workers exactly once for all phases.
+fn materialize_bags_leased<M: MetricsSink, G: Governor>(
+    db: &Database,
+    d: &Decomposition,
+    policy: &ExecPolicy,
+    lease: &WorkerLease,
+    sink: &M,
+    gov: &G,
+) -> Result<Database, EngineError> {
+    let nbags = d.bag_count();
     let t0 = M::ENABLED.then(Instant::now);
     let relations: Vec<Relation> = if lease.threads() <= 1 || nbags <= 1 {
         // One bag (or one worker): instead of bag-level fan-out, the whole
@@ -232,7 +246,7 @@ pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
                 b,
                 db.relations(),
                 policy,
-                &lease,
+                lease,
                 sink,
                 gov,
             )?);
@@ -367,8 +381,14 @@ pub fn yannakakis_join_decomposed_governed<M: MetricsSink, G: Governor>(
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
-    let bag_db = materialize_bags_governed(db, d, policy, sink, gov)?;
-    yannakakis_join_governed(&bag_db, d.tree(), output, policy, sink, gov)
+    // One lease serves bag materialization, the reducer passes and the join
+    // levels alike: sized on the input database, which bounds every bag.
+    let lease = policy.lease(db.tuple_count());
+    if M::ENABLED {
+        sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
+    }
+    let bag_db = materialize_bags_leased(db, d, policy, &lease, sink, gov)?;
+    yannakakis_join_leased(&bag_db, d.tree(), output, policy, &lease, sink, gov)
 }
 
 /// Both heuristics' decompositions of one schema, in preference order, plus

@@ -417,7 +417,24 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
     if M::ENABLED {
         sink.record_lease(lease.threads(), WorkerPool::idle_workers());
     }
-    let reduced = full_reduce_leased(db, tree, policy, &lease, sink, gov)?;
+    yannakakis_join_leased(db, tree, output, policy, &lease, sink, gov)
+}
+
+/// The reduce-then-join pipeline on an already-acquired lease — shared by
+/// [`yannakakis_join_governed`] and the decomposed cyclic pipeline
+/// ([`crate::yannakakis_join_decomposed_governed`]), so a cyclic query
+/// leases its workers exactly once across bag materialization, the reducer
+/// passes and the join levels.
+pub(crate) fn yannakakis_join_leased<M: MetricsSink, G: Governor>(
+    db: &Database,
+    tree: &JoinTree,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    lease: &WorkerLease,
+    sink: &M,
+    gov: &G,
+) -> Result<Relation, EngineError> {
+    let reduced = full_reduce_leased(db, tree, policy, lease, sink, gov)?;
     let mut relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
@@ -459,7 +476,7 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
                     keep_for(e),
                     output,
                     policy,
-                    &lease,
+                    lease,
                     sink,
                     gov,
                 )?);

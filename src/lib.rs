@@ -17,12 +17,15 @@
 //!   decompose→materialize→reduce→join path for cyclic schemas.
 //! * [`workload`] — synthetic hypergraph/relation generators and the paper's
 //!   figures as fixtures.
+//! * [`hyperqd`] — the concurrent query server: line-oriented JSON protocol,
+//!   prepared queries, per-request governance, graceful shutdown.
 
 #![forbid(unsafe_code)]
 
 pub use acyclic;
 pub use decomp;
 pub use hypergraph;
+pub use hyperqd;
 pub use reldb;
 pub use tableau;
 pub use workload;

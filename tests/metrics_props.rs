@@ -12,12 +12,14 @@
 //!    join tree implies and times at least one level.
 
 use acyclic_hypergraphs::acyclic::join_tree;
+use acyclic_hypergraphs::decomp::{decompose, Heuristic};
 use acyclic_hypergraphs::hypergraph::{Hypergraph, NodeSet};
 use acyclic_hypergraphs::reldb::{
-    full_reduce, full_reduce_metered, query_yannakakis, query_yannakakis_metered, CollectingSink,
-    Database, ExecPolicy, JoinStrategy, WorkerLease,
+    full_reduce, full_reduce_metered, query_yannakakis, query_yannakakis_metered,
+    yannakakis_join_decomposed, yannakakis_join_decomposed_metered, CollectingSink, Database,
+    ExecPolicy, JoinStrategy, WorkerLease,
 };
-use acyclic_hypergraphs::workload::{chain, random_database, snowflake, star, DataParams};
+use acyclic_hypergraphs::workload::{chain, random_database, ring, snowflake, star, DataParams};
 use proptest::prelude::*;
 
 /// One of the acyclic benchmark schema families, scaled by `shape`.
@@ -164,5 +166,63 @@ proptest! {
             }
             prop_assert!(!m.leases.is_empty(), "the reducer leases workers exactly once");
         }
+    }
+}
+
+/// Regression for the carried-over lease item: the decomposed cyclic
+/// pipeline — bag materialization, both reducer passes and the bottom-up
+/// join — acquires **one** worker lease per query.  It used to lease once
+/// per phase (materialize, then reduce+join), doubling pool traffic and
+/// letting a concurrent query steal workers between the phases.
+#[test]
+fn decomposed_pipeline_leases_workers_exactly_once() {
+    let schema = ring(5);
+    let db = random_database(
+        &schema,
+        DataParams {
+            tuples_per_relation: 48,
+            domain: 8,
+            skew: 0.0,
+            key_cap: 0,
+        },
+        7,
+    );
+    let d = decompose(db.schema(), Heuristic::MinFill).expect("rings are nonempty");
+    let output: NodeSet = db.schema().nodes().iter().collect();
+    let mut policies = vec![
+        ExecPolicy::sequential(JoinStrategy::Hash),
+        ExecPolicy::parallel(JoinStrategy::Auto, 2),
+    ];
+    // A pooled lease too: drop the threshold so 240 tuples go parallel.
+    let mut pooled = ExecPolicy::parallel(JoinStrategy::Hash, 2);
+    pooled.parallel_threshold = 1;
+    policies.push(pooled);
+    for policy in policies {
+        let sink = CollectingSink::new();
+        let got = yannakakis_join_decomposed_metered(&db, &d, &output, &policy, &sink);
+        let want = yannakakis_join_decomposed(&db, &d, &output, &ExecPolicy::default());
+        assert!(got.same_contents(&want), "lease sharing changed the answer");
+        let m = sink.snapshot();
+        assert_eq!(
+            m.leases.len(),
+            1,
+            "decomposed pipeline must lease exactly once (threads={})",
+            policy.threads
+        );
+    }
+}
+
+/// The acyclic pipeline held this invariant already — keep it pinned.
+#[test]
+fn acyclic_pipeline_leases_workers_exactly_once() {
+    let db = db_for(0, 2, 20, 4, 11);
+    let x: NodeSet = db.schema().nodes().iter().collect();
+    for policy in [
+        ExecPolicy::sequential(JoinStrategy::Hash),
+        ExecPolicy::parallel(JoinStrategy::Auto, 2),
+    ] {
+        let sink = CollectingSink::new();
+        query_yannakakis_metered(&db, &x, &policy, &sink).expect("full output is joinable");
+        assert_eq!(sink.snapshot().leases.len(), 1);
     }
 }

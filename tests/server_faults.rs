@@ -1,0 +1,279 @@
+//! Over-the-wire fault injection for `hyperqd` (feature `failpoints`).
+//!
+//! A request can arm `reldb`'s deterministic failpoints through the
+//! protocol's `fail_at_semijoin`/`fail_panic` overrides.  These tests
+//! prove the blast radius is one query: the injected failure surfaces as
+//! a typed error response *on that connection*, concurrent clients'
+//! answers stay byte-identical to the oracle, the failing connection
+//! itself remains usable, and the server survives to shut down cleanly —
+//! including gracefully under load, draining or cancelling every
+//! in-flight query.
+
+#![cfg(feature = "failpoints")]
+
+use acyclic_hypergraphs::hyperqd::protocol::{
+    parse_response, render_request, render_response, EngineKind, ErrorKind, Overrides, QuerySpec,
+    Request, Response,
+};
+use acyclic_hypergraphs::hyperqd::server::{answer_frame, Server, ServerHandle};
+use acyclic_hypergraphs::reldb::{query_yannakakis, Database};
+use acyclic_hypergraphs::workload::{chain, consistent_database, ring, DataParams};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn db(
+    schema: &acyclic_hypergraphs::hypergraph::Hypergraph,
+    tuples: usize,
+    seed: u64,
+) -> Arc<Database> {
+    Arc::new(consistent_database(
+        schema,
+        DataParams {
+            tuples_per_relation: tuples,
+            domain: 7,
+            skew: 0.0,
+            key_cap: 0,
+        },
+        seed,
+    ))
+}
+
+fn serve() -> (ServerHandle, Arc<Database>, Arc<Database>) {
+    let chain_db = db(&chain(4, 3, 1), 48, 21);
+    let ring_db = db(&ring(5), 40, 22);
+    let server = Server::bind_preloaded(
+        "127.0.0.1:0",
+        vec![
+            ("chain".into(), Arc::clone(&chain_db)),
+            ("ring".into(), Arc::clone(&ring_db)),
+        ],
+    )
+    .expect("bind");
+    (server.spawn(), chain_db, ring_db)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        let line = render_request(request);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .expect("send");
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf).expect("read in time");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        parse_response(buf.trim_end()).expect("well-formed response")
+    }
+}
+
+fn ring_query(overrides: Overrides) -> Request {
+    Request::Query(QuerySpec {
+        db: "ring".into(),
+        select: vec!["N0000".into(), "N0002".into()],
+        engine: Some(EngineKind::Yannakakis),
+        overrides,
+    })
+}
+
+fn oracle_answer(db: &Database, select: &[&str]) -> Response {
+    let x = db
+        .attributes(select.iter().copied())
+        .expect("attributes resolve");
+    answer_frame(db, &query_yannakakis(db, &x).expect("oracle"), None)
+}
+
+fn shut_down_clean(handle: ServerHandle, now: bool) -> acyclic_hypergraphs::hyperqd::ServeStats {
+    let mut c = Client::connect(handle.addr());
+    assert_eq!(c.round_trip(&Request::Shutdown { now }), Response::Bye);
+    let stats = handle.join();
+    assert!(stats.drained_clean, "drain must finish clean: {stats:?}");
+    stats
+}
+
+#[test]
+fn injected_error_surfaces_as_a_typed_response_and_spares_everyone_else() {
+    let (handle, _chain_db, ring_db) = serve();
+    let addr = handle.addr();
+    let want = render_response(&oracle_answer(&ring_db, &["N0000", "N0002"]));
+
+    // Concurrent bystanders run clean queries the whole time.
+    let bystanders: Vec<_> = (0..3)
+        .map(|_| {
+            let want = want.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for _ in 0..10 {
+                    let got = c.round_trip(&ring_query(Overrides::default()));
+                    assert_eq!(render_response(&got), want, "bystander answer diverged");
+                }
+            })
+        })
+        .collect();
+
+    // The faulty client arms a failpoint at the first semijoin.
+    let mut faulty = Client::connect(addr);
+    for _ in 0..10 {
+        match faulty.round_trip(&ring_query(Overrides {
+            fail_at_semijoin: Some(0),
+            ..Overrides::default()
+        })) {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Cancelled, "fired failpoint: {e}");
+            }
+            other => panic!("armed failpoint produced {other:?}"),
+        }
+    }
+    // The same connection still works for clean queries afterwards.
+    let got = faulty.round_trip(&ring_query(Overrides::default()));
+    assert_eq!(render_response(&got), want);
+
+    for t in bystanders {
+        t.join().expect("bystander diverged or died");
+    }
+    shut_down_clean(handle, false);
+}
+
+#[test]
+fn injected_panic_is_contained_to_the_query() {
+    let (handle, _chain_db, ring_db) = serve();
+    let mut c = Client::connect(handle.addr());
+    match c.round_trip(&ring_query(Overrides {
+        fail_at_semijoin: Some(0),
+        fail_panic: Some(true),
+        ..Overrides::default()
+    })) {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::Panic, "injected panic: {e}");
+            assert_eq!(e.kind.code(), 5);
+        }
+        other => panic!("injected panic produced {other:?}"),
+    }
+    // Same connection, same server: a clean query still answers.
+    let want = render_response(&oracle_answer(&ring_db, &["N0000", "N0002"]));
+    let got = c.round_trip(&ring_query(Overrides::default()));
+    assert_eq!(render_response(&got), want);
+    shut_down_clean(handle, false);
+}
+
+/// Graceful shutdown under load: workers hammer the server while another
+/// client asks it to stop.  Every worker response must be a well-formed
+/// frame — a correct answer or a typed `shutdown` refusal — and the
+/// server drains clean with no orphan queries.
+#[test]
+fn graceful_shutdown_under_load_drains_cleanly() {
+    let (handle, chain_db, _ring_db) = serve();
+    let addr = handle.addr();
+    let want = render_response(&oracle_answer(&chain_db, &["N00000", "N00004"]));
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let want = want.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut answered = 0u32;
+                for _ in 0..40 {
+                    let request = Request::Query(QuerySpec {
+                        db: "chain".into(),
+                        select: vec!["N00000".into(), "N00004".into()],
+                        engine: None,
+                        overrides: Overrides::default(),
+                    });
+                    match c.round_trip(&request) {
+                        Response::Error(e) => {
+                            // Once shutdown begins this is the only
+                            // acceptable error; stop sending.
+                            assert_eq!(e.kind, ErrorKind::Shutdown, "under load: {e}");
+                            break;
+                        }
+                        got @ Response::Answer { .. } => {
+                            assert_eq!(render_response(&got), want, "answer diverged");
+                            answered += 1;
+                        }
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Let the load build, then pull the plug gracefully.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = shut_down_clean(handle, false);
+
+    let mut total = 0u32;
+    for w in workers {
+        total += w.join().expect("worker saw a malformed shutdown");
+    }
+    assert!(
+        total > 0,
+        "soak produced no successful answers before shutdown"
+    );
+    assert!(stats.queries >= u64::from(total));
+}
+
+/// `shutdown now` cancels in-flight queries through the shared token:
+/// responses after the cut are `cancelled` or `shutdown`, each one a
+/// typed frame on its own connection, and the drain still finishes.
+#[test]
+fn shutdown_now_cancels_in_flight_queries_cleanly() {
+    let (handle, chain_db, _ring_db) = serve();
+    let addr = handle.addr();
+    let want = render_response(&oracle_answer(&chain_db, &["N00000", "N00006"]));
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let want = want.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for _ in 0..40 {
+                    let request = Request::Query(QuerySpec {
+                        db: "chain".into(),
+                        select: vec!["N00000".into(), "N00006".into()],
+                        engine: None,
+                        overrides: Overrides::default(),
+                    });
+                    match c.round_trip(&request) {
+                        Response::Error(e) => {
+                            assert!(
+                                matches!(e.kind, ErrorKind::Shutdown | ErrorKind::Cancelled),
+                                "shutdown-now leaked error {e}"
+                            );
+                            break;
+                        }
+                        got @ Response::Answer { .. } => {
+                            assert_eq!(render_response(&got), want, "answer diverged");
+                        }
+                        other => panic!("unexpected frame {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(30));
+    shut_down_clean(handle, true);
+    for w in workers {
+        w.join().expect("worker saw a malformed cancellation");
+    }
+}

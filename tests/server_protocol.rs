@@ -1,0 +1,420 @@
+//! Protocol property suite for the `hyperqd` wire format and server
+//! framing: serialization round-trips exactly (`parse ∘ render` is the
+//! identity on every frame), and malformed input — truncations, bad JSON,
+//! oversized lines, interleaved garbage, invalid UTF-8 — always yields a
+//! structured error response, never a panic and never a hung connection.
+//!
+//! The live-server half drives an in-process [`Server`] on an ephemeral
+//! port; every read carries a timeout so a server that stops answering
+//! fails the test instead of wedging the suite.
+
+use acyclic_hypergraphs::hyperqd::json::Json;
+use acyclic_hypergraphs::hyperqd::protocol::{
+    parse_request, parse_response, render_request, render_response, DbInfo, EngineKind, ErrorKind,
+    Overrides, QuerySpec, Request, Response, StrategyKind, WireError, MAX_LINE,
+};
+use acyclic_hypergraphs::hyperqd::server::Server;
+use acyclic_hypergraphs::reldb::Database;
+use acyclic_hypergraphs::workload::{chain, consistent_database, DataParams};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- builders
+
+/// A random [`Overrides`] decoded from integer dice.
+fn arb_overrides(bits: u64, a: u64, b: u64) -> Overrides {
+    Overrides {
+        strategy: match bits & 0b11 {
+            0 => None,
+            1 => Some(StrategyKind::Hash),
+            2 => Some(StrategyKind::SortMerge),
+            _ => Some(StrategyKind::Auto),
+        },
+        threads: (bits & 0b100 != 0).then_some(a % 9),
+        timeout_ms: (bits & 0b1000 != 0).then_some(b % 10_000),
+        mem_budget_mb: (bits & 0b1_0000 != 0).then_some(1 + a % 512),
+        metrics: (bits & 0b10_0000 != 0).then_some(bits & 0b100_0000 != 0),
+        fail_at_semijoin: (bits & 0b1000_0000 != 0).then_some(b % 17),
+        fail_panic: (bits & 0b1_0000_0000 != 0).then_some(a & 1 == 0),
+    }
+}
+
+/// A random [`QuerySpec`] over synthetic names (including characters that
+/// need JSON escaping).
+fn arb_spec(sel: u64, bits: u64, a: u64, b: u64) -> QuerySpec {
+    let names = ["A", "B2", "weird \"name\"", "tab\tchar", "Ω", "N00001"];
+    let k = 1 + (sel as usize % names.len());
+    QuerySpec {
+        db: format!("db{}", sel % 5),
+        select: names[..k].iter().map(|s| (*s).to_owned()).collect(),
+        engine: match sel % 4 {
+            0 => None,
+            1 => Some(EngineKind::Yannakakis),
+            2 => Some(EngineKind::Connection),
+            _ => Some(EngineKind::Naive),
+        },
+        overrides: arb_overrides(bits, a, b),
+    }
+}
+
+fn arb_request(sel: u64, bits: u64, a: u64, b: u64) -> Request {
+    match sel % 6 {
+        0 => Request::Ping,
+        1 => Request::List,
+        2 => Request::Shutdown { now: a & 1 == 1 },
+        3 => Request::Query(arb_spec(a, bits, a, b)),
+        4 => Request::Prepare {
+            name: format!("prep\n{}", a % 7),
+            spec: arb_spec(b, bits, a, b),
+        },
+        _ => Request::Run {
+            name: format!("q{}", a % 7),
+            overrides: arb_overrides(bits, a, b),
+        },
+    }
+}
+
+fn arb_response(sel: u64, bits: u64, a: u64, b: u64) -> Response {
+    match sel % 6 {
+        0 => Response::Pong,
+        1 => Response::Bye,
+        2 => Response::Prepared {
+            name: format!("p{}", a % 9),
+        },
+        3 => Response::Listing {
+            databases: (0..a % 4)
+                .map(|i| DbInfo {
+                    name: format!("db{i}"),
+                    relations: b % 10,
+                    tuples: b % 1000,
+                    acyclic: (b >> i) & 1 == 1,
+                })
+                .collect(),
+            queries: (0..b % 4).map(|i| format!("q{i}")).collect(),
+        },
+        4 => Response::Answer {
+            attrs: (0..1 + a % 4).map(|i| format!("A{i}")).collect(),
+            rows: (0..b % 5)
+                .map(|r| {
+                    (0..1 + a % 4)
+                        .map(|c| {
+                            if (bits >> (r + c)) & 1 == 1 {
+                                Json::Int((a ^ (r << c)) as i64 - 500)
+                            } else {
+                                Json::Str(format!("v{r}\"{c}\\"))
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            metrics: (bits & 1 == 1).then(|| Json::Obj(vec![("x".into(), Json::Int(3))])),
+        },
+        _ => Response::Error(WireError::new(
+            match a % 11 {
+                0 => ErrorKind::Proto,
+                1 => ErrorKind::UnknownDb,
+                2 => ErrorKind::UnknownQuery,
+                3 => ErrorKind::Schema,
+                4 => ErrorKind::Parse,
+                5 => ErrorKind::Io,
+                6 => ErrorKind::Deadline,
+                7 => ErrorKind::Cancelled,
+                8 => ErrorKind::Budget,
+                9 => ErrorKind::Panic,
+                _ => ErrorKind::Shutdown,
+            },
+            format!("detail {b} with \"quotes\" and \u{1F980}"),
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse_request ∘ render_request` is the identity on every frame.
+    #[test]
+    fn request_frames_round_trip(
+        sel in any::<u64>(),
+        bits in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let request = arb_request(sel, bits, a, b);
+        let line = render_request(&request);
+        prop_assert!(!line.contains('\n'), "frames must be single lines: {line}");
+        prop_assert_eq!(parse_request(&line).unwrap(), request, "frame: {}", line);
+    }
+
+    /// `parse_response ∘ render_response` is the identity on every frame.
+    #[test]
+    fn response_frames_round_trip(
+        sel in any::<u64>(),
+        bits in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let response = arb_response(sel, bits, a, b);
+        let line = render_response(&response);
+        prop_assert!(!line.contains('\n'), "frames must be single lines: {line}");
+        prop_assert_eq!(parse_response(&line).unwrap(), response, "frame: {}", line);
+    }
+
+    /// Truncating a valid frame at any byte boundary never panics the
+    /// parser: the result is a parse (of a prefix that happens to be
+    /// valid JSON — impossible for object frames) or a structured error.
+    #[test]
+    fn truncated_frames_never_panic(
+        sel in any::<u64>(),
+        bits in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        let line = render_request(&arb_request(sel, bits, a, b));
+        let mut cut = cut as usize % line.len();
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut < line.len() {
+            let e = parse_request(&line[..cut]).unwrap_err();
+            prop_assert_eq!(e.kind, ErrorKind::Proto);
+        }
+    }
+
+    /// Flipping an arbitrary byte of a valid frame never panics either
+    /// parser; whatever comes back is a value or a structured error.
+    #[test]
+    fn mutated_frames_never_panic(
+        sel in any::<u64>(),
+        bits in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        pos in any::<u64>(),
+        xor in 1u16..256,
+    ) {
+        let line = render_request(&arb_request(sel, bits, a, b));
+        let mut bytes = line.into_bytes();
+        let at = pos as usize % bytes.len();
+        bytes[at] ^= xor as u8;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_request(&mutated);
+        let _ = parse_response(&mutated);
+    }
+
+    /// Arbitrary garbage bytes never panic the parsers.
+    #[test]
+    fn garbage_never_panics(seed in any::<u64>(), len in 0usize..200) {
+        let mut state = seed;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let garbage = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_request(&garbage);
+        let _ = parse_response(&garbage);
+    }
+}
+
+// ----------------------------------------------------------- live server
+
+/// One test client with a bounded read: a server that stops answering
+/// fails the test instead of hanging it.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .expect("read within timeout");
+        assert!(n > 0, "server closed the connection instead of answering");
+        parse_response(line.trim_end()).expect("well-formed response frame")
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        self.send_raw(format!("{}\n", render_request(request)).as_bytes());
+        self.read_response()
+    }
+}
+
+fn tiny_server() -> (
+    acyclic_hypergraphs::hyperqd::server::ServerHandle,
+    Arc<Database>,
+) {
+    let schema = chain(3, 2, 1);
+    let db = Arc::new(consistent_database(
+        &schema,
+        DataParams {
+            tuples_per_relation: 12,
+            domain: 5,
+            skew: 0.0,
+            key_cap: 0,
+        },
+        42,
+    ));
+    let server = Server::bind_preloaded("127.0.0.1:0", vec![("chain".into(), Arc::clone(&db))])
+        .expect("bind");
+    (server.spawn(), db)
+}
+
+fn shut_down(handle: acyclic_hypergraphs::hyperqd::server::ServerHandle) {
+    let mut c = Client::connect(handle.addr());
+    assert_eq!(
+        c.round_trip(&Request::Shutdown { now: false }),
+        Response::Bye
+    );
+    let stats = handle.join();
+    assert!(stats.drained_clean, "drain must finish: {stats:?}");
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_connection_survives() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    for garbage in [
+        "not json at all\n",
+        "{\"op\":\"query\"}\n",
+        "{\"op\": \"ping\"\n", // truncated JSON
+        "[1,2,3]\n",
+        "{\"op\":\"warp\"}\n",
+        "\u{FFFD}\u{FFFD}\n",
+    ] {
+        c.send_raw(garbage.as_bytes());
+        match c.read_response() {
+            Response::Error(e) => assert_eq!(e.kind, ErrorKind::Proto, "input {garbage:?}"),
+            other => panic!("garbage {garbage:?} got non-error {other:?}"),
+        }
+        // The connection is still good: a valid request right after works.
+        assert_eq!(c.round_trip(&Request::Ping), Response::Pong);
+    }
+    shut_down(handle);
+}
+
+#[test]
+fn invalid_utf8_bytes_get_a_structured_error() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    c.send_raw(b"\xFF\xFE{\"op\":\"ping\"}\n");
+    match c.read_response() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Proto),
+        other => panic!("invalid UTF-8 got {other:?}"),
+    }
+    assert_eq!(c.round_trip(&Request::Ping), Response::Pong);
+    shut_down(handle);
+}
+
+#[test]
+fn blank_lines_are_ignored_keepalives() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    c.send_raw(b"\n\r\n\n");
+    assert_eq!(c.round_trip(&Request::Ping), Response::Pong);
+    shut_down(handle);
+}
+
+#[test]
+fn unterminated_final_line_is_still_answered() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    // No trailing newline; half-close the write side to signal EOF.
+    c.send_raw(render_request(&Request::Ping).as_bytes());
+    c.writer
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    assert_eq!(c.read_response(), Response::Pong);
+    shut_down(handle);
+}
+
+#[test]
+fn oversized_line_gets_an_error_then_the_connection_closes() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    // MAX_LINE+1 bytes of non-newline: unframeable.
+    let big = vec![b'x'; MAX_LINE + 1];
+    c.send_raw(&big);
+    match c.read_response() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Proto),
+        other => panic!("oversized line got {other:?}"),
+    }
+    // The server must close this connection (it cannot resynchronize).
+    let mut rest = Vec::new();
+    let n = c.reader.read_to_end(&mut rest).expect("read to EOF");
+    assert_eq!(n, 0, "connection must be closed after an unframeable line");
+    shut_down(handle);
+}
+
+#[test]
+fn interleaved_garbage_keeps_real_requests_flowing_in_order() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    // Batch: garbage, ping, garbage, list — written in one packet.  Every
+    // frame is answered, in order.
+    let batch = format!(
+        "?!\n{}\n{{bad\n{}\n",
+        render_request(&Request::Ping),
+        render_request(&Request::List),
+    );
+    c.send_raw(batch.as_bytes());
+    assert!(matches!(c.read_response(), Response::Error(e) if e.kind == ErrorKind::Proto));
+    assert_eq!(c.read_response(), Response::Pong);
+    assert!(matches!(c.read_response(), Response::Error(e) if e.kind == ErrorKind::Proto));
+    match c.read_response() {
+        Response::Listing { databases, .. } => {
+            assert_eq!(databases.len(), 1);
+            assert_eq!(databases[0].name, "chain");
+            assert!(databases[0].acyclic);
+        }
+        other => panic!("expected listing, got {other:?}"),
+    }
+    shut_down(handle);
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn fault_injection_requests_are_refused_without_the_feature() {
+    let (handle, _db) = tiny_server();
+    let mut c = Client::connect(handle.addr());
+    let response = c.round_trip(&Request::Query(QuerySpec {
+        db: "chain".into(),
+        select: vec!["N00001".into()],
+        engine: None,
+        overrides: Overrides {
+            fail_at_semijoin: Some(1),
+            ..Overrides::default()
+        },
+    }));
+    match response {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::Proto);
+            assert!(e.message.contains("failpoints"), "message: {}", e.message);
+        }
+        other => panic!("fault request without the feature got {other:?}"),
+    }
+    shut_down(handle);
+}
