@@ -745,6 +745,35 @@ pub fn calibrate(profile: Profile) -> String {
 /// Renders the records as the `BENCH_results.json` document (one record per
 /// line, so the file diffs and greps cleanly).
 pub fn to_json(records: &[BenchRecord]) -> String {
+    render_document(records.iter().map(BenchRecord::to_json_line).collect())
+}
+
+/// Merges new records into an existing `BENCH_results.json` document:
+/// existing record lines whose (op, engine, workload, size) identity
+/// collides with a new record are replaced, the rest are kept verbatim,
+/// and the new rows are appended.  `hyperq client bench --out` uses this
+/// so its server-latency rows join the engine rows written by `hyperq
+/// bench --out` in one document instead of clobbering them.  An empty or
+/// record-free `existing` degenerates to [`to_json`].
+pub fn merge_json(existing: &str, records: &[BenchRecord]) -> String {
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|line| {
+            field_str(line, "op").is_some()
+                && !records.iter().any(|r| {
+                    field_str(line, "op") == Some(r.op.as_str())
+                        && field_str(line, "engine") == Some(r.engine.as_str())
+                        && field_str(line, "workload") == Some(r.workload.as_str())
+                        && field_num(line, "size") == Some(r.size as f64)
+                })
+        })
+        .map(|line| line.trim_end_matches(',').to_owned())
+        .collect();
+    lines.extend(records.iter().map(BenchRecord::to_json_line));
+    render_document(lines)
+}
+
+fn render_document(lines: Vec<String>) -> String {
     let created = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -753,7 +782,6 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out.push_str("  \"schema_version\": 1,\n");
     out.push_str(&format!("  \"created_unix\": {created},\n"));
     out.push_str("  \"results\": [\n");
-    let lines: Vec<String> = records.iter().map(BenchRecord::to_json_line).collect();
     out.push_str(&lines.join(",\n"));
     out.push_str("\n  ]\n}\n");
     out
@@ -796,7 +824,10 @@ pub fn check_baseline(
         // regression in a production path.  The scale rows join the guard
         // too — the morsel-parallel engine, and both sides of the
         // snapshot-vs-text load shoot-out (a snapshot decoder that slows
-        // toward text-parse speed has lost its reason to exist).
+        // toward text-parse speed has lost its reason to exist).  So do
+        // the server-side latency quantiles measured by `hyperq client
+        // bench`: the end-to-end accept → parse → execute → serialize
+        // path is the production surface clients actually see.
         let guarded = matches!(
             (r.op.as_str(), r.engine.as_str()),
             (
@@ -806,6 +837,10 @@ pub fn check_baseline(
                 "cyclic_join",
                 "columnar-decomp" | "columnar-decomp-parallel"
             ) | ("data_load", "snapshot-load" | "text-parse")
+                | (
+                    "server_query_p50" | "server_query_p90" | "server_query_p99",
+                    "server"
+                )
         );
         if !guarded {
             continue;
@@ -1221,6 +1256,67 @@ mod tests {
             1_000_000,
             10.0,
         )];
+        assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
+    }
+
+    #[test]
+    fn merge_json_replaces_colliding_rows_and_keeps_the_rest() {
+        let existing = to_json(&[
+            record("full_reduce", "columnar", "chain-6", 200, 1000.0),
+            record("server_query_p50", "server", "fig1", 100, 9999.0),
+        ]);
+        let merged = merge_json(
+            &existing,
+            &[
+                record("server_query_p50", "server", "fig1", 100, 500.0),
+                record("server_query_p90", "server", "fig1", 100, 800.0),
+            ],
+        );
+        let lines: Vec<&str> = merged.lines().filter(|l| l.contains("\"op\"")).collect();
+        assert_eq!(lines.len(), 3, "merged: {merged}");
+        // The untouched engine row survives verbatim; the colliding p50 row
+        // is replaced, not duplicated.
+        assert!(merged.contains("\"op\": \"full_reduce\""));
+        let p50 = lines
+            .iter()
+            .find(|l| field_str(l, "op") == Some("server_query_p50"))
+            .unwrap();
+        assert_eq!(field_num(p50, "ns_per_iter"), Some(500.0));
+        assert!(merged.contains("\"op\": \"server_query_p90\""));
+        // The merged document still parses as a results document: every
+        // record line but the last carries a trailing comma.
+        assert!(
+            merged.contains("}},\n") || merged.contains("},\n"),
+            "merged: {merged}"
+        );
+        // Merging into nothing degenerates to a fresh document.
+        let fresh = merge_json("", &[record("server_query_p50", "server", "fig1", 1, 1.0)]);
+        assert_eq!(
+            fresh.lines().filter(|l| l.contains("\"op\"")).count(),
+            1,
+            "fresh: {fresh}"
+        );
+    }
+
+    #[test]
+    fn baseline_check_covers_the_server_latency_rows() {
+        let baseline = to_json(&[
+            record("server_query_p50", "server", "fig1", 100, 1000.0),
+            record("server_query_p90", "server", "fig1", 100, 2000.0),
+            record("server_query_p99", "server", "fig1", 100, 4000.0),
+        ]);
+        let ok = vec![
+            record("server_query_p50", "server", "fig1", 100, 1100.0),
+            record("server_query_p90", "server", "fig1", 100, 1900.0),
+            record("server_query_p99", "server", "fig1", 100, 4400.0),
+        ];
+        assert!(check_baseline(&ok, &baseline, 2.0).is_ok());
+        // A regressed tail latency trips the guard like any engine row.
+        let slow = vec![record("server_query_p99", "server", "fig1", 100, 9000.0)];
+        let err = check_baseline(&slow, &baseline, 2.0).unwrap_err();
+        assert!(err.contains("server_query_p99"), "err: {err}");
+        // A server row missing from the baseline is flagged, not skipped.
+        let unknown = vec![record("server_query_p50", "server", "other-db", 100, 10.0)];
         assert!(check_baseline(&unknown, &baseline, 2.0).is_err());
     }
 

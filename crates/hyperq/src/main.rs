@@ -51,11 +51,15 @@ USAGE:
     hyperq bench     [--out FILE] [--check BASELINE] [--max-regression F]
                      [--threads N] [--quick | --tiny | --scale] [--calibrate]
     hyperq client    <addr> ping | list | shutdown [--now]
+    hyperq client    <addr> stats [--prometheus] [--raw]
     hyperq client    <addr> query <db> --select A,B[,..] [--engine ENGINE]
                      [--strategy hash|sort-merge|auto] [--threads N]
                      [--timeout-ms N] [--mem-budget-mb N] [--metrics] [--raw]
     hyperq client    <addr> prepare <name> <db> --select A,B[,..] [flags]
     hyperq client    <addr> run <name> [override flags] [--raw]
+    hyperq client    <addr> bench <db> --select A,B[,..] [--engine ENGINE]
+                     [--clients N] [--requests N] [--out FILE]
+                     [--check BASELINE] [--max-regression F]
 
 COMMANDS:
     classify   Decide acyclic vs. cyclic and print the Theorem 6.1
@@ -110,12 +114,19 @@ COMMANDS:
     client     Talk to a running hyperqd server at <addr> (HOST:PORT):
                ping, list the served databases and prepared queries,
                run ad-hoc or prepared queries with per-request policy and
-               governance overrides, or ask the server to shut down
-               (--now cancels in-flight queries instead of draining).
-               --raw prints the server's response frame verbatim.  Server
-               errors map to the exit codes below via the protocol's
-               \"code\" field, so scripts assert on $? exactly as for the
-               one-shot query command
+               governance overrides, scrape the telemetry registry
+               (stats; --prometheus switches the canonical JSON snapshot
+               to the Prometheus text exposition), or ask the server to
+               shut down (--now cancels in-flight queries instead of
+               draining).  bench drives --clients concurrent threads each
+               issuing --requests queries and reports the server-side
+               p50/p90/p99 latency of exactly that window (two stats
+               scrapes, histograms diffed); --out merges the rows into a
+               BENCH_results.json document and --check guards them
+               against a baseline.  --raw prints the server's response
+               frame verbatim.  Server errors map to the exit codes below
+               via the protocol's \"code\" field, so scripts assert on $?
+               exactly as for the one-shot query command
 
 FILES:
     <schema>   One edge per line: 'LABEL: A B C' (label optional)

@@ -11,7 +11,8 @@
 //! | [`json`] | dependency-free JSON value, parser and serializer |
 //! | [`protocol`] | typed request/response frames, canonical (round-tripping) serialization, the error-kind → exit-code contract |
 //! | [`load`] | the text schema/data parsers and snapshot loading, shared with the `hyperq` CLI |
-//! | [`server`] | the TCP server: thread-per-connection, per-request [`reldb::QueryGovernor`]s over one shared [`reldb::WorkerPool`], prepared queries, graceful shutdown |
+//! | [`stats`] | server telemetry: log-bucketed latency [`stats::Histogram`]s, the atomic [`stats::StatsRegistry`], canonical JSON snapshots and Prometheus-style exposition |
+//! | [`server`] | the TCP server: thread-per-connection, per-request [`reldb::QueryGovernor`]s over one shared [`reldb::WorkerPool`], prepared queries, per-query trace ids, a slow-query log, graceful shutdown |
 //!
 //! The server is a library first (the differential soak and fault
 //! harnesses in `tests/` drive in-process instances on ephemeral ports)
@@ -24,9 +25,11 @@ pub mod json;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
 pub use protocol::{
     parse_request, parse_response, render_request, render_response, EngineKind, ErrorKind,
     Overrides, QuerySpec, Request, Response, StrategyKind, WireError, MAX_LINE,
 };
 pub use server::{answer_frame, ServeStats, Server, ServerConfig, ServerHandle};
+pub use stats::{Histogram, StatsRegistry};

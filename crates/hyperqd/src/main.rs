@@ -19,6 +19,9 @@ OPTIONS:
                      single .hqs snapshot path, or SCHEMA,DATA — a schema
                      edge-list file and a data file (text tuples or a
                      snapshot, sniffed by magic)
+    --slow-ms N      arm the slow-query log: queries taking >= N ms write
+                     one JSON line (trace id, stage spans, outcome) to
+                     stderr; queries run traced while armed
     -h, --help       print this help
 
 PROTOCOL:
@@ -74,6 +77,20 @@ fn main() -> ExitCode {
                 match parse_db_flag(value) {
                     Ok(entry) => config.databases.push(entry),
                     Err(e) => return usage_error(&e),
+                }
+            }
+            "--slow-ms" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return usage_error("--slow-ms needs a millisecond threshold");
+                };
+                match value.parse::<u64>() {
+                    Ok(ms) => config.slow_ms = Some(ms),
+                    Err(_) => {
+                        return usage_error(&format!(
+                            "--slow-ms expects a non-negative integer, got {value:?}"
+                        ))
+                    }
                 }
             }
             other => return usage_error(&format!("unknown argument {other:?}")),

@@ -10,6 +10,8 @@
 //!  "metrics":true}
 //! {"op":"prepare","name":"bd","db":"fig1","select":["B","D"]}
 //! {"op":"run","name":"bd","timeout_ms":250}
+//! {"op":"stats"}                      // telemetry snapshot (JSON)
+//! {"op":"stats","format":"prometheus"}  // text exposition
 //! {"op":"shutdown"}            // graceful: drain in-flight queries
 //! {"op":"shutdown","mode":"now"}  // cancel in-flight queries, then stop
 //! ```
@@ -22,9 +24,13 @@
 //! 4 budget, 5 engine panic, 2 everything else).
 //!
 //! ```text
-//! {"ok":true,"op":"answer","attrs":["B","D"],"tuples":4,"rows":[[1,4],…]}
-//! {"ok":false,"op":"error","kind":"deadline","message":"…","code":3}
+//! {"ok":true,"op":"answer","attrs":["B","D"],"tuples":4,"rows":[[1,4],…],"trace":"q-000017"}
+//! {"ok":false,"op":"error","kind":"deadline","message":"…","code":3,"trace":"q-000018"}
 //! ```
+//!
+//! The server stamps every admitted query with a trace id (`"trace"`,
+//! last field) and echoes it in the answer **and** error frames, so a
+//! client can correlate a response with the server's slow-query log.
 //!
 //! Serialization is canonical — fixed field order, optional fields omitted
 //! — so `parse ∘ render` is the identity on every frame; the protocol
@@ -53,7 +59,10 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    fn as_str(self) -> &'static str {
+    /// The canonical wire name of this engine (`"yannakakis"`,
+    /// `"connection"`, `"naive"`) — also the `engine` label value in the
+    /// server's stats registry.
+    pub fn as_str(self) -> &'static str {
         match self {
             EngineKind::Yannakakis => "yannakakis",
             EngineKind::Connection => "connection",
@@ -301,6 +310,12 @@ pub enum Request {
         /// Overrides layered over the prepared defaults.
         overrides: Overrides,
     },
+    /// Fetch the server's telemetry snapshot.
+    Stats {
+        /// Return Prometheus-style text exposition instead of the
+        /// canonical JSON snapshot.
+        prometheus: bool,
+    },
 }
 
 /// Renders a request as one canonical protocol line (no trailing newline).
@@ -329,6 +344,12 @@ pub fn render_request(r: &Request) -> String {
             pairs.push(op("run"));
             pairs.push(("name".to_owned(), Json::str(name)));
             overrides.push_fields(&mut pairs);
+        }
+        Request::Stats { prometheus } => {
+            pairs.push(op("stats"));
+            if *prometheus {
+                pairs.push(("format".to_owned(), Json::str("prometheus")));
+            }
         }
     }
     Json::Obj(pairs).to_string()
@@ -379,6 +400,17 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 name,
                 overrides: Overrides::from_json(&v)?,
             })
+        }
+        "stats" => {
+            let prometheus = match v.get("format") {
+                None => false,
+                Some(f) => match f.as_str() {
+                    Some("prometheus") => true,
+                    Some("json") => false,
+                    _ => return Err(proto("stats format must be \"json\" or \"prometheus\"")),
+                },
+            };
+            Ok(Request::Stats { prometheus })
         }
         other => Err(proto(format!("unknown op {other:?}"))),
     }
@@ -432,7 +464,9 @@ impl ErrorKind {
         }
     }
 
-    fn as_str(self) -> &'static str {
+    /// The canonical wire name of this error kind — also the `outcome`
+    /// label value in the server's stats registry.
+    pub fn as_str(self) -> &'static str {
         match self {
             ErrorKind::Proto => "proto",
             ErrorKind::UnknownDb => "unknown-db",
@@ -473,15 +507,27 @@ pub struct WireError {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// The per-query trace id the server assigned at accept time, echoed
+    /// so a failed query can be correlated with the slow-query log.
+    /// Absent on errors raised before a query was admitted (protocol
+    /// errors, client-side parse failures).
+    pub trace: Option<String>,
 }
 
 impl WireError {
-    /// Constructs an error of the given kind.
+    /// Constructs an error of the given kind, with no trace id.
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
         WireError {
             kind,
             message: message.into(),
+            trace: None,
         }
+    }
+
+    /// The same error stamped with a per-query trace id.
+    pub fn with_trace(mut self, trace: impl Into<String>) -> Self {
+        self.trace = Some(trace.into());
+        self
     }
 }
 
@@ -554,6 +600,17 @@ pub enum Response {
         rows: Vec<Vec<Json>>,
         /// Per-query metrics, when the request asked for them.
         metrics: Option<Json>,
+        /// The per-query trace id the server assigned at accept time.
+        trace: Option<String>,
+    },
+    /// Reply to [`Request::Stats`]: the canonical JSON snapshot, or the
+    /// Prometheus-style text exposition when the request asked for it.
+    /// Exactly one of the two fields is set.
+    Stats {
+        /// The JSON snapshot ([`crate::stats::StatsRegistry::snapshot_json`]).
+        stats: Option<Json>,
+        /// The text exposition ([`crate::stats::StatsRegistry::prometheus`]).
+        text: Option<String>,
     },
     /// A structured error; the connection stays usable afterwards (except
     /// after unframeable input, which closes it).
@@ -598,6 +655,7 @@ pub fn render_response(r: &Response) -> String {
             attrs,
             rows,
             metrics,
+            trace,
         } => {
             let mut pairs = vec![
                 ("ok".to_owned(), Json::Bool(true)),
@@ -615,15 +673,37 @@ pub fn render_response(r: &Response) -> String {
             if let Some(m) = metrics {
                 pairs.push(("metrics".to_owned(), m.clone()));
             }
+            if let Some(t) = trace {
+                pairs.push(("trace".to_owned(), Json::str(t)));
+            }
             Json::Obj(pairs)
         }
-        Response::Error(e) => obj([
-            ("ok", Json::Bool(false)),
-            ("op", Json::str("error")),
-            ("kind", Json::str(e.kind.as_str())),
-            ("message", Json::str(&e.message)),
-            ("code", Json::Int(e.kind.code() as i64)),
-        ]),
+        Response::Stats { stats, text } => {
+            let mut pairs = vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("op".to_owned(), Json::str("stats")),
+            ];
+            if let Some(s) = stats {
+                pairs.push(("stats".to_owned(), s.clone()));
+            }
+            if let Some(t) = text {
+                pairs.push(("text".to_owned(), Json::str(t)));
+            }
+            Json::Obj(pairs)
+        }
+        Response::Error(e) => {
+            let mut pairs = vec![
+                ("ok".to_owned(), Json::Bool(false)),
+                ("op".to_owned(), Json::str("error")),
+                ("kind".to_owned(), Json::str(e.kind.as_str())),
+                ("message".to_owned(), Json::str(&e.message)),
+                ("code".to_owned(), Json::Int(e.kind.code() as i64)),
+            ];
+            if let Some(t) = &e.trace {
+                pairs.push(("trace".to_owned(), Json::str(t)));
+            }
+            Json::Obj(pairs)
+        }
     };
     v.to_string()
 }
@@ -713,7 +793,18 @@ pub fn parse_response(line: &str) -> Result<Response, WireError> {
                 attrs,
                 rows,
                 metrics: v.get("metrics").cloned(),
+                trace: v.get("trace").and_then(Json::as_str).map(str::to_owned),
             })
+        }
+        (true, "stats") => {
+            let stats = v.get("stats").cloned();
+            let text = v.get("text").and_then(Json::as_str).map(str::to_owned);
+            if stats.is_some() == text.is_some() {
+                return Err(proto(
+                    "stats frame must carry exactly one of \"stats\" and \"text\"",
+                ));
+            }
+            Ok(Response::Stats { stats, text })
         }
         (false, "error") => {
             let kind_name = v
@@ -727,7 +818,12 @@ pub fn parse_response(line: &str) -> Result<Response, WireError> {
                 .and_then(Json::as_str)
                 .ok_or_else(|| proto("error frame missing \"message\""))?
                 .to_owned();
-            Ok(Response::Error(WireError { kind, message }))
+            let trace = v.get("trace").and_then(Json::as_str).map(str::to_owned);
+            Ok(Response::Error(WireError {
+                kind,
+                message,
+                trace,
+            }))
         }
         (ok, op) => Err(proto(format!(
             "unrecognized response frame ok={ok} op={op:?}"
@@ -776,6 +872,8 @@ mod tests {
                     ..Overrides::default()
                 },
             },
+            Request::Stats { prometheus: false },
+            Request::Stats { prometheus: true },
         ];
         for r in specs {
             let line = render_request(&r);
@@ -798,6 +896,7 @@ mod tests {
             "{\"op\":\"query\",\"db\":\"d\",\"select\":[],\"threads\":-1}",
             "{\"op\":\"query\",\"db\":\"d\",\"select\":[],\"strategy\":\"quantum\"}",
             "{\"op\":\"shutdown\",\"mode\":\"later\"}",
+            "{\"op\":\"stats\",\"format\":\"xml\"}",
         ] {
             let e = parse_request(bad).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Proto, "input {bad:?} gave {e:?}");
@@ -844,12 +943,32 @@ mod tests {
                     vec![Json::Int(2), Json::Int(9)],
                 ],
                 metrics: None,
+                trace: None,
+            },
+            Response::Answer {
+                attrs: vec!["B".into()],
+                rows: vec![vec![Json::Int(1)]],
+                metrics: None,
+                trace: Some("q-000017".into()),
+            },
+            Response::Stats {
+                stats: Some(obj([("queries_total", Json::Int(3))])),
+                text: None,
+            },
+            Response::Stats {
+                stats: None,
+                text: Some("# HELP hyperqd_requests_total …\n".into()),
             },
             Response::Error(WireError::new(ErrorKind::Deadline, "too slow")),
+            Response::Error(
+                WireError::new(ErrorKind::Budget, "over budget").with_trace("q-000018"),
+            ),
         ];
         for r in frames {
             let line = render_response(&r);
             assert_eq!(parse_response(&line).unwrap(), r, "frame: {line}");
         }
+        // A stats frame carries exactly one payload.
+        assert!(parse_response("{\"ok\":true,\"op\":\"stats\"}").is_err());
     }
 }

@@ -25,6 +25,19 @@
 //! additionally cancels in-flight queries through the shared
 //! [`CancelToken`] wired into every per-request governor, so they abort at
 //! their next checkpoint with a typed `cancelled` error response.
+//!
+//! # Telemetry
+//!
+//! Every query/run request is stamped with a trace id (`q-000001`, …) at
+//! admission and echoes it in its answer or error frame.  A process-wide
+//! [`StatsRegistry`] counts requests by op, queries by engine and outcome,
+//! bytes in/out and in-flight queries, and buckets server-side latency;
+//! the `stats` op snapshots it.  When the slow-query log is armed
+//! ([`ServerConfig::slow_ms`]), queries run their engine under a
+//! [`reldb::CollectingTracer`] — otherwise the untraced
+//! ([`reldb::NoopTrace`]-monomorphized) pipelines run, so tracing costs
+//! nothing when off — and any query at or over the threshold writes one
+//! JSON line to stderr with its trace id, stage spans and outcome.
 
 use crate::json;
 use crate::load::{load_source, DbSource};
@@ -32,10 +45,11 @@ use crate::protocol::{
     parse_request, render_response, DbInfo, EngineKind, ErrorKind, Overrides, QuerySpec, Request,
     Response, StrategyKind, WireError, MAX_LINE,
 };
+use crate::stats::StatsRegistry;
 use reldb::{
-    query_via_connection_governed, query_via_full_join_governed, query_yannakakis_governed,
-    CancelToken, CollectingSink, Database, ExecPolicy, Governor, JoinStrategy, MetricsSink,
-    NoopMetrics, QueryGovernor, Relation,
+    query_via_connection_traced, query_via_full_join_traced, query_yannakakis_traced, CancelToken,
+    CollectingSink, CollectingTracer, Database, ExecPolicy, Governor, JoinStrategy, MetricsSink,
+    NoopMetrics, NoopTrace, QueryGovernor, Relation, Span, SpanKind, TraceReport, TraceSink,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -55,6 +69,11 @@ const DRAIN_LIMIT: Duration = Duration::from_secs(60);
 pub struct ServerConfig {
     /// The served databases, by name.
     pub databases: Vec<(String, DbSource)>,
+    /// Arms the slow-query log: queries taking at least this many
+    /// milliseconds log one JSON line to stderr (and run traced, so the
+    /// line carries per-stage spans).  `None` disables both the log and
+    /// the tracing overhead.
+    pub slow_ms: Option<u64>,
 }
 
 /// Counters reported by [`Server::run`] after shutdown.
@@ -77,23 +96,39 @@ struct State {
     drained: Condvar,
     connections: AtomicU64,
     queries: AtomicU64,
+    stats: StatsRegistry,
+    next_trace: AtomicU64,
+    /// Slow-query threshold in milliseconds; 0 = log (and tracing) off.
+    slow_ms: AtomicU64,
 }
 
 impl State {
-    /// Marks a query/run request in flight.  The returned guard is held
-    /// across execution *and* the response flush, so a clean drain
-    /// guarantees every accepted query was answered on the wire.
+    /// Marks a query/run request in flight (drain counter and the stats
+    /// gauge together).  The returned guard is held across execution *and*
+    /// the response flush, so a clean drain guarantees every accepted
+    /// query was answered on the wire.
     fn begin_query(&self) -> QueryGuard<'_> {
         *self.active.lock().expect("active lock") += 1;
+        self.stats.query_begin();
         QueryGuard(self)
     }
 
     fn end_query(&self) {
+        self.stats.query_end();
         let mut n = self.active.lock().expect("active lock");
         *n -= 1;
         if *n == 0 {
             self.drained.notify_all();
         }
+    }
+
+    /// The next per-query trace id; ids are unique for the process
+    /// lifetime and echoed in answer and error frames.
+    fn new_trace_id(&self) -> String {
+        format!(
+            "q-{:06}",
+            self.next_trace.fetch_add(1, Ordering::Relaxed) + 1
+        )
     }
 }
 
@@ -144,7 +179,11 @@ impl Server {
             let db = load_source(source).map_err(WireError::from)?;
             databases.push((name.clone(), Arc::new(db)));
         }
-        Server::bind_preloaded(addr, databases)
+        let server = Server::bind_preloaded(addr, databases)?;
+        if let Some(ms) = config.slow_ms {
+            server.set_slow_ms(ms);
+        }
+        Ok(server)
     }
 
     /// Binds `addr` and serves already-loaded databases — the in-process
@@ -182,6 +221,9 @@ impl Server {
                 drained: Condvar::new(),
                 connections: AtomicU64::new(0),
                 queries: AtomicU64::new(0),
+                stats: StatsRegistry::new(),
+                next_trace: AtomicU64::new(0),
+                slow_ms: AtomicU64::new(0),
             }),
         })
     }
@@ -189,6 +231,13 @@ impl Server {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Arms the slow-query log at `ms` milliseconds (0 disarms it).  While
+    /// armed, queries execute under a [`CollectingTracer`] so logged lines
+    /// carry per-stage spans; disarmed servers run the untraced pipelines.
+    pub fn set_slow_ms(&self, ms: u64) {
+        self.state.slow_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Serves until a `shutdown` request arrives, then drains and returns.
@@ -312,10 +361,24 @@ fn frame_from(mut buf: Vec<u8>) -> Frame {
     }
 }
 
-fn send(stream: &mut TcpStream, response: &Response) -> bool {
+fn send(stream: &mut TcpStream, state: &State, response: &Response) -> bool {
     let mut line = render_response(response);
     line.push('\n');
+    state.stats.add_bytes_out(line.len() as u64);
     stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+/// The stats-registry op label of a parsed request.
+fn op_label(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::List => "list",
+        Request::Query(_) => "query",
+        Request::Prepare { .. } => "prepare",
+        Request::Run { .. } => "run",
+        Request::Stats { .. } => "stats",
+        Request::Shutdown { .. } => "shutdown",
+    }
 }
 
 fn handle_connection(state: &State, stream: TcpStream, server_addr: SocketAddr) {
@@ -329,27 +392,33 @@ fn handle_connection(state: &State, stream: TcpStream, server_addr: SocketAddr) 
         match read_frame(&mut reader, state) {
             Frame::Closed | Frame::ShuttingDown => return,
             Frame::TooLong => {
+                state.stats.record_request("invalid");
                 let e = WireError::new(
                     ErrorKind::Proto,
                     format!("request line exceeds MAX_LINE ({MAX_LINE} bytes); closing"),
                 );
-                let _ = send(&mut writer, &Response::Error(e));
+                let _ = send(&mut writer, state, &Response::Error(e));
                 return;
             }
             Frame::Line(line) => {
                 if line.is_empty() {
                     continue; // blank keep-alive line
                 }
+                state.stats.add_bytes_in(line.len() as u64 + 1);
+                let parse_t0 = Instant::now();
                 let request = match parse_request(&line) {
                     Ok(r) => r,
                     Err(e) => {
+                        state.stats.record_request("invalid");
                         // Malformed frame: answer it, keep the connection.
-                        if !send(&mut writer, &Response::Error(e)) {
+                        if !send(&mut writer, state, &Response::Error(e)) {
                             return;
                         }
                         continue;
                     }
                 };
+                let parse_nanos = parse_t0.elapsed().as_nanos() as u64;
+                state.stats.record_request(op_label(&request));
                 // The in-flight guard spans execution AND the response
                 // flush: the graceful drain in `Server::run` must not
                 // return while an answer is still in this thread's hands.
@@ -357,8 +426,8 @@ fn handle_connection(state: &State, stream: TcpStream, server_addr: SocketAddr) 
                     Request::Query(_) | Request::Run { .. } => Some(state.begin_query()),
                     _ => None,
                 };
-                let (response, close) = handle_request(state, request);
-                let sent = send(&mut writer, &response);
+                let (response, close) = handle_request(state, request, parse_nanos);
+                let sent = send(&mut writer, state, &response);
                 drop(guard);
                 if close {
                     // The farewell is on the wire (or the peer is gone);
@@ -375,10 +444,24 @@ fn handle_connection(state: &State, stream: TcpStream, server_addr: SocketAddr) 
     }
 }
 
-fn handle_request(state: &State, request: Request) -> (Response, bool) {
+fn handle_request(state: &State, request: Request, parse_nanos: u64) -> (Response, bool) {
     match request {
         Request::Ping => (Response::Pong, false),
         Request::List => (list(state), false),
+        Request::Stats { prometheus } => {
+            let resp = if prometheus {
+                Response::Stats {
+                    stats: None,
+                    text: Some(state.stats.prometheus()),
+                }
+            } else {
+                Response::Stats {
+                    stats: Some(state.stats.snapshot_json()),
+                    text: None,
+                }
+            };
+            (resp, false)
+        }
         Request::Shutdown { now } => {
             state.shutting_down.store(true, Ordering::SeqCst);
             if now {
@@ -389,7 +472,7 @@ fn handle_request(state: &State, request: Request) -> (Response, bool) {
         }
         Request::Prepare { name, spec } => {
             if state.shutting_down.load(Ordering::SeqCst) {
-                return (refuse_during_shutdown(), false);
+                return (refuse_during_shutdown(None), false);
             }
             match validate(state, &spec) {
                 Err(e) => (Response::Error(e), false),
@@ -404,14 +487,22 @@ fn handle_request(state: &State, request: Request) -> (Response, bool) {
             }
         }
         Request::Query(spec) => {
+            let trace_id = state.new_trace_id();
             if state.shutting_down.load(Ordering::SeqCst) {
-                return (refuse_during_shutdown(), false);
+                state
+                    .stats
+                    .record_query(None, Err(ErrorKind::Shutdown), parse_nanos / 1_000);
+                return (refuse_during_shutdown(Some(trace_id)), false);
             }
-            (execute(state, &spec), false)
+            (execute(state, &spec, &trace_id, parse_nanos), false)
         }
         Request::Run { name, overrides } => {
+            let trace_id = state.new_trace_id();
             if state.shutting_down.load(Ordering::SeqCst) {
-                return (refuse_during_shutdown(), false);
+                state
+                    .stats
+                    .record_query(None, Err(ErrorKind::Shutdown), parse_nanos / 1_000);
+                return (refuse_during_shutdown(Some(trace_id)), false);
             }
             let stored = state
                 .prepared
@@ -420,27 +511,41 @@ fn handle_request(state: &State, request: Request) -> (Response, bool) {
                 .get(&name)
                 .cloned();
             match stored {
-                None => (
-                    Response::Error(WireError::new(
-                        ErrorKind::UnknownQuery,
-                        format!("no prepared query named {name:?}"),
-                    )),
-                    false,
-                ),
+                None => {
+                    state.stats.record_query(
+                        None,
+                        Err(ErrorKind::UnknownQuery),
+                        parse_nanos / 1_000,
+                    );
+                    (
+                        Response::Error(
+                            WireError::new(
+                                ErrorKind::UnknownQuery,
+                                format!("no prepared query named {name:?}"),
+                            )
+                            .with_trace(trace_id),
+                        ),
+                        false,
+                    )
+                }
                 Some(mut spec) => {
                     spec.overrides = overrides.layered_over(&spec.overrides);
-                    (execute(state, &spec), false)
+                    (execute(state, &spec, &trace_id, parse_nanos), false)
                 }
             }
         }
     }
 }
 
-fn refuse_during_shutdown() -> Response {
-    Response::Error(WireError::new(
+fn refuse_during_shutdown(trace: Option<String>) -> Response {
+    let mut e = WireError::new(
         ErrorKind::Shutdown,
         "server is shutting down; no new queries accepted",
-    ))
+    );
+    if let Some(t) = trace {
+        e = e.with_trace(t);
+    }
+    Response::Error(e)
 }
 
 fn list(state: &State) -> Response {
@@ -506,20 +611,21 @@ fn governor_for(state: &State, o: &Overrides, started: Instant) -> QueryGovernor
     g
 }
 
-fn run_engine<M: MetricsSink, G: Governor>(
+fn run_engine<M: MetricsSink, G: Governor, T: TraceSink>(
     db: &Database,
     spec: &QuerySpec,
     policy: &ExecPolicy,
     sink: &M,
     gov: &G,
+    tracer: &T,
 ) -> Result<Relation, WireError> {
     let x = db
         .attributes(spec.select.iter().map(String::as_str))
         .map_err(|e| WireError::new(ErrorKind::Schema, format!("bad select: {e}")))?;
     let result = match spec.engine.unwrap_or_default() {
-        EngineKind::Yannakakis => query_yannakakis_governed(db, &x, policy, sink, gov),
-        EngineKind::Connection => query_via_connection_governed(db, &x, policy, sink, gov),
-        EngineKind::Naive => query_via_full_join_governed(db, &x, policy, sink, gov),
+        EngineKind::Yannakakis => query_yannakakis_traced(db, &x, policy, sink, gov, tracer),
+        EngineKind::Connection => query_via_connection_traced(db, &x, policy, sink, gov, tracer),
+        EngineKind::Naive => query_via_full_join_traced(db, &x, policy, sink, gov, tracer),
     };
     let answer = result.map_err(WireError::from)?;
     // A result produced after the deadline still counts as a timeout —
@@ -528,15 +634,87 @@ fn run_engine<M: MetricsSink, G: Governor>(
     Ok(answer)
 }
 
-/// Executes one query request end to end, producing its response frame.
-fn execute(state: &State, spec: &QuerySpec) -> Response {
+/// Executes one query request end to end, producing its response frame —
+/// always stamped with `trace_id` — and recording its outcome, engine and
+/// latency into the stats registry.
+fn execute(state: &State, spec: &QuerySpec, trace_id: &str, parse_nanos: u64) -> Response {
+    let started = Instant::now();
+    let slow_ms = state.slow_ms.load(Ordering::Relaxed);
+    let tracer = (slow_ms > 0).then(CollectingTracer::new);
+    let engine = spec.engine.unwrap_or_default();
+    let (response, engine_reached, outcome) = execute_inner(state, spec, trace_id, tracer.as_ref());
+    let elapsed = started.elapsed();
+    state.stats.record_query(
+        engine_reached.then_some(engine),
+        outcome,
+        elapsed.as_micros() as u64,
+    );
+    if let Some(tracer) = &tracer {
+        let mut report = tracer.take();
+        if slow_ms > 0 && elapsed.as_millis() as u64 >= slow_ms {
+            report.roots.insert(
+                0,
+                Span {
+                    kind: SpanKind::Parse,
+                    nanos: parse_nanos,
+                    children: Vec::new(),
+                },
+            );
+            log_slow_query(state, spec, trace_id, engine, &elapsed, outcome, &report);
+        }
+    }
+    response
+}
+
+/// One structured slow-query line on stderr: trace id, query shape,
+/// outcome and the span tree.
+fn log_slow_query(
+    state: &State,
+    spec: &QuerySpec,
+    trace_id: &str,
+    engine: EngineKind,
+    elapsed: &Duration,
+    outcome: Result<(), ErrorKind>,
+    report: &TraceReport,
+) {
+    state.stats.record_slow();
+    let outcome_label = match outcome {
+        Ok(()) => "ok",
+        Err(k) => k.as_str(),
+    };
+    let select = json::Json::Arr(spec.select.iter().map(json::Json::str).collect()).to_string();
+    eprintln!(
+        "{{\"slow_query\":\"{trace_id}\",\"db\":{},\"select\":{select},\"engine\":\"{}\",\
+         \"outcome\":\"{outcome_label}\",\"elapsed_us\":{},\"spans\":{}}}",
+        json::Json::str(&spec.db),
+        engine.as_str(),
+        elapsed.as_micros(),
+        report.to_json(),
+    );
+}
+
+/// The engine-dispatch half of [`execute`]: returns the response plus what
+/// the registry should record (whether an engine ran, and the outcome).
+fn execute_inner(
+    state: &State,
+    spec: &QuerySpec,
+    trace_id: &str,
+    tracer: Option<&CollectingTracer>,
+) -> (Response, bool, Result<(), ErrorKind>) {
     let db = match state.dbs.get(&spec.db) {
         Some(db) => Arc::clone(db),
         None => {
-            return Response::Error(WireError::new(
-                ErrorKind::UnknownDb,
-                format!("no database named {:?}", spec.db),
-            ))
+            return (
+                Response::Error(
+                    WireError::new(
+                        ErrorKind::UnknownDb,
+                        format!("no database named {:?}", spec.db),
+                    )
+                    .with_trace(trace_id),
+                ),
+                false,
+                Err(ErrorKind::UnknownDb),
+            )
         }
     };
     state.queries.fetch_add(1, Ordering::Relaxed);
@@ -549,18 +727,27 @@ fn execute(state: &State, spec: &QuerySpec) -> Response {
 
     #[cfg(not(feature = "failpoints"))]
     if fail_requested {
-        return Response::Error(WireError::new(
-            ErrorKind::Proto,
-            "fault injection requires a server built with the failpoints feature",
-        ));
+        return (
+            Response::Error(
+                WireError::new(
+                    ErrorKind::Proto,
+                    "fault injection requires a server built with the failpoints feature",
+                )
+                .with_trace(trace_id),
+            ),
+            false,
+            Err(ErrorKind::Proto),
+        );
     }
 
     let run = |sink_metrics: Option<&CollectingSink>| -> Result<Relation, WireError> {
         macro_rules! with_gov {
             ($gov:expr) => {
-                match sink_metrics {
-                    Some(sink) => run_engine(&db, spec, &policy, sink, $gov),
-                    None => run_engine(&db, spec, &policy, &NoopMetrics, $gov),
+                match (sink_metrics, tracer) {
+                    (Some(sink), Some(t)) => run_engine(&db, spec, &policy, sink, $gov, t),
+                    (Some(sink), None) => run_engine(&db, spec, &policy, sink, $gov, &NoopTrace),
+                    (None, Some(t)) => run_engine(&db, spec, &policy, &NoopMetrics, $gov, t),
+                    (None, None) => run_engine(&db, spec, &policy, &NoopMetrics, $gov, &NoopTrace),
                 }
             };
         }
@@ -588,8 +775,21 @@ fn execute(state: &State, spec: &QuerySpec) -> Response {
     };
 
     match result {
-        Err(e) => Response::Error(e),
-        Ok(answer) => answer_frame(&db, &answer, metrics),
+        Err(e) => {
+            let kind = e.kind;
+            (Response::Error(e.with_trace(trace_id)), true, Err(kind))
+        }
+        Ok(answer) => {
+            let serialize = || answer_frame(&db, &answer, metrics);
+            let mut resp = match tracer {
+                Some(t) => reldb::trace::with_span(t, SpanKind::Serialize, serialize),
+                None => serialize(),
+            };
+            if let Response::Answer { trace, .. } = &mut resp {
+                *trace = Some(trace_id.to_owned());
+            }
+            (resp, true, Ok(()))
+        }
     }
 }
 
@@ -630,5 +830,6 @@ pub fn answer_frame(db: &Database, answer: &Relation, metrics: Option<json::Json
         attrs,
         rows,
         metrics,
+        trace: None,
     }
 }

@@ -393,6 +393,12 @@ fn free_workers() -> &'static Mutex<Vec<PoolWorker>> {
 /// tests.
 static RESPAWNED: AtomicUsize = AtomicUsize::new(0);
 
+/// Total worker threads spawned at lease time because the free list could
+/// not cover the request — the "pool lease wait" signal `hyperqd`'s stats
+/// registry exposes (a warm pool keeps this flat; growth under steady load
+/// means leases are contending for workers).
+static LEASE_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
 impl WorkerPool {
     /// Leases `threads` workers from the pool, spawning new threads only if
     /// the free list cannot cover the request.  The workers are returned
@@ -408,6 +414,7 @@ impl WorkerPool {
         };
         while workers.len() < threads {
             workers.push(PoolWorker::spawn());
+            LEASE_SPAWNED.fetch_add(1, Ordering::Relaxed);
         }
         WorkerLease {
             mode: LeaseMode::Pooled(workers),
@@ -426,6 +433,14 @@ impl WorkerPool {
     /// this at `0`).
     pub fn respawned_workers() -> usize {
         RESPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Process-lifetime count of worker threads spawned at lease time
+    /// because the free list could not cover the request — the lease-wait
+    /// counter behind the server stats registry.  Flat under steady load;
+    /// growing means concurrent leases exceed the pool's high-water mark.
+    pub fn lease_spawned_workers() -> usize {
+        LEASE_SPAWNED.load(Ordering::Relaxed)
     }
 }
 

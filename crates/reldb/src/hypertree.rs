@@ -34,7 +34,8 @@ use crate::exec::{ExecPolicy, Job, WorkerLease};
 use crate::govern::{contain_panics, unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
-use crate::yannakakis::{yannakakis_join_governed, yannakakis_join_leased};
+use crate::trace::{with_span, NoopTrace, SpanKind, TraceSink};
+use crate::yannakakis::yannakakis_join_leased;
 use acyclic::join_tree;
 use decomp::{decompose, Decomposition, Heuristic};
 use hypergraph::{Edge, Hypergraph, NodeSet};
@@ -217,13 +218,31 @@ pub fn materialize_bags_governed<M: MetricsSink, G: Governor>(
     if M::ENABLED {
         sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
     }
-    materialize_bags_leased(db, d, policy, &lease, sink, gov)
+    materialize_bags_leased(db, d, policy, &lease, sink, gov, &NoopTrace)
 }
 
 /// The materialization body, on an already-acquired lease — shared by
 /// [`materialize_bags_governed`] and [`yannakakis_join_decomposed_governed`]
 /// so the cyclic pipeline leases its workers exactly once for all phases.
-fn materialize_bags_leased<M: MetricsSink, G: Governor>(
+/// The whole bag pass is bracketed in one [`SpanKind::Materialize`] trace
+/// span; [`NoopTrace`] compiles the bracket away.
+#[allow(clippy::too_many_arguments)]
+fn materialize_bags_leased<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    d: &Decomposition,
+    policy: &ExecPolicy,
+    lease: &WorkerLease,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Database, EngineError> {
+    with_span(tracer, SpanKind::Materialize, || {
+        materialize_bags_body(db, d, policy, lease, sink, gov)
+    })
+}
+
+/// The span-free materialization body behind [`materialize_bags_leased`].
+fn materialize_bags_body<M: MetricsSink, G: Governor>(
     db: &Database,
     d: &Decomposition,
     policy: &ExecPolicy,
@@ -381,14 +400,31 @@ pub fn yannakakis_join_decomposed_governed<M: MetricsSink, G: Governor>(
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
+    yannakakis_join_decomposed_traced(db, d, output, policy, sink, gov, &NoopTrace)
+}
+
+/// The traced form of [`yannakakis_join_decomposed_governed`]: identical
+/// pipeline, with [`SpanKind::Materialize`] and the reducer/join spans
+/// reported into `tracer`.  [`yannakakis_join_decomposed_governed`] is this
+/// function monomorphized over [`NoopTrace`].
+#[allow(clippy::too_many_arguments)]
+fn yannakakis_join_decomposed_traced<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    d: &Decomposition,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Relation, EngineError> {
     // One lease serves bag materialization, the reducer passes and the join
     // levels alike: sized on the input database, which bounds every bag.
     let lease = policy.lease(db.tuple_count());
     if M::ENABLED {
         sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
     }
-    let bag_db = materialize_bags_leased(db, d, policy, &lease, sink, gov)?;
-    yannakakis_join_leased(&bag_db, d.tree(), output, policy, &lease, sink, gov)
+    let bag_db = materialize_bags_leased(db, d, policy, &lease, sink, gov, tracer)?;
+    yannakakis_join_leased(&bag_db, d.tree(), output, policy, &lease, sink, gov, tracer)
 }
 
 /// Both heuristics' decompositions of one schema, in preference order, plus
@@ -610,10 +646,38 @@ pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
     sink: &M,
     gov: &G,
 ) -> Result<Relation, EngineError> {
+    yannakakis_join_any_traced(db, output, policy, sink, gov, &NoopTrace)
+}
+
+/// The traced form of [`yannakakis_join_any_governed`]: the same routing,
+/// ladder and panic containment, with the pipeline stages reported into
+/// `tracer` as wall-clock spans — [`SpanKind::Decompose`] around the
+/// heuristic pair (cache hits included), then [`SpanKind::Materialize`],
+/// [`SpanKind::ReduceUp`] / [`SpanKind::ReduceDown`] and [`SpanKind::Join`]
+/// from the pipeline underneath.  [`yannakakis_join_any_governed`] is this
+/// function monomorphized over [`NoopTrace`], which compiles every span —
+/// and its clock reads — away.
+pub fn yannakakis_join_any_traced<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    output: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Relation, EngineError> {
     contain_panics(|| match join_tree(db.schema()) {
-        Some(tree) => yannakakis_join_governed(db, &tree, output, policy, sink, gov),
+        Some(tree) => {
+            // Acyclic: one lease serves the reducer passes and join levels.
+            let lease = policy.lease(db.tuple_count());
+            if M::ENABLED {
+                sink.record_lease(lease.threads(), crate::exec::WorkerPool::idle_workers());
+            }
+            yannakakis_join_leased(db, &tree, output, policy, &lease, sink, gov, tracer)
+        }
         None => {
-            let pair = decompose_pair(db.schema(), sink)?;
+            let pair = with_span(tracer, SpanKind::Decompose, || {
+                decompose_pair(db.schema(), sink)
+            })?;
             let (chosen, other) = (&pair.chosen, &pair.other);
             if G::ENABLED {
                 let (rows, width) = worst_bag_estimate(db, chosen);
@@ -621,8 +685,8 @@ pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
                     let (orows, owidth) = worst_bag_estimate(db, other);
                     if !gov.alloc_would_exceed(orows, owidth) {
                         // Rung 2: the runner-up heuristic's worst bag fits.
-                        return yannakakis_join_decomposed_governed(
-                            db, other, output, policy, sink, gov,
+                        return yannakakis_join_decomposed_traced(
+                            db, other, output, policy, sink, gov, tracer,
                         );
                     }
                     // Rung 3: both estimates blow the budget — stream the
@@ -640,12 +704,12 @@ pub fn yannakakis_join_any_governed<M: MetricsSink, G: Governor>(
                     } else {
                         chosen
                     };
-                    return yannakakis_join_decomposed_governed(
-                        db, smaller, output, &streaming, sink, gov,
+                    return yannakakis_join_decomposed_traced(
+                        db, smaller, output, &streaming, sink, gov, tracer,
                     );
                 }
             }
-            yannakakis_join_decomposed_governed(db, chosen, output, policy, sink, gov)
+            yannakakis_join_decomposed_traced(db, chosen, output, policy, sink, gov, tracer)
         }
     })
 }

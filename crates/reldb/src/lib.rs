@@ -38,6 +38,7 @@
 //! | [`exec`] | [`ExecPolicy`], [`JoinStrategy`] cost-pick, the [`MorselQueue`] work-pull cursor, and the leased [`WorkerPool`] the parallel engine runs on |
 //! | [`metrics`] | zero-cost-when-off observability: the [`MetricsSink`] threaded through every kernel, collected into a [`QueryMetrics`] report |
 //! | [`govern`] | zero-cost-when-off governance: the [`Governor`] checkpoints (cancellation, deadlines, memory budgets) threaded through every kernel, structured [`EngineError`] aborts, and the `failpoints` fault-injection harness |
+//! | [`trace`] | zero-cost-when-off trace spans: the [`TraceSink`] stage hooks threaded through the pipelines, collected into a hierarchical [`TraceReport`] (decompose → materialize → reduce → join wall clock) |
 //! | `consistency` | pairwise vs. global consistency and repairs — the semantic characterization of acyclicity (§7) |
 //! | [`mod@reference`] | the pre-rewrite naive engine, kept as the equivalence-test oracle and benchmark baseline |
 //!
@@ -72,6 +73,7 @@ mod query;
 pub mod reference;
 mod relation;
 pub mod snapshot;
+pub mod trace;
 mod universal;
 mod value;
 mod yannakakis;
@@ -90,19 +92,22 @@ pub use govern::{CancelToken, EngineError, Governor, NoopGovernor, QueryGovernor
 pub use govern::{FailMode, FailpointGovernor};
 pub use hypertree::{
     materialize_bags, materialize_bags_governed, materialize_bags_metered, yannakakis_join_any,
-    yannakakis_join_any_governed, yannakakis_join_any_metered, yannakakis_join_decomposed,
-    yannakakis_join_decomposed_governed, yannakakis_join_decomposed_metered,
+    yannakakis_join_any_governed, yannakakis_join_any_metered, yannakakis_join_any_traced,
+    yannakakis_join_decomposed, yannakakis_join_decomposed_governed,
+    yannakakis_join_decomposed_metered,
 };
 pub use metrics::{CollectingSink, MetricsSink, NoopMetrics, Phase, QueryMetrics};
 pub use pool::ValuePool;
 pub use query::{Query, QueryPlan, Selection};
 pub use relation::{Relation, Tuple};
 pub use snapshot::is_snapshot;
+pub use trace::{CollectingTracer, NoopTrace, Span, SpanKind, TraceReport, TraceSink};
 pub use universal::{
     plan_connection, query_attributes, query_via_connection, query_via_connection_governed,
-    query_via_connection_metered, query_via_full_join, query_via_full_join_governed,
-    query_via_full_join_metered, query_yannakakis, query_yannakakis_governed,
-    query_yannakakis_metered, ConnectionPlan,
+    query_via_connection_metered, query_via_connection_traced, query_via_full_join,
+    query_via_full_join_governed, query_via_full_join_metered, query_via_full_join_traced,
+    query_yannakakis, query_yannakakis_governed, query_yannakakis_metered, query_yannakakis_traced,
+    ConnectionPlan,
 };
 pub use value::Value;
 pub use yannakakis::{

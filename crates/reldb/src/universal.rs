@@ -21,9 +21,11 @@ use crate::exec::ExecPolicy;
 use crate::govern::{contain_panics, EngineError, Governor};
 use crate::hypertree::{
     yannakakis_join_any, yannakakis_join_any_governed, yannakakis_join_any_metered,
+    yannakakis_join_any_traced,
 };
 use crate::metrics::{MetricsSink, NoopMetrics};
 use crate::relation::Relation;
+use crate::trace::{with_span, SpanKind, TraceSink};
 use crate::yannakakis::naive_join_project;
 use acyclic::canonical_connection;
 use hypergraph::{Hypergraph, NodeSet};
@@ -124,6 +126,24 @@ pub fn query_via_connection_governed<M: MetricsSink, G: Governor>(
     })
 }
 
+/// The traced form of [`query_via_connection_governed`]: the whole
+/// join-then-project plan is bracketed in one [`SpanKind::Join`] wall-clock
+/// span (this engine has no reducer phases to break out).
+/// [`query_via_connection_governed`] is this function monomorphized over
+/// [`NoopTrace`](crate::NoopTrace).
+pub fn query_via_connection_traced<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Relation, EngineError> {
+    with_span(tracer, SpanKind::Join, || {
+        query_via_connection_governed(db, x, policy, sink, gov)
+    })
+}
+
 /// Answers the query by joining **all** objects (the universal relation) and
 /// projecting — the naive baseline.
 pub fn query_via_full_join(db: &Database, x: &NodeSet) -> Relation {
@@ -154,6 +174,23 @@ pub fn query_via_full_join_governed<M: MetricsSink, G: Governor>(
     gov: &G,
 ) -> Result<Relation, EngineError> {
     contain_panics(|| Ok(db.full_join_governed(policy, sink, gov)?.project(x)))
+}
+
+/// The traced form of [`query_via_full_join_governed`]: the naive
+/// all-objects join and projection under one [`SpanKind::Join`] wall-clock
+/// span.  [`query_via_full_join_governed`] is this function monomorphized
+/// over [`NoopTrace`](crate::NoopTrace).
+pub fn query_via_full_join_traced<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Relation, EngineError> {
+    with_span(tracer, SpanKind::Join, || {
+        query_via_full_join_governed(db, x, policy, sink, gov)
+    })
 }
 
 /// Answers the query with the Yannakakis algorithm: over the schema's join
@@ -189,6 +226,22 @@ pub fn query_yannakakis_governed<M: MetricsSink, G: Governor>(
     gov: &G,
 ) -> Result<Relation, EngineError> {
     yannakakis_join_any_governed(db, x, policy, sink, gov)
+}
+
+/// The traced form of [`query_yannakakis_governed`]: identical routing and
+/// governance, with the pipeline's stage spans — decompose, materialize,
+/// reduce-up/down, join — reported into `tracer`
+/// ([`yannakakis_join_any_traced`]).  [`query_yannakakis_governed`] is this
+/// function monomorphized over [`NoopTrace`](crate::NoopTrace).
+pub fn query_yannakakis_traced<M: MetricsSink, G: Governor, T: TraceSink>(
+    db: &Database,
+    x: &NodeSet,
+    policy: &ExecPolicy,
+    sink: &M,
+    gov: &G,
+    tracer: &T,
+) -> Result<Relation, EngineError> {
+    yannakakis_join_any_traced(db, x, policy, sink, gov, tracer)
 }
 
 /// Convenience: answer a query given attribute names.

@@ -20,6 +20,7 @@ use crate::exec::{ExecPolicy, Job, WorkerLease, WorkerPool};
 use crate::govern::{unfail, EngineError, Governor, NoopGovernor};
 use crate::metrics::{MetricsSink, NoopMetrics, Phase};
 use crate::relation::Relation;
+use crate::trace::{with_span, NoopTrace, SpanKind, TraceSink};
 use acyclic::JoinTree;
 use hypergraph::{EdgeId, NodeSet};
 use std::sync::mpsc::channel;
@@ -247,19 +248,24 @@ pub fn full_reduce_governed<M: MetricsSink, G: Governor>(
     if M::ENABLED {
         sink.record_lease(lease.threads(), WorkerPool::idle_workers());
     }
-    full_reduce_leased(db, tree, policy, &lease, sink, gov)
+    full_reduce_leased(db, tree, policy, &lease, sink, gov, &NoopTrace)
 }
 
 /// The reducer body, on an already-acquired lease — shared by
 /// [`full_reduce_governed`] and [`yannakakis_join_governed`] so the join
-/// pipeline leases its workers exactly once for both phases.
-fn full_reduce_leased<M: MetricsSink, G: Governor>(
+/// pipeline leases its workers exactly once for both phases.  The
+/// [`TraceSink`] brackets each semijoin pass in a wall-clock span
+/// ([`SpanKind::ReduceUp`] / [`SpanKind::ReduceDown`]); [`NoopTrace`]
+/// compiles the brackets away.
+#[allow(clippy::too_many_arguments)]
+fn full_reduce_leased<M: MetricsSink, G: Governor, T: TraceSink>(
     db: &Database,
     tree: &JoinTree,
     policy: &ExecPolicy,
     lease: &WorkerLease,
     sink: &M,
     gov: &G,
+    tracer: &T,
 ) -> Result<Reduced, EngineError> {
     let mut relations: Vec<Relation> = db.relations().to_vec();
     let mut removed: Vec<usize> = vec![0; relations.len()];
@@ -270,48 +276,63 @@ fn full_reduce_leased<M: MetricsSink, G: Governor>(
     // governor is consulted once per level even when the level has no
     // semijoin work, so a zero deadline trips deterministically on any
     // tree, single-edge schemas included.
-    for (depth, level) in levels.iter().enumerate().rev() {
-        if G::ENABLED {
-            gov.at_level(Phase::ReduceUp, depth)?;
-        }
-        let jobs: Vec<LevelJob> = level
-            .iter()
-            .filter(|&&e| !tree.children(e).is_empty())
-            .map(|&e| LevelJob {
-                target: e.index(),
-                sources: tree.children(e).iter().map(|c| c.index()).collect(),
-            })
-            .collect();
-        let n = jobs.len();
-        let t0 = M::ENABLED.then(Instant::now);
-        run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
-        if let Some(t0) = t0 {
-            if n > 0 {
-                sink.record_level(Phase::ReduceUp, depth, n, t0.elapsed().as_nanos() as u64);
+    with_span(tracer, SpanKind::ReduceUp, || -> Result<(), EngineError> {
+        for (depth, level) in levels.iter().enumerate().rev() {
+            if G::ENABLED {
+                gov.at_level(Phase::ReduceUp, depth)?;
+            }
+            let jobs: Vec<LevelJob> = level
+                .iter()
+                .filter(|&&e| !tree.children(e).is_empty())
+                .map(|&e| LevelJob {
+                    target: e.index(),
+                    sources: tree.children(e).iter().map(|c| c.index()).collect(),
+                })
+                .collect();
+            let n = jobs.len();
+            let t0 = M::ENABLED.then(Instant::now);
+            run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
+            if let Some(t0) = t0 {
+                if n > 0 {
+                    sink.record_level(Phase::ReduceUp, depth, n, t0.elapsed().as_nanos() as u64);
+                }
             }
         }
-    }
+        Ok(())
+    })?;
     // Downward pass: child ⋉ parent, top-down.
-    for (depth, level) in levels.iter().enumerate().skip(1) {
-        if G::ENABLED {
-            gov.at_level(Phase::ReduceDown, depth)?;
-        }
-        let jobs: Vec<LevelJob> = level
-            .iter()
-            .map(|&e| LevelJob {
-                target: e.index(),
-                sources: vec![tree.parent(e).expect("non-root level").index()],
-            })
-            .collect();
-        let n = jobs.len();
-        let t0 = M::ENABLED.then(Instant::now);
-        run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
-        if let Some(t0) = t0 {
-            if n > 0 {
-                sink.record_level(Phase::ReduceDown, depth, n, t0.elapsed().as_nanos() as u64);
+    with_span(
+        tracer,
+        SpanKind::ReduceDown,
+        || -> Result<(), EngineError> {
+            for (depth, level) in levels.iter().enumerate().skip(1) {
+                if G::ENABLED {
+                    gov.at_level(Phase::ReduceDown, depth)?;
+                }
+                let jobs: Vec<LevelJob> = level
+                    .iter()
+                    .map(|&e| LevelJob {
+                        target: e.index(),
+                        sources: vec![tree.parent(e).expect("non-root level").index()],
+                    })
+                    .collect();
+                let n = jobs.len();
+                let t0 = M::ENABLED.then(Instant::now);
+                run_level(&mut relations, &mut removed, jobs, policy, lease, sink, gov)?;
+                if let Some(t0) = t0 {
+                    if n > 0 {
+                        sink.record_level(
+                            Phase::ReduceDown,
+                            depth,
+                            n,
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    )?;
 
     if M::ENABLED {
         // Rebuilds the reduction itself paid: with the deferred-rebuild
@@ -417,15 +438,18 @@ pub fn yannakakis_join_governed<M: MetricsSink, G: Governor>(
     if M::ENABLED {
         sink.record_lease(lease.threads(), WorkerPool::idle_workers());
     }
-    yannakakis_join_leased(db, tree, output, policy, &lease, sink, gov)
+    yannakakis_join_leased(db, tree, output, policy, &lease, sink, gov, &NoopTrace)
 }
 
 /// The reduce-then-join pipeline on an already-acquired lease — shared by
 /// [`yannakakis_join_governed`] and the decomposed cyclic pipeline
 /// ([`crate::yannakakis_join_decomposed_governed`]), so a cyclic query
 /// leases its workers exactly once across bag materialization, the reducer
-/// passes and the join levels.
-pub(crate) fn yannakakis_join_leased<M: MetricsSink, G: Governor>(
+/// passes and the join levels.  The [`TraceSink`] wraps the reducer passes
+/// (inside [`full_reduce_leased`]) and the bottom-up join levels
+/// ([`SpanKind::Join`]) in wall-clock spans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn yannakakis_join_leased<M: MetricsSink, G: Governor, T: TraceSink>(
     db: &Database,
     tree: &JoinTree,
     output: &NodeSet,
@@ -433,8 +457,9 @@ pub(crate) fn yannakakis_join_leased<M: MetricsSink, G: Governor>(
     lease: &WorkerLease,
     sink: &M,
     gov: &G,
+    tracer: &T,
 ) -> Result<Relation, EngineError> {
-    let reduced = full_reduce_leased(db, tree, policy, lease, sink, gov)?;
+    let reduced = full_reduce_leased(db, tree, policy, lease, sink, gov, tracer)?;
     let mut relations = reduced.relations;
 
     // Attributes that must be kept while processing each subtree: the output
@@ -456,93 +481,96 @@ pub(crate) fn yannakakis_join_leased<M: MetricsSink, G: Governor>(
     let mut partial: Vec<Option<Relation>> = vec![None; relations.len()];
     let levels = tree.levels_bottom_up();
     let threads = lease.threads();
-    for (li, level) in levels.iter().enumerate() {
-        if G::ENABLED {
-            gov.at_level(Phase::Join, li)?;
-        }
-        let t0 = M::ENABLED.then(Instant::now);
-        if threads <= 1 || level.len() <= 1 {
-            // Fewer targets than workers (chains: every join level is a
-            // singleton): parallelism drops *inside* the join instead — the
-            // whole lease pulls probe morsels from the shared queue
-            // ([`Relation::join_sharded_governed`]), so one huge binary
-            // join no longer serializes the level.
-            for &e in level {
-                let base = std::mem::replace(&mut relations[e.index()], placeholder());
-                let children = take_children(tree, e, &mut partial);
-                partial[e.index()] = Some(join_subtree(
-                    base,
-                    &children,
-                    keep_for(e),
-                    output,
-                    policy,
-                    lease,
-                    sink,
-                    gov,
-                )?);
+    with_span(tracer, SpanKind::Join, || -> Result<(), EngineError> {
+        for (li, level) in levels.iter().enumerate() {
+            if G::ENABLED {
+                gov.at_level(Phase::Join, li)?;
             }
-        } else {
-            // Biggest subtree jobs first, for the same longest-processing-
-            // time reason as the reducer levels: round-robin dispatch over
-            // the leased workers balances best when the fat job leads the
-            // batch.
-            let mut order: Vec<EdgeId> = level.clone();
-            let cost = |e: EdgeId| -> usize {
-                relations[e.index()].len()
-                    + tree
-                        .children(e)
-                        .iter()
-                        .map(|c| partial[c.index()].as_ref().map_or(0, Relation::len))
-                        .sum::<usize>()
-            };
-            order.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
-            let (tx, rx) = channel();
-            let work: Vec<Job> = order
-                .iter()
-                .map(|&e| {
+            let t0 = M::ENABLED.then(Instant::now);
+            if threads <= 1 || level.len() <= 1 {
+                // Fewer targets than workers (chains: every join level is a
+                // singleton): parallelism drops *inside* the join instead — the
+                // whole lease pulls probe morsels from the shared queue
+                // ([`Relation::join_sharded_governed`]), so one huge binary
+                // join no longer serializes the level.
+                for &e in level {
                     let base = std::mem::replace(&mut relations[e.index()], placeholder());
                     let children = take_children(tree, e, &mut partial);
-                    let keep = keep_for(e);
-                    let output = output.clone();
-                    let policy = policy.clone();
-                    let tx = tx.clone();
-                    let sink = sink.clone();
-                    let gov = gov.clone();
-                    let idx = e.index();
-                    Box::new(move || {
-                        let _ = tx.send((
-                            idx,
-                            join_subtree(
-                                base,
-                                &children,
-                                keep,
-                                &output,
-                                &policy,
-                                &WorkerLease::inline(),
-                                &sink,
-                                &gov,
-                            ),
-                        ));
-                    }) as Job
-                })
-                .collect();
-            drop(tx);
-            lease.run(work);
-            let mut first_err = None;
-            for (idx, res) in rx.try_iter() {
-                match res {
-                    Ok(rel) => partial[idx] = Some(rel),
-                    Err(e) => first_err = first_err.or(Some(e)),
+                    partial[e.index()] = Some(join_subtree(
+                        base,
+                        &children,
+                        keep_for(e),
+                        output,
+                        policy,
+                        lease,
+                        sink,
+                        gov,
+                    )?);
+                }
+            } else {
+                // Biggest subtree jobs first, for the same longest-processing-
+                // time reason as the reducer levels: round-robin dispatch over
+                // the leased workers balances best when the fat job leads the
+                // batch.
+                let mut order: Vec<EdgeId> = level.clone();
+                let cost = |e: EdgeId| -> usize {
+                    relations[e.index()].len()
+                        + tree
+                            .children(e)
+                            .iter()
+                            .map(|c| partial[c.index()].as_ref().map_or(0, Relation::len))
+                            .sum::<usize>()
+                };
+                order.sort_by_key(|&e| std::cmp::Reverse(cost(e)));
+                let (tx, rx) = channel();
+                let work: Vec<Job> = order
+                    .iter()
+                    .map(|&e| {
+                        let base = std::mem::replace(&mut relations[e.index()], placeholder());
+                        let children = take_children(tree, e, &mut partial);
+                        let keep = keep_for(e);
+                        let output = output.clone();
+                        let policy = policy.clone();
+                        let tx = tx.clone();
+                        let sink = sink.clone();
+                        let gov = gov.clone();
+                        let idx = e.index();
+                        Box::new(move || {
+                            let _ = tx.send((
+                                idx,
+                                join_subtree(
+                                    base,
+                                    &children,
+                                    keep,
+                                    &output,
+                                    &policy,
+                                    &WorkerLease::inline(),
+                                    &sink,
+                                    &gov,
+                                ),
+                            ));
+                        }) as Job
+                    })
+                    .collect();
+                drop(tx);
+                lease.run(work);
+                let mut first_err = None;
+                for (idx, res) in rx.try_iter() {
+                    match res {
+                        Ok(rel) => partial[idx] = Some(rel),
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
             }
-            if let Some(e) = first_err {
-                return Err(e);
+            if let Some(t0) = t0 {
+                sink.record_level(Phase::Join, li, level.len(), t0.elapsed().as_nanos() as u64);
             }
         }
-        if let Some(t0) = t0 {
-            sink.record_level(Phase::Join, li, level.len(), t0.elapsed().as_nanos() as u64);
-        }
-    }
+        Ok(())
+    })?;
     let root_result = partial[tree.root().index()]
         .take()
         .expect("root processed last");

@@ -102,6 +102,41 @@ fn oracle_answer(db: &Database, select: &[&str]) -> Response {
     answer_frame(db, &query_yannakakis(db, &x).expect("oracle"), None)
 }
 
+/// Asserts the server stamped a well-formed trace id on an answer frame,
+/// then re-renders it trace-free so oracle byte-comparisons hold.
+fn stripped(got: Response) -> String {
+    match got {
+        Response::Answer {
+            attrs,
+            rows,
+            metrics,
+            trace,
+        } => {
+            assert!(
+                trace.as_deref().is_some_and(|t| t.starts_with("q-")),
+                "answer frame lacks a trace id: {trace:?}"
+            );
+            render_response(&Response::Answer {
+                attrs,
+                rows,
+                metrics,
+                trace: None,
+            })
+        }
+        other => panic!("expected an answer frame, got {other:?}"),
+    }
+}
+
+/// Asserts an error frame carries the per-query trace id — the handle
+/// that correlates a client-visible failure with the server's slow-query
+/// log and stderr.
+fn assert_traced(e: &acyclic_hypergraphs::hyperqd::WireError) {
+    assert!(
+        e.trace.as_deref().is_some_and(|t| t.starts_with("q-")),
+        "error frame lacks a trace id: {e}"
+    );
+}
+
 fn shut_down_clean(handle: ServerHandle, now: bool) -> acyclic_hypergraphs::hyperqd::ServeStats {
     let mut c = Client::connect(handle.addr());
     assert_eq!(c.round_trip(&Request::Shutdown { now }), Response::Bye);
@@ -124,7 +159,7 @@ fn injected_error_surfaces_as_a_typed_response_and_spares_everyone_else() {
                 let mut c = Client::connect(addr);
                 for _ in 0..10 {
                     let got = c.round_trip(&ring_query(Overrides::default()));
-                    assert_eq!(render_response(&got), want, "bystander answer diverged");
+                    assert_eq!(stripped(got), want, "bystander answer diverged");
                 }
             })
         })
@@ -139,13 +174,14 @@ fn injected_error_surfaces_as_a_typed_response_and_spares_everyone_else() {
         })) {
             Response::Error(e) => {
                 assert_eq!(e.kind, ErrorKind::Cancelled, "fired failpoint: {e}");
+                assert_traced(&e);
             }
             other => panic!("armed failpoint produced {other:?}"),
         }
     }
     // The same connection still works for clean queries afterwards.
     let got = faulty.round_trip(&ring_query(Overrides::default()));
-    assert_eq!(render_response(&got), want);
+    assert_eq!(stripped(got), want);
 
     for t in bystanders {
         t.join().expect("bystander diverged or died");
@@ -165,13 +201,14 @@ fn injected_panic_is_contained_to_the_query() {
         Response::Error(e) => {
             assert_eq!(e.kind, ErrorKind::Panic, "injected panic: {e}");
             assert_eq!(e.kind.code(), 5);
+            assert_traced(&e);
         }
         other => panic!("injected panic produced {other:?}"),
     }
     // Same connection, same server: a clean query still answers.
     let want = render_response(&oracle_answer(&ring_db, &["N0000", "N0002"]));
     let got = c.round_trip(&ring_query(Overrides::default()));
-    assert_eq!(render_response(&got), want);
+    assert_eq!(stripped(got), want);
     shut_down_clean(handle, false);
 }
 
@@ -203,10 +240,11 @@ fn graceful_shutdown_under_load_drains_cleanly() {
                             // Once shutdown begins this is the only
                             // acceptable error; stop sending.
                             assert_eq!(e.kind, ErrorKind::Shutdown, "under load: {e}");
+                            assert_traced(&e);
                             break;
                         }
                         got @ Response::Answer { .. } => {
-                            assert_eq!(render_response(&got), want, "answer diverged");
+                            assert_eq!(stripped(got), want, "answer diverged");
                             answered += 1;
                         }
                         other => panic!("unexpected frame {other:?}"),
@@ -259,10 +297,11 @@ fn shutdown_now_cancels_in_flight_queries_cleanly() {
                                 matches!(e.kind, ErrorKind::Shutdown | ErrorKind::Cancelled),
                                 "shutdown-now leaked error {e}"
                             );
+                            assert_traced(&e);
                             break;
                         }
                         got @ Response::Answer { .. } => {
-                            assert_eq!(render_response(&got), want, "answer diverged");
+                            assert_eq!(stripped(got), want, "answer diverged");
                         }
                         other => panic!("unexpected frame {other:?}"),
                     }

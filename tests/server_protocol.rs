@@ -61,7 +61,7 @@ fn arb_spec(sel: u64, bits: u64, a: u64, b: u64) -> QuerySpec {
 }
 
 fn arb_request(sel: u64, bits: u64, a: u64, b: u64) -> Request {
-    match sel % 6 {
+    match sel % 7 {
         0 => Request::Ping,
         1 => Request::List,
         2 => Request::Shutdown { now: a & 1 == 1 },
@@ -69,6 +69,9 @@ fn arb_request(sel: u64, bits: u64, a: u64, b: u64) -> Request {
         4 => Request::Prepare {
             name: format!("prep\n{}", a % 7),
             spec: arb_spec(b, bits, a, b),
+        },
+        5 => Request::Stats {
+            prometheus: b & 1 == 1,
         },
         _ => Request::Run {
             name: format!("q{}", a % 7),
@@ -78,7 +81,7 @@ fn arb_request(sel: u64, bits: u64, a: u64, b: u64) -> Request {
 }
 
 fn arb_response(sel: u64, bits: u64, a: u64, b: u64) -> Response {
-    match sel % 6 {
+    match sel % 7 {
         0 => Response::Pong,
         1 => Response::Bye,
         2 => Response::Prepared {
@@ -111,23 +114,64 @@ fn arb_response(sel: u64, bits: u64, a: u64, b: u64) -> Response {
                 })
                 .collect(),
             metrics: (bits & 1 == 1).then(|| Json::Obj(vec![("x".into(), Json::Int(3))])),
+            trace: (bits & 0b10 != 0).then(|| format!("q-{:06}", a % 1_000_000)),
         },
-        _ => Response::Error(WireError::new(
-            match a % 11 {
-                0 => ErrorKind::Proto,
-                1 => ErrorKind::UnknownDb,
-                2 => ErrorKind::UnknownQuery,
-                3 => ErrorKind::Schema,
-                4 => ErrorKind::Parse,
-                5 => ErrorKind::Io,
-                6 => ErrorKind::Deadline,
-                7 => ErrorKind::Cancelled,
-                8 => ErrorKind::Budget,
-                9 => ErrorKind::Panic,
-                _ => ErrorKind::Shutdown,
-            },
-            format!("detail {b} with \"quotes\" and \u{1F980}"),
-        )),
+        5 => {
+            // Exactly one of the JSON snapshot / Prometheus text sides is
+            // populated — the invariant the parser enforces.
+            if a & 1 == 1 {
+                Response::Stats {
+                    stats: Some(Json::Obj(vec![
+                        ("uptime_ms".into(), Json::Int((b % 100_000) as i64)),
+                        (
+                            "latency_us".into(),
+                            Json::Obj(vec![
+                                ("count".into(), Json::Int((a % 50) as i64)),
+                                (
+                                    "buckets".into(),
+                                    Json::Arr(vec![Json::Arr(vec![
+                                        Json::Int((b % 400) as i64),
+                                        Json::Int(1 + (a % 9) as i64),
+                                    ])]),
+                                ),
+                            ]),
+                        ),
+                    ])),
+                    text: None,
+                }
+            } else {
+                Response::Stats {
+                    stats: None,
+                    text: Some(format!(
+                        "# TYPE hyperqd_queries_total counter\nhyperqd_queries_total {}\n",
+                        b % 1000
+                    )),
+                }
+            }
+        }
+        _ => {
+            let e = WireError::new(
+                match a % 11 {
+                    0 => ErrorKind::Proto,
+                    1 => ErrorKind::UnknownDb,
+                    2 => ErrorKind::UnknownQuery,
+                    3 => ErrorKind::Schema,
+                    4 => ErrorKind::Parse,
+                    5 => ErrorKind::Io,
+                    6 => ErrorKind::Deadline,
+                    7 => ErrorKind::Cancelled,
+                    8 => ErrorKind::Budget,
+                    9 => ErrorKind::Panic,
+                    _ => ErrorKind::Shutdown,
+                },
+                format!("detail {b} with \"quotes\" and \u{1F980}"),
+            );
+            Response::Error(if bits & 0b100 != 0 {
+                e.with_trace(format!("q-{:06}", b % 1_000_000))
+            } else {
+                e
+            })
+        }
     }
 }
 

@@ -10,7 +10,10 @@
 //! Byte-identity works because [`answer_frame`] is canonical (attributes
 //! in universe order, rows sorted) and both sides render through it; any
 //! cross-thread interference, lost lease, or engine divergence shows up as
-//! a frame diff on some thread.
+//! a frame diff on some thread.  The server stamps every answer with a
+//! per-query trace id the oracle can't predict; each soak client asserts
+//! the id is present and well-formed, strips it, and byte-compares the
+//! rest.
 
 use acyclic_hypergraphs::hyperqd::protocol::{
     render_request, render_response, EngineKind, ErrorKind, Overrides, QuerySpec, Request,
@@ -247,6 +250,26 @@ impl SoakClient {
     }
 }
 
+/// Asserts the server stamped a well-formed trace id on an answer frame,
+/// then re-renders the frame without it so the byte-identity comparison
+/// against the (trace-free) oracle frame still holds.
+fn strip_trace(got: &str) -> Option<String> {
+    match parse_response(got) {
+        Ok(Response::Answer {
+            attrs,
+            rows,
+            metrics,
+            trace: Some(trace),
+        }) if trace.starts_with("q-") => Some(render_response(&Response::Answer {
+            attrs,
+            rows,
+            metrics,
+            trace: None,
+        })),
+        _ => None,
+    }
+}
+
 fn shut_down_clean(handle: ServerHandle) -> acyclic_hypergraphs::hyperqd::ServeStats {
     let mut c = SoakClient::connect(handle.addr());
     let bye = c.round_trip(&render_request(&Request::Shutdown { now: false }));
@@ -292,10 +315,17 @@ fn concurrent_soak_is_byte_identical_to_the_sequential_oracle() {
                     let w = &workloads[(client_id * 7 + step * 13) % workloads.len()];
                     let got = client.round_trip(&w.request);
                     let ok = match &w.expect {
-                        Expected::Frame(frame) => &got == frame,
+                        Expected::Frame(frame) => {
+                            strip_trace(&got).as_deref() == Some(frame.as_str())
+                        }
+                        // Error frames carry the trace id too, so a failed
+                        // query is still correlatable with the slow-query
+                        // log and the server's stderr.
                         Expected::ErrorKind(kind) => matches!(
                             parse_response(&got),
-                            Ok(Response::Error(e)) if e.kind == *kind
+                            Ok(Response::Error(e))
+                                if e.kind == *kind
+                                    && e.trace.as_deref().is_some_and(|t| t.starts_with("q-"))
                         ),
                     };
                     if !ok {
@@ -388,8 +418,13 @@ fn concurrent_metrics_answers_match_the_oracle_payload() {
                             attrs,
                             rows,
                             metrics,
+                            trace,
                         } => {
                             assert_eq!((attrs, rows), want);
+                            assert!(
+                                trace.as_deref().is_some_and(|t| t.starts_with("q-")),
+                                "metrics answer lacks a trace id: {trace:?}"
+                            );
                             let m = metrics.expect("metrics requested but absent");
                             let leases = m
                                 .get("pool")
